@@ -1,0 +1,118 @@
+// Shared plumbing for the figure harnesses: flag -> TrainerConfig wiring and
+// CSV emission of the series each paper figure plots.
+//
+// Every harness prints a header comment describing the experiment, then CSV
+// blocks tagged with the series name; the same rows are written under
+// bench_out/<figure>/. Paper-scale parameters are reachable via flags
+// (--scale=1 --model=cnn ...); defaults are sized for a small CPU box.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/fedsparse.h"
+
+namespace fedsparse::bench {
+
+struct CommonArgs {
+  std::string dataset = "femnist";
+  double scale = 0.08;          // fraction of paper-scale client count
+  double proto_sparsity = 0.0;  // 0 = generator default (dense)
+  std::string model = "mlp";
+  long hidden = 32;
+  double cnn_scale = 0.25;
+  double lr = 0.05;
+  long batch = 32;
+  long rounds = 300;
+  double beta = 10.0;
+  long eval_every = 10;
+  long threads = 0;
+  std::uint64_t seed = 1;
+  std::string out_dir = "bench_out";
+};
+
+/// Declares the flags shared by all harnesses and fills CommonArgs.
+inline CommonArgs parse_common(util::Flags& flags) {
+  CommonArgs a;
+  a.dataset = flags.get_string("dataset", a.dataset, "femnist|cifar");
+  a.scale = flags.get_double("scale", a.scale, "client-count scale (1 = paper scale)");
+  a.proto_sparsity = flags.get_double(
+      "proto_sparsity", 0.0, "prototype sparsity override in (0,1]; 0 = dense default");
+  a.model = flags.get_string("model", a.model, "mlp|logistic|cnn");
+  a.hidden = flags.get_int("hidden", a.hidden, "mlp hidden width");
+  a.cnn_scale = flags.get_double("cnn_scale", a.cnn_scale, "cnn channel scale");
+  a.lr = flags.get_double("lr", a.lr, "SGD step size");
+  a.batch = flags.get_int("batch", a.batch, "minibatch size");
+  a.rounds = flags.get_int("rounds", a.rounds, "max training rounds per run");
+  a.beta = flags.get_double("beta", a.beta, "communication time of a full exchange");
+  a.eval_every = flags.get_int("eval_every", a.eval_every, "evaluation cadence (rounds)");
+  a.threads = flags.get_int("threads", a.threads, "worker threads (0 = auto)");
+  a.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1, "master seed"));
+  a.out_dir = flags.get_string("out_dir", a.out_dir, "CSV output directory");
+  return a;
+}
+
+inline core::TrainerConfig base_config(const CommonArgs& a) {
+  core::TrainerConfig cfg;
+  cfg.dataset.name = a.dataset;
+  cfg.dataset.scale = a.scale;
+  cfg.dataset.prototype_sparsity = a.proto_sparsity;
+  cfg.dataset.seed = a.seed;
+  cfg.model.name = a.model;
+  cfg.model.hidden = static_cast<std::size_t>(a.hidden);
+  cfg.model.cnn_scale = a.cnn_scale;
+  cfg.sim.lr = static_cast<float>(a.lr);
+  cfg.sim.batch = static_cast<std::size_t>(a.batch);
+  cfg.sim.max_rounds = static_cast<std::size_t>(a.rounds);
+  cfg.sim.comm_time = a.beta;
+  cfg.sim.eval_every = static_cast<std::size_t>(a.eval_every);
+  cfg.sim.threads = static_cast<std::size_t>(a.threads);
+  cfg.sim.seed = a.seed;
+  return cfg;
+}
+
+/// Writes a (time, loss, accuracy) curve for one labelled run.
+inline void emit_curves(const std::string& out_dir, const std::string& figure,
+                        const std::string& label, const fl::SimulationResult& res) {
+  util::CsvWriter csv(out_dir + "/" + figure + "/" + label + "_curve.csv",
+                      /*echo_stdout=*/true, figure + "/" + label);
+  csv.header({"round", "time", "global_loss", "accuracy", "k"});
+  for (const auto& r : res.records) {
+    if (std::isnan(r.global_loss)) continue;
+    csv.row({static_cast<double>(r.round), r.time, r.global_loss, r.accuracy, r.k_continuous});
+  }
+}
+
+/// Writes the k_m trace of an adaptive run.
+inline void emit_k_trace(const std::string& out_dir, const std::string& figure,
+                         const std::string& label, const fl::SimulationResult& res) {
+  util::CsvWriter csv(out_dir + "/" + figure + "/" + label + "_k.csv",
+                      /*echo_stdout=*/true, figure + "/" + label + "_k");
+  csv.header({"round", "k"});
+  for (std::size_t i = 0; i < res.k_sequence.size(); ++i) {
+    csv.row({static_cast<double>(i + 1), res.k_sequence[i]});
+  }
+}
+
+/// Runs a trainer-shaped experiment with an explicitly constructed controller
+/// (needed for ReplayK, which carries a recorded sequence rather than flags).
+inline fl::SimulationResult run_with_controller(const core::TrainerConfig& cfg,
+                                                std::unique_ptr<online::KController> controller) {
+  const auto data_cfg = core::resolve_dataset(cfg.dataset);
+  auto factory = core::resolve_model(cfg.model, data_cfg);
+  util::Rng probe(7);
+  const std::size_t dim = factory(probe)->dim();
+  fl::Simulation sim(cfg.sim, data::make_synthetic(data_cfg), factory,
+                     sparsify::make_method(cfg.method, dim, cfg.sim.seed ^ 0x3E7ULL),
+                     std::move(controller));
+  return sim.run();
+}
+
+inline void banner(const char* figure, const char* what) {
+  std::printf("# %s — %s\n", figure, what);
+  std::printf("# reproduction of: Adaptive Gradient Sparsification for Efficient Federated "
+              "Learning (ICDCS 2020)\n");
+}
+
+}  // namespace fedsparse::bench

@@ -1,0 +1,67 @@
+// Figure 4: GS method comparison at fixed k (paper: k = 1000, comm time 10,
+// FEMNIST).
+//
+// Three panels: (left) global loss vs normalized time, (middle) test accuracy
+// vs normalized time, (right) CDF over clients of gradient elements used per
+// round. Methods: FAB-top-k (proposed), FUB-top-k, unidirectional top-k,
+// periodic-k, FedAvg at matched communication budget, always-send-all.
+//
+// Expected shape (paper): FAB ≈ FUB lead; unidirectional close behind;
+// send-all and periodic slower; FedAvg slowest. FAB's contribution CDF is
+// bounded away from zero (fairness); FUB's is not.
+#include <cmath>
+
+#include "common.h"
+
+using namespace fedsparse;
+
+int main(int argc, char** argv) {
+  try {
+    util::Flags flags(argc, argv);
+    bench::CommonArgs args = bench::parse_common(flags);
+    // The paper uses k/D = 0.0025 with N = 156 clients, i.e. N·k/D ≈ 0.39 —
+    // the quantity that governs unidirectional top-k's downlink blow-up. At
+    // the scaled default of ~12 clients we preserve N·k/D (not k/D), so the
+    // method comparison keeps the paper's relative cost geometry. Pass
+    // --k_frac=0.0025 --scale=1 for the literal paper setting.
+    const double k_frac =
+        flags.get_double("k_frac", 0.03, "sparsity as fraction of D (paper-equivalent at N=12)");
+    const double max_time = flags.get_double("max_time", 500.0, "normalized time budget");
+    flags.check_unknown();
+    bench::banner("fig4_gs_methods", "loss/accuracy vs time + per-client contribution CDF");
+
+    core::TrainerConfig base = bench::base_config(args);
+    core::FederatedTrainer probe(base);
+    const double d = static_cast<double>(probe.dim());
+    const double k = std::max(2.0, std::round(k_frac * d));
+    std::printf("# D=%.0f, k=%.0f, beta=%g, time budget=%g\n", d, k, args.beta, max_time);
+
+    const char* methods[] = {"fab_topk",  "fub_topk", "unidirectional_topk",
+                             "periodic", "fedavg",   "send_all"};
+    for (const char* method : methods) {
+      core::TrainerConfig cfg = base;
+      cfg.method = method;
+      cfg.controller.name = "fixed";
+      cfg.controller.fixed_k = k;
+      cfg.sim.max_time = max_time;
+      cfg.sim.max_rounds = 1000000;  // the time budget is the binding stop
+      const auto res = core::FederatedTrainer(cfg).run();
+      bench::emit_curves(args.out_dir, "fig4_gs_methods", method, res);
+
+      // Right panel: CDF over clients of average contributed elements/round.
+      const auto per_round = fl::contribution_per_round(res.contributed_totals, res.rounds_run);
+      util::EmpiricalCdf cdf(per_round);
+      util::CsvWriter csv(args.out_dir + "/fig4_gs_methods/" + method + "_cdf.csv", true,
+                          std::string("fig4/") + method + "_cdf");
+      csv.header({"elements_per_round", "cdf"});
+      for (const auto& [x, p] : cdf.steps()) csv.row({x, p});
+      std::printf("# %s: rounds=%zu final_loss=%.4f final_acc=%.4f min_contrib=%.2f\n", method,
+                  res.rounds_run, res.final_loss, res.final_accuracy,
+                  per_round.empty() ? 0.0 : *std::min_element(per_round.begin(), per_round.end()));
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fig4_gs_methods: %s\n", e.what());
+    return 1;
+  }
+}

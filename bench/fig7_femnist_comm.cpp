@@ -1,0 +1,18 @@
+// Figure 7: adaptive k across communication times on FEMNIST, with
+// cross-application of the learned sequences.
+//
+// Phase 1: for each β ∈ {0.1, 1, 10, 100}, Algorithm 3 learns a sequence
+// {k_m,β} (top row of the paper's figure: k traces per β).
+// Phase 2: each learned sequence is replayed under other communication times
+// (middle/bottom rows: loss and accuracy when {k_m,β'} is applied at β). The
+// sequence learned *for* a communication time should win *at* that
+// communication time — the diagonal dominance the paper reports.
+//
+// Default replays each sequence under the two extreme βs only; pass
+// --replay_betas=0.1,1,10,100 for the paper's full matrix.
+#include "comm_sweep.h"
+
+int main(int argc, char** argv) {
+  return fedsparse::bench::run_comm_sweep(argc, argv, "fig7_femnist_comm", "femnist",
+                                          /*default_scale=*/0.08, /*default_rounds=*/200);
+}

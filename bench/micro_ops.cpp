@@ -1,0 +1,124 @@
+// Micro-benchmarks of the primitives on the per-round hot path: top-k
+// selection, the FAB-top-k server selection (κ binary search + aggregation),
+// accumulator updates, sparse algebra, and the GEMM kernel under the models.
+//
+// Not a paper figure — this quantifies the Section III-B complexity claims
+// (client sort O(D log D) vs our O(D log k) heap; server O(ND log D)).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "nn/models.h"
+#include "sparsify/accumulator.h"
+#include "sparsify/fab_topk.h"
+#include "sparsify/method.h"
+#include "sparsify/sparse_vector.h"
+#include "sparsify/topk.h"
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace fedsparse;
+
+std::vector<float> random_vec(std::size_t d, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> v(d);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+void BM_TopKSelect(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto v = random_vec(d, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparsify::top_k_entries({v.data(), v.size()}, k));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(d));
+}
+BENCHMARK(BM_TopKSelect)
+    ->Args({1 << 10, 16})
+    ->Args({1 << 14, 16})
+    ->Args({1 << 14, 256})
+    ->Args({1 << 17, 256})
+    ->Args({1 << 17, 4096});
+
+void BM_FabServerRound(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto d = static_cast<std::size_t>(state.range(1));
+  const std::size_t k = d / 100 + 1;
+  std::vector<std::vector<float>> vecs;
+  for (std::size_t i = 0; i < n; ++i) vecs.push_back(random_vec(d, i + 1));
+  std::vector<double> weights(n, 1.0 / static_cast<double>(n));
+  sparsify::RoundInput in;
+  in.dim = d;
+  in.round = 1;
+  in.data_weights = {weights.data(), weights.size()};
+  for (const auto& v : vecs) in.client_vectors.push_back({v.data(), v.size()});
+  sparsify::FabTopK method(d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(method.round(in, k));
+  }
+}
+BENCHMARK(BM_FabServerRound)->Args({10, 1 << 14})->Args({100, 1 << 14})->Args({10, 1 << 17});
+
+void BM_AccumulatorAdd(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  sparsify::GradientAccumulator acc(d);
+  const auto g = random_vec(d, 3);
+  for (auto _ : state) {
+    acc.add({g.data(), g.size()});
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(d * sizeof(float)));
+}
+BENCHMARK(BM_AccumulatorAdd)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_SparseSubtract(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto v = random_vec(1 << 17, 5);
+  auto a = sparsify::top_k_entries({v.data(), v.size()}, k);
+  auto b = sparsify::top_k_entries({v.data(), v.size()}, k / 2);
+  sparsify::sort_by_index(a);
+  sparsify::sort_by_index(b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparsify::sparse_subtract(a, b));
+  }
+}
+BENCHMARK(BM_SparseSubtract)->Arg(256)->Arg(4096);
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  tensor::Matrix a(n, n), b(n, n), c(n, n);
+  util::Rng rng(7);
+  for (auto& x : a.flat()) x = static_cast<float>(rng.normal());
+  for (auto& x : b.flat()) x = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    tensor::gemm(a, false, b, false, 1.0f, 0.0f, c);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MlpForwardBackward(benchmark::State& state) {
+  util::Rng rng(9);
+  auto model = nn::mlp(784, {static_cast<std::size_t>(state.range(0))}, 62)(rng);
+  tensor::Matrix x(32, 784);
+  for (auto& v : x.flat()) v = static_cast<float>(rng.normal());
+  std::vector<int> y(32);
+  for (auto& v : y) v = static_cast<int>(rng.uniform_u64(62));
+  for (auto _ : state) {
+    model->zero_grad();
+    benchmark::DoNotOptimize(model->forward_loss_grad(x, y));
+  }
+}
+BENCHMARK(BM_MlpForwardBackward)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

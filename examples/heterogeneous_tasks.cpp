@@ -1,0 +1,70 @@
+// Heterogeneous FL tasks: the paper's introduction scenario.
+//
+// Task A — "mobile phones in one city": fast network (small β), slow
+// computation. Task B — "micro-datacenters across the world": slow network
+// (large β), fast computation. The same adaptive algorithm, with no
+// per-deployment tuning, should learn a *large* k for task A (communication
+// is cheap, spend it) and a *small* k for task B (communication is the
+// bottleneck, sparsify hard).
+//
+//   ./examples/heterogeneous_tasks [--rounds=250]
+#include <cstdio>
+
+#include "core/fedsparse.h"
+
+namespace {
+
+struct TaskSpec {
+  const char* name;
+  double comm_time;     // β: full-exchange time relative to...
+  double compute_time;  // ...one round of local computation
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fedsparse;
+  try {
+    util::Flags flags(argc, argv);
+    const long rounds = flags.get_int("rounds", 250, "training rounds per task");
+    flags.check_unknown();
+
+    const TaskSpec tasks[] = {
+        {"A: city mobiles (fast net, slow compute)", 0.1, 1.0},
+        {"B: global micro-DCs (slow net, fast compute)", 100.0, 1.0},
+    };
+
+    std::printf("%-48s %-12s %-14s %-12s\n", "task", "final_loss", "learned k", "k / D");
+    for (const auto& task : tasks) {
+      core::TrainerConfig cfg;
+      cfg.dataset.name = "femnist";
+      cfg.dataset.scale = 0.08;
+      cfg.model.name = "mlp";
+      cfg.model.hidden = 32;
+      cfg.method = "fab_topk";
+      cfg.controller.name = "extended_sign_ogd";
+      cfg.sim.lr = 0.05f;
+      cfg.sim.comm_time = task.comm_time;
+      cfg.sim.compute_time = task.compute_time;
+      cfg.sim.max_rounds = static_cast<std::size_t>(rounds);
+      cfg.sim.eval_every = 25;
+      cfg.sim.seed = 11;
+
+      core::FederatedTrainer trainer(cfg);
+      const auto d = static_cast<double>(trainer.dim());
+      const auto res = trainer.run();
+      util::RunningStat tail;
+      for (std::size_t i = res.k_sequence.size() / 2; i < res.k_sequence.size(); ++i) {
+        tail.add(res.k_sequence[i]);
+      }
+      std::printf("%-48s %-12.4f %-14.0f %-12.4f\n", task.name, res.final_loss, tail.mean(),
+                  tail.mean() / d);
+    }
+    std::printf("\nexpected: task A learns a much larger sparsity degree than task B —\n"
+                "the algorithm adapts k to each deployment's comm/compute trade-off.\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

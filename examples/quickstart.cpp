@@ -1,0 +1,57 @@
+// Quickstart: train a federated model with FAB-top-k sparsification and the
+// Algorithm-3 adaptive sparsity controller, then print the learning curve.
+//
+//   ./examples/quickstart [--rounds=200] [--beta=10] [--method=fab_topk]
+//
+// This is the 20-line version of what the paper's system does end to end:
+// non-i.i.d. clients, sparse gradient exchange, and online adaptation of the
+// sparsity degree k to the communication/computation trade-off.
+#include <cstdio>
+
+#include "core/fedsparse.h"
+
+int main(int argc, char** argv) {
+  using namespace fedsparse;
+  try {
+    util::Flags flags(argc, argv);
+    const long rounds = flags.get_int("rounds", 200, "training rounds");
+    const double beta = flags.get_double("beta", 10.0, "communication time of a full exchange");
+    const std::string method = flags.get_string("method", "fab_topk", "sparsification method");
+    const double lr = flags.get_double("lr", 0.05, "SGD step size");
+    flags.check_unknown();
+
+    core::TrainerConfig cfg;
+    cfg.dataset.name = "femnist";   // synthetic FEMNIST-like, non-i.i.d. by writer
+    cfg.dataset.scale = 0.08;       // ~12 clients — quick on a laptop
+    cfg.model.name = "mlp";
+    cfg.model.hidden = 32;
+    cfg.method = method;
+    cfg.controller.name = "extended_sign_ogd";  // Algorithm 3
+    cfg.sim.max_rounds = static_cast<std::size_t>(rounds);
+    cfg.sim.lr = static_cast<float>(lr);
+    cfg.sim.comm_time = beta;
+    cfg.sim.eval_every = 20;
+    cfg.sim.seed = 42;
+
+    core::FederatedTrainer trainer(cfg);
+    std::printf("model dimension D = %zu\n", trainer.dim());
+    const auto result = trainer.run();
+
+    std::printf("\n%-8s %-12s %-10s %-10s %-8s\n", "round", "time", "loss", "accuracy", "k");
+    for (const auto& [time, loss] : result.loss_curve()) {
+      (void)time;
+      (void)loss;
+    }
+    for (const auto& rec : result.records) {
+      if (std::isnan(rec.global_loss)) continue;
+      std::printf("%-8zu %-12.1f %-10.4f %-10.4f %-8.0f\n", rec.round, rec.time, rec.global_loss,
+                  rec.accuracy, rec.k_continuous);
+    }
+    std::printf("\nfinal: loss=%.4f accuracy=%.4f after %zu rounds (normalized time %.1f)\n",
+                result.final_loss, result.final_accuracy, result.rounds_run, result.total_time);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,51 @@
+#include "data/dataset.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace fedsparse::data {
+
+Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
+  Dataset out;
+  out.num_classes = num_classes;
+  out.channels = channels;
+  out.height = height;
+  out.width = width;
+  out.x.resize(indices.size(), x.cols());
+  out.y.resize(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::size_t src = indices[i];
+    if (src >= size()) throw std::out_of_range("Dataset::subset: index out of range");
+    std::memcpy(out.x.row(i), x.row(src), x.cols() * sizeof(float));
+    out.y[i] = y[src];
+  }
+  return out;
+}
+
+std::vector<std::size_t> Dataset::class_histogram() const {
+  std::vector<std::size_t> hist(num_classes, 0);
+  for (int label : y) {
+    if (label >= 0 && static_cast<std::size_t>(label) < num_classes) {
+      ++hist[static_cast<std::size_t>(label)];
+    }
+  }
+  return hist;
+}
+
+std::size_t FederatedDataset::total_samples() const noexcept {
+  std::size_t total = 0;
+  for (const auto& c : clients) total += c.size();
+  return total;
+}
+
+std::vector<double> FederatedDataset::data_weights() const {
+  const auto total = static_cast<double>(total_samples());
+  std::vector<double> w(clients.size(), 0.0);
+  if (total <= 0.0) return w;
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    w[i] = static_cast<double>(clients[i].size()) / total;
+  }
+  return w;
+}
+
+}  // namespace fedsparse::data

@@ -1,0 +1,47 @@
+// Dataset containers for the federated simulation.
+//
+// A Dataset is a dense (num_samples x feature_dim) matrix plus integer labels
+// and the image geometry the nn layers need. Federated experiments use a
+// FederatedDataset: one Dataset per client plus a held-out global test set.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace fedsparse::data {
+
+using tensor::Matrix;
+
+struct Dataset {
+  Matrix x;                 // (num_samples x channels*height*width)
+  std::vector<int> y;       // labels in [0, num_classes)
+  std::size_t num_classes = 0;
+  std::size_t channels = 1;
+  std::size_t height = 0;
+  std::size_t width = 0;
+
+  std::size_t size() const noexcept { return y.size(); }
+  std::size_t feature_dim() const noexcept { return channels * height * width; }
+  bool empty() const noexcept { return y.empty(); }
+
+  /// New dataset with the rows selected by `indices` (copies).
+  Dataset subset(const std::vector<std::size_t>& indices) const;
+
+  /// Per-class sample counts (length num_classes).
+  std::vector<std::size_t> class_histogram() const;
+};
+
+struct FederatedDataset {
+  std::vector<Dataset> clients;
+  Dataset test;
+
+  std::size_t num_clients() const noexcept { return clients.size(); }
+  /// Total training samples across clients (the paper's C).
+  std::size_t total_samples() const noexcept;
+  /// Per-client data weights C_i / C used for aggregation.
+  std::vector<double> data_weights() const;
+};
+
+}  // namespace fedsparse::data

@@ -1,0 +1,37 @@
+// Dataset file I/O: IDX (the MNIST/FEMNIST container format) and labelled
+// CSV. Lets a downstream user run the real LEAF/FEMNIST data through the
+// system instead of the synthetic substitute — point `load_idx_dataset` at
+// the standard images/labels file pair.
+//
+// IDX format (big-endian):
+//   images: magic 0x00000803, [count, rows, cols], then count*rows*cols u8
+//   labels: magic 0x00000801, [count], then count u8
+// Pixel bytes are scaled into [0, 1] floats.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace fedsparse::data {
+
+/// Loads an images+labels IDX pair into a Dataset. Throws std::runtime_error
+/// on malformed files (bad magic, truncated payload, count mismatch).
+Dataset load_idx_dataset(const std::string& images_path, const std::string& labels_path,
+                         std::size_t num_classes);
+
+/// Writes a Dataset to a pair of IDX files (values are clamped to [0, 1] and
+/// quantized to u8). Enables round-trip tests and exporting synthetic data.
+void save_idx_dataset(const Dataset& ds, const std::string& images_path,
+                      const std::string& labels_path);
+
+/// Loads "label,f1,f2,..." rows. Feature count is inferred from the first
+/// row; `channels`/`height`/`width` must multiply to it (pass 1,1,dim for
+/// flat features). Lines starting with '#' are skipped.
+Dataset load_csv_dataset(const std::string& path, std::size_t num_classes, std::size_t channels,
+                         std::size_t height, std::size_t width);
+
+/// Writes a Dataset as labelled CSV (round-trip counterpart).
+void save_csv_dataset(const Dataset& ds, const std::string& path);
+
+}  // namespace fedsparse::data

@@ -1,0 +1,27 @@
+#include "data/minibatch.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace fedsparse::data {
+
+Minibatch sample_minibatch(const Dataset& ds, std::size_t batch, util::Rng& rng) {
+  if (ds.empty()) throw std::invalid_argument("sample_minibatch: empty dataset");
+  Minibatch mb;
+  if (ds.size() <= batch) {
+    mb.indices.resize(ds.size());
+    for (std::size_t i = 0; i < ds.size(); ++i) mb.indices[i] = i;
+  } else {
+    mb.indices.resize(batch);
+    for (auto& idx : mb.indices) idx = rng.uniform_u64(ds.size());
+  }
+  mb.x.resize(mb.indices.size(), ds.x.cols());
+  mb.y.resize(mb.indices.size());
+  for (std::size_t i = 0; i < mb.indices.size(); ++i) {
+    std::memcpy(mb.x.row(i), ds.x.row(mb.indices[i]), ds.x.cols() * sizeof(float));
+    mb.y[i] = ds.y[mb.indices[i]];
+  }
+  return mb;
+}
+
+}  // namespace fedsparse::data

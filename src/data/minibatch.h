@@ -1,0 +1,21 @@
+// Minibatch sampling.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace fedsparse::data {
+
+struct Minibatch {
+  Matrix x;
+  std::vector<int> y;
+  std::vector<std::size_t> indices;  // source rows (the probe-loss sample h is drawn from these)
+};
+
+/// Uniform sampling with replacement (standard SGD minibatching). If the
+/// dataset has fewer samples than `batch`, the whole dataset is used once.
+Minibatch sample_minibatch(const Dataset& ds, std::size_t batch, util::Rng& rng);
+
+}  // namespace fedsparse::data

@@ -1,0 +1,115 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fedsparse::data {
+
+double sample_gamma(double shape, util::Rng& rng) {
+  if (shape <= 0.0) throw std::invalid_argument("sample_gamma: shape must be positive");
+  if (shape < 1.0) {
+    // Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+    const double u = std::max(rng.uniform(), 1e-300);
+    return sample_gamma(shape + 1.0, rng) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = rng.normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng.uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v;
+  }
+}
+
+std::vector<double> sample_dirichlet(std::size_t dim, double alpha, util::Rng& rng) {
+  std::vector<double> out(dim);
+  double total = 0.0;
+  for (auto& v : out) {
+    v = sample_gamma(alpha, rng);
+    total += v;
+  }
+  if (total <= 0.0) {
+    std::fill(out.begin(), out.end(), 1.0 / static_cast<double>(dim));
+    return out;
+  }
+  for (auto& v : out) v /= total;
+  return out;
+}
+
+namespace {
+
+// Per-client class mixing weights for each partition scheme.
+std::vector<double> client_class_weights(std::size_t client, std::size_t num_classes,
+                                         PartitionKind kind, util::Rng& rng,
+                                         std::size_t classes_per_writer, double dirichlet_alpha) {
+  std::vector<double> w(num_classes, 0.0);
+  switch (kind) {
+    case PartitionKind::kIid:
+      std::fill(w.begin(), w.end(), 1.0);
+      break;
+    case PartitionKind::kOneClassPerClient:
+      w[client % num_classes] = 1.0;
+      break;
+    case PartitionKind::kByWriter: {
+      // Choose a random subset of classes, then random mixing weights.
+      std::vector<std::size_t> ids(num_classes);
+      for (std::size_t i = 0; i < num_classes; ++i) ids[i] = i;
+      rng.shuffle(ids);
+      const std::size_t chosen = std::min(std::max<std::size_t>(1, classes_per_writer),
+                                          num_classes);
+      for (std::size_t i = 0; i < chosen; ++i) {
+        // Exponential weights give a heavy skew within the chosen classes.
+        w[ids[i]] = -std::log(std::max(rng.uniform(), 1e-12));
+      }
+      break;
+    }
+    case PartitionKind::kDirichlet:
+      return sample_dirichlet(num_classes, dirichlet_alpha, rng);
+  }
+  return w;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::size_t>> partition_indices(
+    const std::vector<int>& labels, std::size_t num_classes,
+    const std::vector<std::size_t>& client_sizes, PartitionKind kind, util::Rng& rng,
+    std::size_t classes_per_writer, double dirichlet_alpha) {
+  if (num_classes == 0) throw std::invalid_argument("partition_indices: num_classes == 0");
+  // Bucket pool indices by class.
+  std::vector<std::vector<std::size_t>> by_class(num_classes);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const int label = labels[i];
+    if (label < 0 || static_cast<std::size_t>(label) >= num_classes) {
+      throw std::invalid_argument("partition_indices: label out of range");
+    }
+    by_class[static_cast<std::size_t>(label)].push_back(i);
+  }
+
+  std::vector<std::vector<std::size_t>> owned(client_sizes.size());
+  for (std::size_t c = 0; c < client_sizes.size(); ++c) {
+    auto weights =
+        client_class_weights(c, num_classes, kind, rng, classes_per_writer, dirichlet_alpha);
+    // Zero out classes with no pool samples so categorical() cannot pick them.
+    for (std::size_t k = 0; k < num_classes; ++k) {
+      if (by_class[k].empty()) weights[k] = 0.0;
+    }
+    owned[c].reserve(client_sizes[c]);
+    for (std::size_t s = 0; s < client_sizes[c]; ++s) {
+      const std::size_t cls = rng.categorical(weights);
+      const auto& bucket = by_class[cls];
+      if (bucket.empty()) continue;  // pool lacks this class entirely
+      owned[c].push_back(bucket[rng.uniform_u64(bucket.size())]);
+    }
+  }
+  return owned;
+}
+
+}  // namespace fedsparse::data

@@ -1,0 +1,41 @@
+// Non-i.i.d. partitioners: split a pool of labeled samples across clients.
+//
+// Three schemes cover the paper's settings:
+//  * by-writer   — each client draws from a skewed per-client class mix
+//                  (FEMNIST's "each writer is a client");
+//  * one-class   — each client holds exactly one class (the paper's CIFAR-10
+//                  "strong non-i.i.d." setup);
+//  * dirichlet   — per-client class proportions ~ Dirichlet(alpha), the
+//                  standard FL heterogeneity knob (extension beyond the paper).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fedsparse::data {
+
+enum class PartitionKind { kByWriter, kOneClassPerClient, kDirichlet, kIid };
+
+/// Returns, for each client, the indices of the pool samples it owns.
+/// `labels` is the pool's label array; `client_sizes` gives each client's
+/// sample count (the partition draws with replacement from the pool's
+/// per-class index lists, mirroring how synthetic pools are unbounded).
+///
+/// by-writer: each client is assigned `classes_per_writer` distinct classes
+/// with random mixing weights. one-class: client i gets class (i mod K).
+/// dirichlet: mixing weights ~ Dirichlet(alpha) over all classes.
+std::vector<std::vector<std::size_t>> partition_indices(
+    const std::vector<int>& labels, std::size_t num_classes,
+    const std::vector<std::size_t>& client_sizes, PartitionKind kind, util::Rng& rng,
+    std::size_t classes_per_writer = 5, double dirichlet_alpha = 0.5);
+
+/// Gamma(shape, 1) sampler (Marsaglia–Tsang, with the alpha<1 boost). Exposed
+/// for tests of the Dirichlet machinery.
+double sample_gamma(double shape, util::Rng& rng);
+
+/// Dirichlet(alpha * 1) draw of the given dimension.
+std::vector<double> sample_dirichlet(std::size_t dim, double alpha, util::Rng& rng);
+
+}  // namespace fedsparse::data

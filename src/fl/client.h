@@ -1,0 +1,83 @@
+// Federated client: local dataset, model replica, accumulated gradient, and
+// the one-sample probe losses of the derivative-sign estimator (Sec. IV-E).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "data/dataset.h"
+#include "data/minibatch.h"
+#include "nn/models.h"
+#include "sparsify/accumulator.h"
+#include "sparsify/sparse_vector.h"
+#include "util/rng.h"
+
+namespace fedsparse::fl {
+
+class Client {
+ public:
+  /// The model is built from `factory` and then overwritten with the server's
+  /// initial weights, so all clients start synchronized.
+  Client(std::size_t id, data::Dataset dataset, const nn::ModelFactory& factory,
+         std::uint64_t seed);
+
+  std::size_t id() const noexcept { return id_; }
+  std::size_t num_samples() const noexcept { return dataset_.size(); }
+  const data::Dataset& dataset() const noexcept { return dataset_; }
+
+  std::size_t dim() const noexcept { return model_->dim(); }
+  std::span<const float> weights() const noexcept { return model_->weights(); }
+  void set_weights(std::span<const float> w) { model_->set_weights(w); }
+
+  std::span<const float> accumulated() const noexcept { return accumulator_.value(); }
+
+  /// One local round (Line 4 of Algorithm 1): sample a minibatch at the
+  /// current weights w(m−1), compute the gradient, add it to the accumulated
+  /// gradient a_i, pick the probe sample h and record f_{i,h}(w(m−1)).
+  /// Returns the minibatch training loss.
+  double compute_round_gradient(std::size_t round, std::size_t batch);
+
+  /// FedAvg-style round: compute the minibatch gradient at the local weights
+  /// and immediately apply it locally (no accumulator involved).
+  double local_update(std::size_t round, std::size_t batch, float lr);
+
+  /// Applies the broadcast sparse update: w -= lr * dense(update).
+  void apply_sparse_update(const sparsify::SparseVector& update, float lr);
+  /// Dense variant (send-all).
+  void apply_dense_update(std::span<const float> update, float lr);
+
+  /// Zeroes the accumulated entries the server consumed (Line 17, Alg. 1).
+  void reset_accumulated(std::span<const std::int32_t> indices);
+  void reset_all_accumulated() noexcept { accumulator_.reset_all(); }
+
+  // --- probe losses (Section IV-E) -----------------------------------------
+
+  /// f_{i,h}(w(m−1)), recorded during compute_round_gradient.
+  double probe_loss_prev() const noexcept { return probe_loss_prev_; }
+
+  /// f_{i,h}(current weights) — call after applying the k_m update for
+  /// f_{i,h}(w(m)).
+  double probe_loss_now();
+
+  /// f_{i,h}(w'(m)) where w' = current weights + lr*dense(diff): applies the
+  /// delta temporarily, evaluates, and restores the weights exactly.
+  double probe_loss_shifted(const sparsify::SparseVector& diff, float lr);
+
+  /// Local loss over (a subsample of) the client's full dataset at the
+  /// current weights; `max_samples == 0` means all samples.
+  double full_local_loss(std::size_t max_samples, util::Rng& rng);
+
+ private:
+  std::size_t id_;
+  data::Dataset dataset_;
+  std::unique_ptr<nn::Sequential> model_;
+  sparsify::GradientAccumulator accumulator_;
+  util::Rng rng_;
+
+  // Probe sample h (one row) for the current round.
+  tensor::Matrix probe_x_;
+  std::vector<int> probe_y_;
+  double probe_loss_prev_ = 0.0;
+};
+
+}  // namespace fedsparse::fl

@@ -1,0 +1,50 @@
+// Composite resource model — the paper's stated extension beyond time:
+// "our online learning algorithm can be directly extended to the minimization
+// of other types of additive resources, such as energy, monetary cost, or a
+// sum of them" (Sections I and VI).
+//
+// A round's cost is a weighted sum of three additive resources:
+//   time   — the normalized timing model of Section V (TimingModel),
+//   energy — energy_per_compute per computation round plus energy_per_value
+//            per transmitted value (uplink + downlink),
+//   money  — money_per_value per transmitted value (e.g. metered WAN egress).
+//
+// With the default weights (1, 0, 0) the model reduces exactly to the paper's
+// training-time objective; the adaptive-k machinery is agnostic to which
+// combination it minimizes because the cost stays additive over rounds.
+#pragma once
+
+#include "fl/timing.h"
+
+namespace fedsparse::fl {
+
+struct ResourceModel {
+  TimingModel timing;
+
+  double energy_per_compute = 1.0;  // energy of one local computation round
+  double energy_per_value = 0.0;    // energy per transmitted value
+  double money_per_value = 0.0;     // monetary cost per transmitted value
+
+  double weight_time = 1.0;
+  double weight_energy = 0.0;
+  double weight_money = 0.0;
+
+  /// Composite cost of one round with the given payloads.
+  double round_cost(double uplink_values, double downlink_values) const {
+    const double time = timing.round_time(uplink_values, downlink_values);
+    const double energy =
+        energy_per_compute + energy_per_value * (uplink_values + downlink_values);
+    const double money = money_per_value * (uplink_values + downlink_values);
+    return weight_time * time + weight_energy * energy + weight_money * money;
+  }
+
+  /// θ(k) analogue under the composite cost (continuous k).
+  double theta_cost(double k) const { return round_cost(2.0 * k, 2.0 * k); }
+
+  /// True when the model is pure training time (the paper's default).
+  bool is_pure_time() const noexcept {
+    return weight_time == 1.0 && weight_energy == 0.0 && weight_money == 0.0;
+  }
+};
+
+}  // namespace fedsparse::fl

@@ -1,0 +1,319 @@
+#include "fl/simulation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "online/estimator.h"
+#include "online/rounding.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace fedsparse::fl {
+
+Simulation::Simulation(SimulationConfig cfg, data::FederatedDataset dataset,
+                       nn::ModelFactory factory, std::unique_ptr<sparsify::Method> method,
+                       std::unique_ptr<online::KController> controller)
+    : cfg_(cfg),
+      factory_(std::move(factory)),
+      method_(std::move(method)),
+      controller_(std::move(controller)),
+      test_set_(std::move(dataset.test)),
+      evaluator_(factory_, cfg.seed ^ 0xE7A1ULL),
+      pool_(cfg.threads),
+      rng_(cfg.seed) {
+  if (!method_) throw std::invalid_argument("Simulation: null method");
+  if (!controller_) throw std::invalid_argument("Simulation: null controller");
+  if (dataset.clients.empty()) throw std::invalid_argument("Simulation: no clients");
+  if (cfg_.lr <= 0.0f) throw std::invalid_argument("Simulation: lr must be positive");
+  if (cfg_.batch == 0) throw std::invalid_argument("Simulation: batch must be positive");
+
+  if (cfg_.participation <= 0.0 || cfg_.participation > 1.0) {
+    throw std::invalid_argument("Simulation: participation must be in (0, 1]");
+  }
+  data_weights_ = dataset.data_weights();
+  clients_.reserve(dataset.clients.size());
+  std::uint64_t seed_state = cfg.seed ^ 0xC11E27ULL;
+  for (std::size_t i = 0; i < dataset.clients.size(); ++i) {
+    clients_.push_back(std::make_unique<Client>(i, std::move(dataset.clients[i]), factory_,
+                                                util::splitmix64(seed_state)));
+  }
+  dim_ = clients_[0]->dim();
+  timing_ = TimingModel{cfg.comm_time, cfg.compute_time, dim_};
+  resource_.timing = timing_;
+  resource_.energy_per_compute = cfg.energy_per_compute;
+  resource_.energy_per_value = cfg.energy_per_value;
+  resource_.money_per_value = cfg.money_per_value;
+  resource_.weight_time = cfg.weight_time;
+  resource_.weight_energy = cfg.weight_energy;
+  resource_.weight_money = cfg.weight_money;
+
+  // Heterogeneous clients: lognormal compute-time multipliers.
+  client_compute_.assign(clients_.size(), 1.0);
+  if (cfg.compute_time_spread > 0.0) {
+    util::Rng het_rng(cfg.seed ^ 0x4E7E20ULL);
+    for (auto& multiplier : client_compute_) {
+      multiplier = std::exp(het_rng.normal(0.0, cfg.compute_time_spread));
+    }
+  }
+
+  // Master initialization: every replica starts from the same weights.
+  util::Rng master_rng(cfg.seed ^ 0x5EEDULL);
+  const auto master = factory_(master_rng);
+  if (master->dim() != dim_) throw std::logic_error("Simulation: factory dim mismatch");
+  for (auto& c : clients_) c->set_weights(master->weights());
+  evaluator_.set_weights(master->weights());
+
+  util::log_info() << "Simulation: " << clients_.size() << " clients, D=" << dim_
+                   << ", method=" << method_->name() << ", controller=" << controller_->name()
+                   << ", beta=" << cfg.comm_time;
+}
+
+std::vector<std::size_t> Simulation::sample_participants() {
+  const std::size_t n = clients_.size();
+  if (cfg_.participation >= 1.0) {
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    return all;
+  }
+  const auto take = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(cfg_.participation * static_cast<double>(n))));
+  std::vector<std::size_t> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = i;
+  // Partial Fisher–Yates: the first `take` entries are a uniform sample.
+  for (std::size_t i = 0; i < take; ++i) {
+    const std::size_t j = i + rng_.uniform_u64(n - i);
+    std::swap(ids[i], ids[j]);
+  }
+  ids.resize(take);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+sparsify::RoundInput Simulation::make_round_input(std::size_t round,
+                                                  const std::vector<std::size_t>& selected,
+                                                  std::vector<double>& weight_storage) const {
+  sparsify::RoundInput in;
+  in.dim = dim_;
+  in.round = round;
+  const bool fedavg_style = method_->local_update_style();
+  weight_storage.clear();
+  double total = 0.0;
+  for (const std::size_t i : selected) total += data_weights_[i];
+  for (const std::size_t i : selected) {
+    weight_storage.push_back(total > 0.0 ? data_weights_[i] / total
+                                         : 1.0 / static_cast<double>(selected.size()));
+    in.client_vectors.push_back(fedavg_style ? clients_[i]->weights()
+                                             : clients_[i]->accumulated());
+  }
+  in.data_weights = {weight_storage.data(), weight_storage.size()};
+  return in;
+}
+
+std::span<const float> Simulation::global_weights() {
+  if (!method_->local_update_style()) return clients_[0]->weights();
+  // FedAvg between synchronizations: the virtual global model is the
+  // data-weighted average of the local weights.
+  fedavg_weights_.assign(dim_, 0.0f);
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    const auto w = clients_[i]->weights();
+    const auto dw = static_cast<float>(data_weights_[i]);
+    for (std::size_t j = 0; j < dim_; ++j) fedavg_weights_[j] += dw * w[j];
+  }
+  return {fedavg_weights_.data(), fedavg_weights_.size()};
+}
+
+void Simulation::evaluate(RoundRecord& rec) {
+  evaluator_.set_weights(global_weights());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    loss += data_weights_[i] *
+            evaluator_.loss(clients_[i]->dataset(), cfg_.eval_samples_per_client, rng_);
+  }
+  rec.global_loss = loss;
+  rec.accuracy = evaluator_.accuracy(test_set_, cfg_.eval_test_samples, rng_);
+}
+
+SimulationResult Simulation::run() {
+  const std::size_t n = clients_.size();
+  SimulationResult res;
+  res.contributed_totals.assign(n, 0);
+
+  std::vector<double> mb_losses(n, 0.0);
+  double time = 0.0;
+
+  std::vector<double> weight_storage;
+  for (std::size_t m = 1; m <= cfg_.max_rounds; ++m) {
+    const bool fedavg_style = method_->local_update_style();
+    const double k_cont = controller_->current_k();
+    const double probe_k_cont = controller_->probe_k();
+    const std::size_t k_int = cfg_.stochastic_rounding
+                                  ? online::stochastic_round_k(k_cont, dim_, rng_)
+                                  : online::deterministic_round_k(k_cont, dim_);
+
+    // (A) Local computation at w(m−1), participating clients in parallel. A
+    // synchronous round waits for the slowest participant.
+    const std::vector<std::size_t> part = sample_participants();
+    pool_.parallel_for(part.size(), [&](std::size_t s) {
+      const std::size_t i = part[s];
+      mb_losses[i] = fedavg_style
+                         ? clients_[i]->local_update(m, cfg_.batch, cfg_.lr)
+                         : clients_[i]->compute_round_gradient(m, cfg_.batch);
+    });
+    double compute_multiplier = 0.0;
+    for (const std::size_t i : part) {
+      compute_multiplier = std::max(compute_multiplier, client_compute_[i]);
+    }
+    ResourceModel round_resource = resource_;
+    round_resource.timing.compute_time = timing_.compute_time * compute_multiplier;
+    round_resource.energy_per_compute = resource_.energy_per_compute * compute_multiplier;
+
+    // (1)–(2) Server round: selection + aggregation over the participants.
+    const sparsify::RoundInput input = make_round_input(m, part, weight_storage);
+    sparsify::RoundOutcome outcome = method_->round(input, k_int);
+
+    // (3) Probe selection k'_m (derived before resets touch the accumulators).
+    bool want_probe = probe_k_cont > 0.0 && !fedavg_style &&
+                      outcome.kind == sparsify::RoundOutcome::Kind::kSparseUpdate;
+    sparsify::SparseVector probe_diff;
+    if (want_probe) {
+      std::size_t probe_k_int = cfg_.stochastic_rounding
+                                    ? online::stochastic_round_k(probe_k_cont, dim_, rng_)
+                                    : online::deterministic_round_k(probe_k_cont, dim_);
+      if (probe_k_int >= k_int) probe_k_int = k_int > 1 ? k_int - 1 : 0;
+      if (probe_k_int >= 1) {
+        const sparsify::RoundOutcome probe_outcome = method_->probe_round(input, probe_k_int);
+        probe_diff = sparsify::sparse_subtract(outcome.update, probe_outcome.update);
+      } else {
+        want_probe = false;
+      }
+    }
+
+    // (B)/(C) Apply the global update; weights stay synchronized for GS.
+    switch (outcome.kind) {
+      case sparsify::RoundOutcome::Kind::kSparseUpdate:
+        pool_.parallel_for(n, [&](std::size_t i) {
+          clients_[i]->apply_sparse_update(outcome.update, cfg_.lr);
+        });
+        break;
+      case sparsify::RoundOutcome::Kind::kDenseUpdate:
+        pool_.parallel_for(n, [&](std::size_t i) {
+          clients_[i]->apply_dense_update(outcome.dense, cfg_.lr);
+        });
+        break;
+      case sparsify::RoundOutcome::Kind::kWeightAverage:
+        pool_.parallel_for(n, [&](std::size_t i) {
+          clients_[i]->set_weights({outcome.dense.data(), outcome.dense.size()});
+        });
+        break;
+      case sparsify::RoundOutcome::Kind::kLocalOnly:
+        break;
+    }
+    if (!fedavg_style) {
+      pool_.parallel_for(part.size(), [&](std::size_t s) {
+        clients_[part[s]]->reset_accumulated(
+            {outcome.reset[s].data(), outcome.reset[s].size()});
+      });
+    }
+    for (std::size_t s = 0; s < part.size(); ++s) {
+      res.contributed_totals[part[s]] += outcome.contributed[s];
+    }
+
+    // (B)–(D) One-sample probe losses over participants, averaged by the
+    // server (Sec. IV-E). The controller minimizes the composite round cost
+    // (pure time under the paper's defaults).
+    online::RoundFeedback fb;
+    fb.round_time = round_resource.round_cost(outcome.uplink_values, outcome.downlink_values);
+    double wall_time = fb.round_time;
+    if (!fedavg_style) {
+      std::vector<double> pv(part.size()), cv(part.size()), sv(part.size());
+      pool_.parallel_for(part.size(), [&](std::size_t s) {
+        Client& c = *clients_[part[s]];
+        pv[s] = c.probe_loss_prev();
+        cv[s] = c.probe_loss_now();
+        if (want_probe) sv[s] = c.probe_loss_shifted(probe_diff, cfg_.lr);
+      });
+      fb.loss_prev = util::mean_of(pv);
+      fb.loss_cur = util::mean_of(cv);
+      if (want_probe) {
+        fb.loss_probe = util::mean_of(sv);
+        fb.probe_available = true;
+        fb.theta_probe = round_resource.theta_cost(probe_k_cont);
+        if (cfg_.charge_probe_overhead) {
+          // Step ③ of Fig. 3: the k/k' difference entries on the downlink.
+          wall_time += round_resource.round_cost(
+                           0.0, 2.0 * static_cast<double>(probe_diff.size())) -
+                       round_resource.round_cost(0.0, 0.0);
+        }
+        const auto est = online::estimate_derivative_sign(fb, k_cont, probe_k_cont);
+        if (!est.valid) ++res.invalid_probe_rounds;
+      }
+    }
+    time += wall_time;
+    controller_->observe(fb);
+
+    // Record + periodic evaluation.
+    RoundRecord rec;
+    rec.round = m;
+    rec.time = time;
+    rec.k_continuous = k_cont;
+    rec.k_used = k_int;
+    rec.uplink_values = outcome.uplink_values;
+    rec.downlink_values = outcome.downlink_values;
+    double tl = 0.0;
+    for (std::size_t s = 0; s < part.size(); ++s) tl += weight_storage[s] * mb_losses[part[s]];
+    rec.train_loss = tl;
+    const bool out_of_time = time >= cfg_.max_time;
+    const bool eval_round =
+        (cfg_.eval_every > 0 && m % cfg_.eval_every == 0) || m == cfg_.max_rounds || out_of_time;
+    if (eval_round) evaluate(rec);
+    res.k_sequence.push_back(k_cont);
+    res.records.push_back(rec);
+    res.rounds_run = m;
+    res.total_time = time;
+
+    if (eval_round && !std::isnan(rec.global_loss)) {
+      res.final_loss = rec.global_loss;
+      res.final_accuracy = rec.accuracy;
+      // Fig. 1: switch to a fixed k once the target loss ψ is reached.
+      if (!switched_ && cfg_.switch_at_loss > 0.0 && rec.global_loss <= cfg_.switch_at_loss) {
+        controller_ = std::make_unique<online::FixedK>(cfg_.switch_to_k);
+        switched_ = true;
+        util::log_debug() << "round " << m << ": loss " << rec.global_loss
+                          << " reached psi; switching to k=" << cfg_.switch_to_k;
+      }
+      if (cfg_.target_loss > 0.0 && rec.global_loss <= cfg_.target_loss) {
+        res.reached_target = true;
+        break;
+      }
+    }
+    if (out_of_time) break;
+  }
+
+  // Guarantee final metrics even if the last round was not an eval round.
+  if (std::isnan(res.final_loss) && !res.records.empty()) {
+    RoundRecord& last = res.records.back();
+    if (std::isnan(last.global_loss)) evaluate(last);
+    res.final_loss = last.global_loss;
+    res.final_accuracy = last.accuracy;
+  }
+  return res;
+}
+
+std::vector<std::pair<double, double>> SimulationResult::loss_curve() const {
+  std::vector<std::pair<double, double>> out;
+  for (const auto& r : records) {
+    if (!std::isnan(r.global_loss)) out.emplace_back(r.time, r.global_loss);
+  }
+  return out;
+}
+
+std::vector<std::pair<double, double>> SimulationResult::accuracy_curve() const {
+  std::vector<std::pair<double, double>> out;
+  for (const auto& r : records) {
+    if (!std::isnan(r.accuracy)) out.emplace_back(r.time, r.accuracy);
+  }
+  return out;
+}
+
+}  // namespace fedsparse::fl

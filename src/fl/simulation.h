@@ -1,0 +1,158 @@
+// The federated-learning simulation loop (Algorithm 1 + Fig. 3 of the paper).
+//
+// One Simulation wires together: N clients (each with a model replica,
+// local non-i.i.d. data and an accumulated gradient), a sparsification
+// Method (FAB-top-k or a baseline), a KController (fixed k, Algorithm 2/3,
+// or a baseline), the normalized TimingModel, and the derivative-sign probe
+// protocol of Section IV-E. It records everything the paper's figures plot.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "fl/client.h"
+#include "fl/metrics.h"
+#include "fl/resource.h"
+#include "fl/timing.h"
+#include "nn/models.h"
+#include "online/controller.h"
+#include "sparsify/method.h"
+#include "util/thread_pool.h"
+
+namespace fedsparse::fl {
+
+struct SimulationConfig {
+  float lr = 0.01f;          // η (paper's setting)
+  std::size_t batch = 32;    // minibatch size (paper's setting)
+  std::size_t max_rounds = 1000;
+  double max_time = std::numeric_limits<double>::infinity();  // normalized
+  double target_loss = 0.0;  // stop when global loss <= target (0 = never)
+
+  double comm_time = 10.0;   // β
+  double compute_time = 1.0;
+
+  std::size_t eval_every = 10;           // global loss/accuracy cadence
+  std::size_t eval_samples_per_client = 64;  // 0 = full local datasets
+  std::size_t eval_test_samples = 512;       // 0 = full test set
+
+  bool stochastic_rounding = true;  // Definition 2 (false: nearest integer)
+  /// Charge the k'-probe's extra downlink (the paper overlaps it with the
+  /// next round's computation and does not charge it; kept as an ablation).
+  bool charge_probe_overhead = false;
+
+  /// Fig. 1 support: once the global loss reaches `switch_at_loss`, the
+  /// controller is replaced by FixedK(switch_to_k).
+  double switch_at_loss = 0.0;
+  double switch_to_k = 0.0;
+
+  // --- extensions beyond the paper's evaluation (defaults disable them) ---
+
+  /// Composite resource objective (paper Sections I/VI: energy, money).
+  /// Defaults reduce to the pure training-time objective.
+  double energy_per_compute = 1.0;
+  double energy_per_value = 0.0;
+  double money_per_value = 0.0;
+  double weight_time = 1.0;
+  double weight_energy = 0.0;
+  double weight_money = 0.0;
+
+  /// Heterogeneous client resources (paper future work): per-client compute
+  /// time multipliers ~ exp(N(0, compute_time_spread)). A synchronous round
+  /// costs the *maximum* multiplier among participants. 0 = homogeneous.
+  double compute_time_spread = 0.0;
+
+  /// Partial participation (paper future work): fraction of clients sampled
+  /// uniformly each round. Non-participants still receive the broadcast
+  /// update so weights remain synchronized.
+  double participation = 1.0;
+
+  std::size_t threads = 0;   // 0 = hardware concurrency
+  std::uint64_t seed = 1;
+};
+
+struct RoundRecord {
+  std::size_t round = 0;     // m (1-based)
+  double time = 0.0;         // cumulative normalized time after this round
+  double k_continuous = 0.0; // k_m requested by the controller
+  std::size_t k_used = 0;    // after stochastic rounding
+  double train_loss = 0.0;   // weighted minibatch loss (cheap proxy)
+  double global_loss = std::numeric_limits<double>::quiet_NaN();  // eval rounds only
+  double accuracy = std::numeric_limits<double>::quiet_NaN();     // eval rounds only
+  double uplink_values = 0.0;
+  double downlink_values = 0.0;
+};
+
+struct SimulationResult {
+  std::vector<RoundRecord> records;
+  std::vector<double> k_sequence;  // continuous k_m per round (Figs. 5–8)
+  std::vector<std::size_t> contributed_totals;  // per client, summed over rounds
+  std::size_t rounds_run = 0;
+  double total_time = 0.0;   // cumulative composite cost (pure time by default)
+  double final_loss = std::numeric_limits<double>::quiet_NaN();
+  double final_accuracy = std::numeric_limits<double>::quiet_NaN();
+  bool reached_target = false;
+  std::size_t invalid_probe_rounds = 0;  // rounds where ŝ_m was unavailable
+
+  /// Loss/accuracy series at eval rounds as (time, value) pairs.
+  std::vector<std::pair<double, double>> loss_curve() const;
+  std::vector<std::pair<double, double>> accuracy_curve() const;
+};
+
+class Simulation {
+ public:
+  /// Takes ownership of the dataset, method and controller. The model
+  /// factory is invoked once per client plus once for evaluation; all
+  /// replicas start from identical weights.
+  Simulation(SimulationConfig cfg, data::FederatedDataset dataset, nn::ModelFactory factory,
+             std::unique_ptr<sparsify::Method> method,
+             std::unique_ptr<online::KController> controller);
+
+  SimulationResult run();
+
+  std::size_t dim() const noexcept { return dim_; }
+  std::size_t num_clients() const noexcept { return clients_.size(); }
+  const TimingModel& timing() const noexcept { return timing_; }
+
+  /// Client i's current weights — for post-run invariant checks (all clients
+  /// must be identical after any GS round; Algorithm 1 Lines 13–15).
+  std::span<const float> client_weights(std::size_t i) const { return clients_.at(i)->weights(); }
+
+ private:
+  struct ProbeAverages {
+    double prev = 0.0, cur = 0.0, probe = 0.0;
+    bool has_probe = false;
+  };
+
+  void evaluate(RoundRecord& rec);
+  std::span<const float> global_weights();
+  /// Builds the server's view over the participating clients only, with data
+  /// weights renormalized over the sample (`selected` indexes clients_).
+  sparsify::RoundInput make_round_input(std::size_t round,
+                                        const std::vector<std::size_t>& selected,
+                                        std::vector<double>& weight_storage) const;
+  /// Uniformly samples the participating client subset for one round.
+  std::vector<std::size_t> sample_participants();
+
+  SimulationConfig cfg_;
+  nn::ModelFactory factory_;
+  std::unique_ptr<sparsify::Method> method_;
+  std::unique_ptr<online::KController> controller_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::vector<double> data_weights_;
+  std::vector<double> client_compute_;  // per-client compute-time multipliers
+  data::Dataset test_set_;
+  TimingModel timing_;
+  ResourceModel resource_;
+  Evaluator evaluator_;
+  util::ThreadPool pool_;
+  util::Rng rng_;
+  std::size_t dim_ = 0;
+  std::vector<float> fedavg_weights_;  // scratch for weight averaging
+  bool switched_ = false;
+};
+
+}  // namespace fedsparse::fl

@@ -1,0 +1,44 @@
+// The paper's normalized timing model (Section V, footnotes 3 and 5).
+//
+//  * Computation of one round (all clients in parallel) costs 1.
+//  * `comm_time` (β) is the time to exchange the full D-dimensional gradient
+//    (uplink + downlink) between the clients and the server.
+//  * Payloads scale proportionally: sending V values in total (uplink plus
+//    downlink, where one index/value pair counts as 2 values) costs
+//    β·V/(2D). Client uplinks are parallel, so `uplink_values` is the
+//    per-client payload.
+//
+// Consistency check built into the model: a k-element bidirectional GS round
+// costs 1 + 2βk/D, and FedAvg syncing every ⌊D/(2k)⌋ rounds averages to the
+// same communication per round — exactly the paper's matched-budget setup.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace fedsparse::fl {
+
+struct TimingModel {
+  double comm_time = 10.0;   // β
+  double compute_time = 1.0;
+  std::size_t dim = 1;       // D
+
+  /// Total normalized time of one round with the given payloads.
+  double round_time(double uplink_values, double downlink_values) const {
+    if (dim == 0) throw std::invalid_argument("TimingModel: dim == 0");
+    return compute_time + comm_time * (uplink_values + downlink_values) /
+                              (2.0 * static_cast<double>(dim));
+  }
+
+  /// θ(k): one-round time of k-element bidirectional GS (2k values per
+  /// direction). Accepts continuous k — used by the derivative-sign
+  /// estimator's τ̂ extrapolation.
+  double theta(double k) const { return round_time(2.0 * k, 2.0 * k); }
+
+  /// Communication-only part of round_time (no computation).
+  double comm_part(double uplink_values, double downlink_values) const {
+    return round_time(uplink_values, downlink_values) - compute_time;
+  }
+};
+
+}  // namespace fedsparse::fl

@@ -1,0 +1,114 @@
+#include "nn/conv2d.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fedsparse::nn {
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t height, std::size_t width,
+               std::size_t out_channels, std::size_t ksize, std::size_t stride, std::size_t pad)
+    : out_channels_(out_channels) {
+  geom_.channels = in_channels;
+  geom_.height = height;
+  geom_.width = width;
+  geom_.ksize = ksize;
+  geom_.stride = stride;
+  geom_.pad = pad;
+  if (height + 2 * pad < ksize || width + 2 * pad < ksize) {
+    throw std::invalid_argument("Conv2d: kernel larger than padded input");
+  }
+}
+
+void Conv2d::bind(std::span<float> weights, std::span<float> grads) {
+  const std::size_t wsize = out_channels_ * geom_.col_rows();
+  w_ = weights.subspan(0, wsize);
+  b_ = weights.subspan(wsize, out_channels_);
+  gw_ = grads.subspan(0, wsize);
+  gb_ = grads.subspan(wsize, out_channels_);
+}
+
+void Conv2d::init_params(util::Rng& rng) {
+  const float std = std::sqrt(2.0f / static_cast<float>(geom_.col_rows()));
+  for (auto& v : w_) v = static_cast<float>(rng.normal(0.0, std));
+  for (auto& v : b_) v = 0.0f;
+}
+
+std::size_t Conv2d::out_features(std::size_t in_features) const {
+  if (in_features != geom_.image_size()) {
+    throw std::invalid_argument("Conv2d: expected " + std::to_string(geom_.image_size()) +
+                                " inputs, got " + std::to_string(in_features));
+  }
+  return out_channels_ * geom_.col_cols();
+}
+
+void Conv2d::forward(const Matrix& x, Matrix& y) {
+  x_cache_ = x;
+  const std::size_t batch = x.rows();
+  const std::size_t spatial = geom_.col_cols();  // outH*outW
+  const std::size_t ckk = geom_.col_rows();
+  y.resize(batch, out_channels_ * spatial);
+  for (std::size_t s = 0; s < batch; ++s) {
+    tensor::im2col(x.row(s), geom_, cols_);
+    float* ys = y.row(s);
+    // y_sample(o, p) = sum_r W(o, r) * cols(r, p) + b(o)
+    for (std::size_t o = 0; o < out_channels_; ++o) {
+      const float* wr = w_.data() + o * ckk;
+      float* yrow = ys + o * spatial;
+      for (std::size_t p = 0; p < spatial; ++p) yrow[p] = b_[o];
+      for (std::size_t r = 0; r < ckk; ++r) {
+        const float wv = wr[r];
+        if (wv == 0.0f) continue;
+        const float* crow = cols_.row(r);
+        for (std::size_t p = 0; p < spatial; ++p) yrow[p] += wv * crow[p];
+      }
+    }
+  }
+}
+
+void Conv2d::backward(const Matrix& dy, Matrix& dx) {
+  const std::size_t batch = dy.rows();
+  const std::size_t spatial = geom_.col_cols();
+  const std::size_t ckk = geom_.col_rows();
+  dx.resize(batch, geom_.image_size());
+  tensor::zero(dx.flat());
+  for (std::size_t s = 0; s < batch; ++s) {
+    tensor::im2col(x_cache_.row(s), geom_, cols_);  // recompute (saves memory)
+    const float* dys = dy.row(s);
+    // dW(o, r) += sum_p dy(o, p) * cols(r, p); db(o) += sum_p dy(o, p)
+    for (std::size_t o = 0; o < out_channels_; ++o) {
+      const float* dyrow = dys + o * spatial;
+      float* gwr = gw_.data() + o * ckk;
+      double bsum = 0.0;
+      for (std::size_t p = 0; p < spatial; ++p) bsum += dyrow[p];
+      gb_[o] += static_cast<float>(bsum);
+      for (std::size_t r = 0; r < ckk; ++r) {
+        const float* crow = cols_.row(r);
+        float acc = 0.0f;
+        for (std::size_t p = 0; p < spatial; ++p) acc += dyrow[p] * crow[p];
+        gwr[r] += acc;
+      }
+    }
+    // dcols(r, p) = sum_o W(o, r) * dy(o, p); then scatter back to image space.
+    dcols_.resize(ckk, spatial);
+    tensor::zero(dcols_.flat());
+    for (std::size_t o = 0; o < out_channels_; ++o) {
+      const float* dyrow = dys + o * spatial;
+      const float* wr = w_.data() + o * ckk;
+      for (std::size_t r = 0; r < ckk; ++r) {
+        const float wv = wr[r];
+        if (wv == 0.0f) continue;
+        float* drow = dcols_.row(r);
+        for (std::size_t p = 0; p < spatial; ++p) drow[p] += wv * dyrow[p];
+      }
+    }
+    tensor::col2im(dcols_, geom_, dx.row(s));
+  }
+}
+
+std::string Conv2d::name() const {
+  return "Conv2d(" + std::to_string(geom_.channels) + "x" + std::to_string(geom_.height) + "x" +
+         std::to_string(geom_.width) + " -> " + std::to_string(out_channels_) + ", k=" +
+         std::to_string(geom_.ksize) + ")";
+}
+
+}  // namespace fedsparse::nn

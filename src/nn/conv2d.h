@@ -1,0 +1,42 @@
+// 2D convolution lowered to GEMM via im2col.
+//
+// Input batches are flat rows of length in_channels*height*width; the layer
+// carries the spatial geometry itself (networks are static graphs here).
+#pragma once
+
+#include "nn/layer.h"
+#include "tensor/im2col.h"
+
+namespace fedsparse::nn {
+
+class Conv2d final : public Layer {
+ public:
+  Conv2d(std::size_t in_channels, std::size_t height, std::size_t width, std::size_t out_channels,
+         std::size_t ksize, std::size_t stride = 1, std::size_t pad = 0);
+
+  std::size_t param_count() const noexcept override {
+    return out_channels_ * geom_.col_rows() + out_channels_;
+  }
+  void bind(std::span<float> weights, std::span<float> grads) override;
+  void init_params(util::Rng& rng) override;
+  std::size_t out_features(std::size_t in_features) const override;
+  void forward(const Matrix& x, Matrix& y) override;
+  void backward(const Matrix& dy, Matrix& dx) override;
+  std::string name() const override;
+
+  std::size_t out_channels() const noexcept { return out_channels_; }
+  const tensor::ConvGeometry& geometry() const noexcept { return geom_; }
+
+ private:
+  tensor::ConvGeometry geom_;
+  std::size_t out_channels_;
+  std::span<float> w_;   // (out_channels x C*k*k) row-major
+  std::span<float> b_;   // (out_channels)
+  std::span<float> gw_;
+  std::span<float> gb_;
+  Matrix x_cache_;
+  Matrix cols_;      // scratch, reused across samples
+  Matrix dcols_;     // scratch
+};
+
+}  // namespace fedsparse::nn

@@ -1,0 +1,85 @@
+#include "nn/linear.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fedsparse::nn {
+
+Linear::Linear(std::size_t in, std::size_t out) : in_(in), out_(out) {
+  if (in == 0 || out == 0) throw std::invalid_argument("Linear: zero dimension");
+}
+
+void Linear::bind(std::span<float> weights, std::span<float> grads) {
+  w_ = weights.subspan(0, in_ * out_);
+  b_ = weights.subspan(in_ * out_, out_);
+  gw_ = grads.subspan(0, in_ * out_);
+  gb_ = grads.subspan(in_ * out_, out_);
+}
+
+void Linear::init_params(util::Rng& rng) {
+  // He initialization: suits the ReLU networks used throughout.
+  const float std = std::sqrt(2.0f / static_cast<float>(in_));
+  for (auto& v : w_) v = static_cast<float>(rng.normal(0.0, std));
+  for (auto& v : b_) v = 0.0f;
+}
+
+std::size_t Linear::out_features(std::size_t in_features) const {
+  if (in_features != in_) {
+    throw std::invalid_argument("Linear: expected " + std::to_string(in_) + " inputs, got " +
+                                std::to_string(in_features));
+  }
+  return out_;
+}
+
+void Linear::forward(const Matrix& x, Matrix& y) {
+  x_cache_ = x;
+  const std::size_t batch = x.rows();
+  y.resize(batch, out_);
+  // y = x * W^T; view W as a Matrix without copying is not possible with the
+  // span, so multiply manually row by row via gemm on a thin wrapper.
+  // We instead compute per-row dot products: this is gemm_nt semantics.
+  for (std::size_t r = 0; r < batch; ++r) {
+    const float* xr = x.row(r);
+    float* yr = y.row(r);
+    for (std::size_t o = 0; o < out_; ++o) {
+      const float* wr = w_.data() + o * in_;
+      float acc = b_[o];
+      for (std::size_t i = 0; i < in_; ++i) acc += xr[i] * wr[i];
+      yr[o] = acc;
+    }
+  }
+}
+
+void Linear::backward(const Matrix& dy, Matrix& dx) {
+  const std::size_t batch = dy.rows();
+  // dW += dy^T * x ; db += column sums of dy ; dx = dy * W
+  for (std::size_t r = 0; r < batch; ++r) {
+    const float* dyr = dy.row(r);
+    const float* xr = x_cache_.row(r);
+    for (std::size_t o = 0; o < out_; ++o) {
+      const float d = dyr[o];
+      if (d == 0.0f) continue;
+      float* gwr = gw_.data() + o * in_;
+      for (std::size_t i = 0; i < in_; ++i) gwr[i] += d * xr[i];
+      gb_[o] += d;
+    }
+  }
+  dx.resize(batch, in_);
+  for (std::size_t r = 0; r < batch; ++r) {
+    const float* dyr = dy.row(r);
+    float* dxr = dx.row(r);
+    for (std::size_t i = 0; i < in_; ++i) dxr[i] = 0.0f;
+    for (std::size_t o = 0; o < out_; ++o) {
+      const float d = dyr[o];
+      if (d == 0.0f) continue;
+      const float* wr = w_.data() + o * in_;
+      for (std::size_t i = 0; i < in_; ++i) dxr[i] += d * wr[i];
+    }
+  }
+}
+
+std::string Linear::name() const {
+  return "Linear(" + std::to_string(in_) + "->" + std::to_string(out_) + ")";
+}
+
+}  // namespace fedsparse::nn

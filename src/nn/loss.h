@@ -1,0 +1,27 @@
+// Softmax cross-entropy loss head.
+#pragma once
+
+#include <span>
+
+#include "tensor/matrix.h"
+
+namespace fedsparse::nn {
+
+using tensor::Matrix;
+
+/// Numerically stable softmax + cross-entropy over logits rows.
+class SoftmaxCrossEntropy {
+ public:
+  /// Mean loss over the batch; fills `dlogits` with the gradient of the mean
+  /// loss w.r.t. the logits ((softmax - onehot)/batch).
+  static double loss_and_grad(const Matrix& logits, std::span<const int> labels, Matrix& dlogits);
+
+  /// Mean loss only (no gradient) — used for evaluation and the one-sample
+  /// probe losses of the derivative-sign estimator.
+  static double loss_only(const Matrix& logits, std::span<const int> labels);
+
+  /// In-place row-wise softmax.
+  static void softmax_rows(Matrix& m);
+};
+
+}  // namespace fedsparse::nn

@@ -1,0 +1,76 @@
+#include "nn/maxpool.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace fedsparse::nn {
+
+MaxPool2d::MaxPool2d(std::size_t channels, std::size_t height, std::size_t width,
+                     std::size_t window)
+    : channels_(channels), height_(height), width_(width), window_(window) {
+  if (window == 0 || height % window != 0 || width % window != 0) {
+    throw std::invalid_argument("MaxPool2d: window must evenly divide the spatial dims");
+  }
+}
+
+std::size_t MaxPool2d::out_features(std::size_t in_features) const {
+  if (in_features != channels_ * height_ * width_) {
+    throw std::invalid_argument("MaxPool2d: input feature mismatch");
+  }
+  return channels_ * out_height() * out_width();
+}
+
+void MaxPool2d::forward(const Matrix& x, Matrix& y) {
+  const std::size_t batch = x.rows();
+  const std::size_t oh = out_height(), ow = out_width();
+  y.resize(batch, channels_ * oh * ow);
+  argmax_.assign(batch, {});
+  for (std::size_t s = 0; s < batch; ++s) {
+    const float* in = x.row(s);
+    float* out = y.row(s);
+    auto& amax = argmax_[s];
+    amax.resize(channels_ * oh * ow);
+    std::size_t oidx = 0;
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const float* chan = in + c * height_ * width_;
+      const std::size_t chan_base = c * height_ * width_;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox, ++oidx) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t wy = 0; wy < window_; ++wy) {
+            const std::size_t iy = oy * window_ + wy;
+            for (std::size_t wx = 0; wx < window_; ++wx) {
+              const std::size_t ix = ox * window_ + wx;
+              const float v = chan[iy * width_ + ix];
+              if (v > best) {
+                best = v;
+                best_idx = chan_base + iy * width_ + ix;
+              }
+            }
+          }
+          out[oidx] = best;
+          amax[oidx] = static_cast<std::uint32_t>(best_idx);
+        }
+      }
+    }
+  }
+}
+
+void MaxPool2d::backward(const Matrix& dy, Matrix& dx) {
+  const std::size_t batch = dy.rows();
+  dx.resize(batch, channels_ * height_ * width_);
+  tensor::zero(dx.flat());
+  for (std::size_t s = 0; s < batch; ++s) {
+    const float* dyr = dy.row(s);
+    float* dxr = dx.row(s);
+    const auto& amax = argmax_[s];
+    for (std::size_t i = 0; i < amax.size(); ++i) dxr[amax[i]] += dyr[i];
+  }
+}
+
+std::string MaxPool2d::name() const {
+  return "MaxPool2d(" + std::to_string(window_) + "x" + std::to_string(window_) + ")";
+}
+
+}  // namespace fedsparse::nn

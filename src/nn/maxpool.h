@@ -1,0 +1,31 @@
+// 2D max pooling (window == stride, the common non-overlapping case).
+#pragma once
+
+#include <cstdint>
+
+#include "nn/layer.h"
+
+namespace fedsparse::nn {
+
+class MaxPool2d final : public Layer {
+ public:
+  MaxPool2d(std::size_t channels, std::size_t height, std::size_t width, std::size_t window = 2);
+
+  std::size_t out_features(std::size_t in_features) const override;
+  void forward(const Matrix& x, Matrix& y) override;
+  void backward(const Matrix& dy, Matrix& dx) override;
+  std::string name() const override;
+
+  std::size_t out_height() const noexcept { return height_ / window_; }
+  std::size_t out_width() const noexcept { return width_ / window_; }
+
+ private:
+  std::size_t channels_;
+  std::size_t height_;
+  std::size_t width_;
+  std::size_t window_;
+  // argmax_[sample][output element] = flat input index of the max.
+  std::vector<std::vector<std::uint32_t>> argmax_;
+};
+
+}  // namespace fedsparse::nn

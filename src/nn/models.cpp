@@ -1,0 +1,87 @@
+#include "nn/models.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/maxpool.h"
+#include "nn/relu.h"
+
+namespace fedsparse::nn {
+
+ModelFactory mlp(std::size_t in, std::vector<std::size_t> hidden, std::size_t classes) {
+  return [=](util::Rng& rng) {
+    auto model = std::make_unique<Sequential>(in);
+    std::size_t prev = in;
+    for (std::size_t h : hidden) {
+      model->add(std::make_unique<Linear>(prev, h));
+      model->add(std::make_unique<ReLU>());
+      prev = h;
+    }
+    model->add(std::make_unique<Linear>(prev, classes));
+    model->finalize(rng);
+    return model;
+  };
+}
+
+ModelFactory cnn(std::size_t channels, std::size_t height, std::size_t width, std::size_t c1,
+                 std::size_t c2, std::size_t hidden, std::size_t classes) {
+  return [=](util::Rng& rng) {
+    auto model = std::make_unique<Sequential>(channels * height * width);
+    model->add(std::make_unique<Conv2d>(channels, height, width, c1, 5, 1, 2));
+    model->add(std::make_unique<ReLU>());
+    model->add(std::make_unique<MaxPool2d>(c1, height, width, 2));
+    const std::size_t h2 = height / 2, w2 = width / 2;
+    model->add(std::make_unique<Conv2d>(c1, h2, w2, c2, 5, 1, 2));
+    model->add(std::make_unique<ReLU>());
+    model->add(std::make_unique<MaxPool2d>(c2, h2, w2, 2));
+    const std::size_t flat = c2 * (h2 / 2) * (w2 / 2);
+    model->add(std::make_unique<Linear>(flat, hidden));
+    model->add(std::make_unique<ReLU>());
+    model->add(std::make_unique<Linear>(hidden, classes));
+    model->finalize(rng);
+    return model;
+  };
+}
+
+namespace {
+std::size_t scaled(std::size_t base, double scale, std::size_t floor_value) {
+  return std::max<std::size_t>(floor_value, static_cast<std::size_t>(base * scale));
+}
+}  // namespace
+
+ModelFactory cnn_femnist(double scale) {
+  if (scale <= 0.0 || scale > 1.0) throw std::invalid_argument("cnn_femnist: scale in (0,1]");
+  // Full scale: conv32 -> conv64 -> fc128 -> 62; D ≈ 470k (paper: D > 400k).
+  return cnn(1, 28, 28, scaled(32, scale, 4), scaled(64, scale, 8), scaled(128, scale, 16), 62);
+}
+
+ModelFactory cnn_cifar(double scale) {
+  if (scale <= 0.0 || scale > 1.0) throw std::invalid_argument("cnn_cifar: scale in (0,1]");
+  return cnn(3, 32, 32, scaled(32, scale, 4), scaled(64, scale, 8), scaled(64, scale, 16), 10);
+}
+
+ModelFactory logistic(std::size_t in, std::size_t classes) {
+  return [=](util::Rng& rng) {
+    auto model = std::make_unique<Sequential>(in);
+    model->add(std::make_unique<Linear>(in, classes));
+    model->finalize(rng);
+    return model;
+  };
+}
+
+ModelFactory make_model(const std::string& name, std::size_t channels, std::size_t height,
+                        std::size_t width, std::size_t classes, std::size_t hidden, double scale) {
+  const std::size_t in = channels * height * width;
+  if (name == "mlp") return mlp(in, {hidden}, classes);
+  if (name == "logistic") return logistic(in, classes);
+  if (name == "cnn") {
+    return cnn(channels, height, width, scaled(32, scale, 4), scaled(64, scale, 8),
+               scaled(128, scale, 16), classes);
+  }
+  throw std::invalid_argument("make_model: unknown model '" + name +
+                              "' (expected mlp|logistic|cnn)");
+}
+
+}  // namespace fedsparse::nn

@@ -1,0 +1,44 @@
+// Model factories.
+//
+// A ModelFactory builds a *freshly initialized* model; federated clients each
+// invoke the factory and are then synchronized to the server's initial
+// weights, so the RNG seed only matters for the master copy.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/sequential.h"
+
+namespace fedsparse::nn {
+
+using ModelFactory = std::function<std::unique_ptr<Sequential>(util::Rng& rng)>;
+
+/// Multi-layer perceptron: in -> hidden[0] -> ... -> classes, ReLU between.
+ModelFactory mlp(std::size_t in, std::vector<std::size_t> hidden, std::size_t classes);
+
+/// CNN for 28x28x1 inputs and 62 classes (FEMNIST geometry): the same
+/// two-conv architecture as Wang et al. [16] used by the paper, D > 400,000.
+/// `scale` in (0,1] shrinks channel/hidden counts for CPU-budget runs.
+ModelFactory cnn_femnist(double scale = 1.0);
+
+/// CNN for 32x32x3 inputs and 10 classes (CIFAR-10 geometry).
+ModelFactory cnn_cifar(double scale = 1.0);
+
+/// Generic small CNN: conv(k=5,pad=2,c1) -> ReLU -> pool2 -> conv(5,pad=2,c2)
+/// -> ReLU -> pool2 -> fc(hidden) -> ReLU -> fc(classes).
+ModelFactory cnn(std::size_t channels, std::size_t height, std::size_t width, std::size_t c1,
+                 std::size_t c2, std::size_t hidden, std::size_t classes);
+
+/// Multinomial logistic regression (single Linear layer) — used by fast tests.
+ModelFactory logistic(std::size_t in, std::size_t classes);
+
+/// Resolves a model by name ("mlp", "cnn") for the given dataset geometry.
+/// `hidden` applies to the mlp; `scale` to the cnn variants.
+ModelFactory make_model(const std::string& name, std::size_t channels, std::size_t height,
+                        std::size_t width, std::size_t classes, std::size_t hidden = 64,
+                        double scale = 1.0);
+
+}  // namespace fedsparse::nn

@@ -1,0 +1,37 @@
+// ReLU activation (elementwise max(0, x)).
+#pragma once
+
+#include "nn/layer.h"
+
+namespace fedsparse::nn {
+
+class ReLU final : public Layer {
+ public:
+  std::size_t out_features(std::size_t in_features) const override { return in_features; }
+
+  void forward(const Matrix& x, Matrix& y) override {
+    y.resize(x.rows(), x.cols());
+    mask_.assign(x.size(), 0);
+    const float* in = x.data();
+    float* out = y.data();
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const bool pos = in[i] > 0.0f;
+      mask_[i] = pos;
+      out[i] = pos ? in[i] : 0.0f;
+    }
+  }
+
+  void backward(const Matrix& dy, Matrix& dx) override {
+    dx.resize(dy.rows(), dy.cols());
+    const float* in = dy.data();
+    float* out = dx.data();
+    for (std::size_t i = 0; i < dy.size(); ++i) out[i] = mask_[i] ? in[i] : 0.0f;
+  }
+
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  std::vector<char> mask_;
+};
+
+}  // namespace fedsparse::nn

@@ -1,0 +1,78 @@
+// Sequential model with a flat D-dimensional parameter vector.
+//
+// This is the object federated clients replicate. The flat `weights()` /
+// `grad()` views are the contract with the sparsification code: the paper's
+// gradient vector ∇L(w, i) is exactly `grad()` after `forward_loss_grad`.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+#include "nn/loss.h"
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace fedsparse::nn {
+
+class Sequential {
+ public:
+  /// `in_features` is the flat input dimension (e.g. C*H*W for images).
+  explicit Sequential(std::size_t in_features) : in_features_(in_features) {}
+
+  Sequential(const Sequential&) = delete;
+  Sequential& operator=(const Sequential&) = delete;
+
+  /// Appends a layer; only valid before finalize().
+  void add(std::unique_ptr<Layer> layer);
+
+  /// Allocates the flat weight/grad vectors, binds layers, initializes
+  /// parameters. Must be called exactly once before any forward pass.
+  void finalize(util::Rng& rng);
+
+  bool finalized() const noexcept { return finalized_; }
+  std::size_t dim() const noexcept { return weights_.size(); }
+  std::size_t in_features() const noexcept { return in_features_; }
+  std::size_t num_classes() const noexcept { return out_features_; }
+
+  std::span<float> weights() noexcept { return {weights_.data(), weights_.size()}; }
+  std::span<const float> weights() const noexcept { return {weights_.data(), weights_.size()}; }
+  std::span<const float> grad() const noexcept { return {grads_.data(), grads_.size()}; }
+
+  void set_weights(std::span<const float> w);
+  void zero_grad() noexcept;
+
+  /// Forward + loss + backward. The mean-batch gradient is *accumulated* into
+  /// grad() (callers normally zero_grad() first). Returns the mean loss.
+  double forward_loss_grad(const Matrix& x, std::span<const int> labels);
+
+  /// Forward + loss only (no gradient). Usable concurrently from one thread
+  /// per model instance.
+  double forward_loss(const Matrix& x, std::span<const int> labels);
+
+  /// Raw logits for a batch.
+  Matrix predict(const Matrix& x);
+
+  /// Fraction of rows whose argmax logit equals the label.
+  double accuracy(const Matrix& x, std::span<const int> labels);
+
+  /// Dense SGD step: w -= lr * grad().
+  void sgd_step(float lr) noexcept;
+
+  std::string describe() const;
+
+ private:
+  Matrix run_forward(const Matrix& x);
+
+  std::size_t in_features_;
+  std::size_t out_features_ = 0;
+  bool finalized_ = false;
+  std::vector<std::unique_ptr<Layer>> layers_;
+  std::vector<float> weights_;
+  std::vector<float> grads_;
+  std::vector<Matrix> activations_;  // scratch, reused across calls
+};
+
+}  // namespace fedsparse::nn

@@ -1,0 +1,47 @@
+#include "online/continuous_bandit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "online/exp3.h"  // bandit_round_cost
+
+namespace fedsparse::online {
+
+ContinuousBandit::ContinuousBandit(const Config& cfg)
+    : kmin_(cfg.kmin), kmax_(cfg.kmax), rng_(cfg.seed) {
+  if (!(cfg.kmin >= 1.0) || !(cfg.kmax > cfg.kmin)) {
+    throw std::invalid_argument("ContinuousBandit: require 1 <= kmin < kmax");
+  }
+  if (cfg.delta_frac <= 0.0 || cfg.delta_frac >= 0.5) {
+    throw std::invalid_argument("ContinuousBandit: delta_frac in (0, 0.5)");
+  }
+  delta_ = cfg.delta_frac * (kmax_ - kmin_);
+  const double lo = kmin_ + delta_, hi = kmax_ - delta_;
+  x_ = cfg.initial_x > 0.0 ? std::clamp(cfg.initial_x, lo, hi) : 0.5 * (lo + hi);
+  play_next();
+}
+
+void ContinuousBandit::play_next() {
+  u_ = rng_.bernoulli(0.5) ? 1 : -1;
+  k_played_ = x_ + delta_ * static_cast<double>(u_);
+}
+
+void ContinuousBandit::observe(const RoundFeedback& fb) {
+  const double cost = bandit_round_cost(fb);
+  double normalized = 0.0;
+  if (std::isfinite(cost)) {
+    max_cost_seen_ = std::max(max_cost_seen_, cost);
+    normalized = max_cost_seen_ > 0.0 ? cost / max_cost_seen_ : 0.0;
+  } else {
+    normalized = 1.0;  // a failed round is maximally costly
+  }
+  const double g_hat = normalized / delta_ * static_cast<double>(u_);
+  const double b = kmax_ - kmin_;
+  const double step = b * delta_ / std::sqrt(2.0 * static_cast<double>(m_));
+  x_ = std::clamp(x_ - step * g_hat, kmin_ + delta_, kmax_ - delta_);
+  ++m_;
+  play_next();
+}
+
+}  // namespace fedsparse::online

@@ -1,0 +1,50 @@
+// Continuous-bandit baseline (Flaxman et al. [37], compared in Fig. 5):
+// online convex optimization with a one-point gradient estimate.
+//
+// Maintains a center x_m; plays k_m = x_m + δ·u_m with u_m uniform in
+// {−1, +1}; after observing the (normalized) cost ĉ_m, updates
+//
+//   ĝ_m = (ĉ_m / δ) · u_m,      x_{m+1} = P_[kmin+δ, kmax−δ](x_m − ν_m ĝ_m),
+//
+// with ν_m = B·δ/√(2m) so the maximum step matches Algorithm 2's δ_m. The
+// one-point estimate has O(1/δ) variance — the source of the jitter visible
+// in the paper's Fig. 5 (bottom-right).
+#pragma once
+
+#include "online/controller.h"
+
+namespace fedsparse::online {
+
+class ContinuousBandit final : public KController {
+ public:
+  struct Config {
+    double kmin = 1.0;
+    double kmax = 1.0;
+    double initial_x = 0.0;   // <=0 => midpoint
+    double delta_frac = 0.05; // perturbation δ as a fraction of (kmax − kmin)
+    std::uint64_t seed = 1;
+  };
+
+  explicit ContinuousBandit(const Config& cfg);
+
+  std::string name() const override { return "continuous_bandit"; }
+  double current_k() const override { return k_played_; }
+  void observe(const RoundFeedback& fb) override;
+
+  double center() const noexcept { return x_; }
+
+ private:
+  void play_next();
+
+  double kmin_;
+  double kmax_;
+  double delta_;
+  double x_;
+  double k_played_ = 0.0;
+  int u_ = 1;
+  std::size_t m_ = 1;
+  double max_cost_seen_ = 0.0;
+  util::Rng rng_;
+};
+
+}  // namespace fedsparse::online

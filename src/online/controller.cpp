@@ -1,0 +1,16 @@
+#include "online/controller.h"
+
+#include <stdexcept>
+
+namespace fedsparse::online {
+
+ReplayK::ReplayK(std::vector<double> sequence) : sequence_(std::move(sequence)) {
+  if (sequence_.empty()) throw std::invalid_argument("ReplayK: empty sequence");
+}
+
+double ReplayK::current_k() const {
+  const std::size_t idx = cursor_ < sequence_.size() ? cursor_ : sequence_.size() - 1;
+  return sequence_[idx];
+}
+
+}  // namespace fedsparse::online

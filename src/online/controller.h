@@ -1,0 +1,75 @@
+// KController: the online decision-maker for the sparsity degree k.
+//
+// Per round m the federated simulation (i) reads `current_k()` (continuous;
+// stochastic rounding happens in the simulation), (ii) optionally derives the
+// probe degree k'_m = `probe_k()` used by the derivative-sign estimator of
+// Section IV-E, and (iii) after the round reports a RoundFeedback. The
+// controller then moves to k_{m+1}.
+//
+// Implementations: Algorithm 2 (SignOgd), Algorithm 3 (ExtendedSignOgd), the
+// paper's comparison baselines (value-based descent, EXP3, continuous
+// bandit), plus FixedK and ReplayK used by the figure harnesses.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fedsparse::online {
+
+/// Everything a controller may need after round m completed.
+struct RoundFeedback {
+  double loss_prev = std::numeric_limits<double>::quiet_NaN();   // L̃(w(m−1))
+  double loss_cur = std::numeric_limits<double>::quiet_NaN();    // L̃(w(m))
+  double loss_probe = std::numeric_limits<double>::quiet_NaN();  // L̃(w'(m))
+  bool probe_available = false;
+  double round_time = 0.0;   // τ_m(k_m): measured time of this round
+  double theta_probe = 0.0;  // θ_m(k'_m): one-round time had k'_m been used
+};
+
+class KController {
+ public:
+  virtual ~KController() = default;
+
+  virtual std::string name() const = 0;
+
+  /// k_m (continuous, within [kmin, kmax]).
+  virtual double current_k() const = 0;
+
+  /// k'_m for the probe evaluation; <= 0 means "no probe needed".
+  virtual double probe_k() const { return 0.0; }
+
+  /// Consumes the round's outcome and advances to k_{m+1}.
+  virtual void observe(const RoundFeedback& fb) = 0;
+};
+
+/// Static k (the paper's fixed-sparsity experiments, e.g. Fig. 4).
+class FixedK final : public KController {
+ public:
+  explicit FixedK(double k) : k_(k) {}
+  std::string name() const override { return "fixed"; }
+  double current_k() const override { return k_; }
+  void observe(const RoundFeedback&) override {}
+
+ private:
+  double k_;
+};
+
+/// Replays a recorded {k_m} sequence (the cross-application runs of
+/// Figs. 7–8). Holds the last value once the sequence is exhausted.
+class ReplayK final : public KController {
+ public:
+  explicit ReplayK(std::vector<double> sequence);
+  std::string name() const override { return "replay"; }
+  double current_k() const override;
+  void observe(const RoundFeedback&) override { ++cursor_; }
+
+ private:
+  std::vector<double> sequence_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace fedsparse::online

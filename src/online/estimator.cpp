@@ -1,0 +1,27 @@
+#include "online/estimator.h"
+
+#include <cmath>
+
+#include "online/controller.h"
+
+namespace fedsparse::online {
+
+SignEstimate estimate_derivative_sign(const RoundFeedback& fb, double km, double kprime) {
+  SignEstimate out;
+  if (!fb.probe_available || !(km != kprime)) return out;
+  if (std::isnan(fb.loss_prev) || std::isnan(fb.loss_cur) || std::isnan(fb.loss_probe)) return out;
+
+  const double drop_km = fb.loss_prev - fb.loss_cur;      // L̃(w(m−1)) − L̃(w(m))
+  const double drop_kprime = fb.loss_prev - fb.loss_probe;  // L̃(w(m−1)) − L̃(w'(m))
+  // Both rounds must have decreased the loss for (10) to have physical
+  // meaning (Section IV-E).
+  if (drop_km <= 0.0 || drop_kprime <= 0.0) return out;
+
+  const double tau_hat_kprime = fb.theta_probe * drop_km / drop_kprime;  // Eq. (10)
+  out.derivative = (fb.round_time - tau_hat_kprime) / (km - kprime);     // inside Eq. (11)
+  out.sign = sign_of(out.derivative);
+  out.valid = true;
+  return out;
+}
+
+}  // namespace fedsparse::online

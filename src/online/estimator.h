@@ -1,0 +1,33 @@
+// Derivative-sign estimation from probe losses (Section IV-E, Eqs. (10)–(11)).
+//
+// Each client evaluates one held sample h at three weight vectors: w(m−1),
+// w(m) (after the k_m update), and w'(m) (after the k'_m = k_m − δ_m/2
+// update). The server averages them into L̃ values. The time the k'_m round
+// *would have taken to reach the same loss* L̃(w(m)) is extrapolated as
+//
+//   τ̂_m(k') = θ_m(k') · (L̃(w(m−1)) − L̃(w(m))) / (L̃(w(m−1)) − L̃(w'(m)))
+//
+// and the derivative sign is sign((τ_m(k_m) − τ̂_m(k')) / (k_m − k')).
+// If either loss difference is non-positive (a round that failed to decrease
+// the loss — possible with minibatch noise), the estimate is invalid and the
+// controller leaves k unchanged, exactly as the paper specifies.
+#pragma once
+
+namespace fedsparse::online {
+
+struct RoundFeedback;
+
+struct SignEstimate {
+  bool valid = false;
+  int sign = 0;         // sign of the estimated derivative, in {-1, 0, 1}
+  double derivative = 0.0;  // the raw estimate (used by the value-based baseline)
+};
+
+/// `km` and `kprime` are the degrees actually played; requires km != kprime
+/// for validity.
+SignEstimate estimate_derivative_sign(const RoundFeedback& fb, double km, double kprime);
+
+/// sign(x) with sign(0) == 0 (the paper's convention).
+inline int sign_of(double x) noexcept { return (x > 0.0) - (x < 0.0); }
+
+}  // namespace fedsparse::online

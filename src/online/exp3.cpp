@@ -1,0 +1,68 @@
+#include "online/exp3.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace fedsparse::online {
+
+double bandit_round_cost(const RoundFeedback& fb) {
+  const double drop = fb.loss_prev - fb.loss_cur;
+  if (std::isnan(drop) || drop <= 0.0) return std::numeric_limits<double>::infinity();
+  return fb.round_time / drop;
+}
+
+Exp3::Exp3(const Config& cfg) : gamma_(cfg.gamma), rng_(cfg.seed) {
+  if (!(cfg.kmin >= 1.0) || !(cfg.kmax > cfg.kmin)) {
+    throw std::invalid_argument("Exp3: require 1 <= kmin < kmax");
+  }
+  if (cfg.num_arms < 2) throw std::invalid_argument("Exp3: need at least 2 arms");
+  if (cfg.gamma <= 0.0 || cfg.gamma > 1.0) throw std::invalid_argument("Exp3: gamma in (0,1]");
+  // Log-spaced arm grid: sparsity spans orders of magnitude.
+  const double log_lo = std::log(cfg.kmin), log_hi = std::log(cfg.kmax);
+  arms_.resize(cfg.num_arms);
+  for (std::size_t i = 0; i < cfg.num_arms; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(cfg.num_arms - 1);
+    arms_[i] = std::exp(log_lo + t * (log_hi - log_lo));
+  }
+  weights_.assign(cfg.num_arms, 1.0);
+  draw_arm();
+}
+
+std::vector<double> Exp3::arm_probabilities() const {
+  double total = 0.0;
+  for (double w : weights_) total += w;
+  const auto n = static_cast<double>(arms_.size());
+  std::vector<double> p(arms_.size());
+  for (std::size_t i = 0; i < arms_.size(); ++i) {
+    p[i] = (1.0 - gamma_) * weights_[i] / total + gamma_ / n;
+  }
+  return p;
+}
+
+void Exp3::draw_arm() {
+  const auto p = arm_probabilities();
+  current_arm_ = rng_.categorical(p);
+}
+
+void Exp3::observe(const RoundFeedback& fb) {
+  const double cost = bandit_round_cost(fb);
+  double reward = 0.0;
+  if (std::isfinite(cost)) {
+    max_cost_seen_ = std::max(max_cost_seen_, cost);
+    reward = max_cost_seen_ > 0.0 ? 1.0 - cost / max_cost_seen_ : 0.0;
+  }
+  const auto p = arm_probabilities();
+  const double estimated = reward / std::max(p[current_arm_], 1e-12);
+  const auto n = static_cast<double>(arms_.size());
+  weights_[current_arm_] *= std::exp(gamma_ * estimated / n);
+  // Guard against overflow: renormalize if weights grow too large.
+  const double wmax = *std::max_element(weights_.begin(), weights_.end());
+  if (wmax > 1e100) {
+    for (auto& w : weights_) w /= wmax;
+  }
+  draw_arm();
+}
+
+}  // namespace fedsparse::online

@@ -1,0 +1,54 @@
+// EXP3 multi-armed-bandit baseline (ref [38], compared in Fig. 5).
+//
+// The paper treats each integer k as an arm. At full scale that is D ≈ 4·10^5
+// arms, which is exactly why MAB methods do poorly here — every arm must be
+// tried at least once. We expose the arm count: the default 64 log-spaced
+// arms is a *stronger* baseline than all-integers (fewer arms to explore), so
+// the comparison against the proposed method stays conservative.
+//
+// Reward shaping: the round's cost is time-per-unit-loss-decrease
+// c_m = τ_m / (L̃(w(m−1)) − L̃(w(m))) — the integrand of the paper's objective
+// — normalized into [0,1] against the running maximum cost. Rounds that fail
+// to decrease the loss earn zero reward.
+#pragma once
+
+#include "online/controller.h"
+
+namespace fedsparse::online {
+
+class Exp3 final : public KController {
+ public:
+  struct Config {
+    double kmin = 1.0;
+    double kmax = 1.0;
+    std::size_t num_arms = 64;
+    double gamma = 0.1;  // exploration rate
+    std::uint64_t seed = 1;
+  };
+
+  explicit Exp3(const Config& cfg);
+
+  std::string name() const override { return "exp3"; }
+  double current_k() const override { return arms_[current_arm_]; }
+  void observe(const RoundFeedback& fb) override;
+
+  const std::vector<double>& arms() const noexcept { return arms_; }
+  const std::vector<double>& arm_weights() const noexcept { return weights_; }
+
+ private:
+  void draw_arm();
+  std::vector<double> arm_probabilities() const;
+
+  std::vector<double> arms_;
+  std::vector<double> weights_;
+  double gamma_;
+  util::Rng rng_;
+  std::size_t current_arm_ = 0;
+  double max_cost_seen_ = 0.0;
+};
+
+/// Normalized cost used by both bandit baselines: time per unit loss
+/// decrease, or +inf when the loss did not decrease.
+double bandit_round_cost(const RoundFeedback& fb);
+
+}  // namespace fedsparse::online

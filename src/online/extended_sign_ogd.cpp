@@ -1,0 +1,85 @@
+#include "online/extended_sign_ogd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace fedsparse::online {
+
+ExtendedSignOgd::ExtendedSignOgd(const Config& cfg)
+    : kmin_(cfg.kmin),
+      kmax_(cfg.kmax),
+      alpha_(cfg.alpha),
+      update_window_(cfg.update_window),
+      cur_kmin_(cfg.kmin),
+      cur_kmax_(cfg.kmax),
+      b_(cfg.kmax - cfg.kmin),
+      track_min_(std::numeric_limits<double>::infinity()),
+      track_max_(0.0) {
+  if (!(kmin_ >= 1.0) || !(kmax_ > kmin_)) {
+    throw std::invalid_argument("ExtendedSignOgd: require 1 <= kmin < kmax");
+  }
+  if (alpha_ < 1.0) throw std::invalid_argument("ExtendedSignOgd: alpha must be >= 1");
+  if (update_window_ == 0) throw std::invalid_argument("ExtendedSignOgd: Mu must be positive");
+  k_ = cfg.initial_k > 0.0 ? project(cfg.initial_k) : 0.5 * (kmin_ + kmax_);
+}
+
+double ExtendedSignOgd::delta() const {
+  // m − m0 >= 1 by construction (m0 is set to the *previous* round index).
+  return b_ / std::sqrt(2.0 * static_cast<double>(m_ - m0_));
+}
+
+double ExtendedSignOgd::probe_k() const {
+  double kp = k_ - 0.5 * delta();
+  kp = std::max(kp, kmin_);
+  if (kp >= k_) kp = std::max(1.0, k_ - 1.0);
+  return kp;
+}
+
+void ExtendedSignOgd::observe(const RoundFeedback& fb) {
+  const SignEstimate est = estimate_derivative_sign(fb, k_, probe_k());
+  if (!est.valid) {
+    post_update(/*updated=*/false);  // Lines 6–7 are skipped (paper, Sec. IV-E)
+    return;
+  }
+  k_ = project(k_ - delta() * static_cast<double>(est.sign));
+  post_update(/*updated=*/true);
+}
+
+void ExtendedSignOgd::observe_sign(int sign) {
+  k_ = project(k_ - delta() * static_cast<double>(sign));
+  post_update(/*updated=*/true);
+}
+
+void ExtendedSignOgd::post_update(bool updated) {
+  if (updated) {
+    track_min_ = std::min(track_min_, k_);  // Line 6 (k′min / k′max track k_{m+1})
+    track_max_ = std::max(track_max_, k_);
+    ++n_;                                   // Line 7
+  }
+  const std::size_t m_cur = m_ - m0_;       // Line 5: M′′
+  if (n_ >= update_window_) {               // Line 8
+    const double widened_max = std::min(alpha_ * track_max_, kmax_);   // Line 9
+    const double widened_min = std::max(track_min_ / alpha_, kmin_);
+    const double b_new = widened_max - widened_min;                    // Line 10
+    constexpr double kSqrt2Minus1 = 0.41421356237309515;
+    if (b_new < kSqrt2Minus1 * b_ && m_cur >= m_prev_ && b_new > 0.0) {  // Line 11
+      cur_kmin_ = widened_min;                                           // Line 12
+      cur_kmax_ = widened_max;
+      b_ = b_new;
+      m_prev_ = m_cur;                                                   // Line 13
+      m0_ = m_;                                                          // Line 14
+      ++instances_;
+      k_ = project(k_);  // k is provably inside the new interval; be safe
+    }
+    n_ = 0;                                                              // Line 15
+    track_min_ = std::numeric_limits<double>::infinity();
+    track_max_ = 0.0;
+  }
+  ++m_;
+}
+
+double ExtendedSignOgd::project(double k) const { return std::clamp(k, cur_kmin_, cur_kmax_); }
+
+}  // namespace fedsparse::online

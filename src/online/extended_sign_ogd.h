@@ -1,0 +1,66 @@
+// Algorithm 3: extended online learning with shrinking search intervals.
+//
+// Runs Algorithm 2 instances back to back. Every Mu valid updates it forms a
+// candidate interval [k'min/α, α·k'max] from the k values the window
+// produced; if the candidate width B' satisfies B' < (√2−1)·B *and* the
+// current instance has run at least as long as the previous one (M'' ≥ M'),
+// a new instance starts on the smaller interval — which provably lowers the
+// combined regret bound (inequality (9) of the paper) and, empirically,
+// removes the large-k fluctuation Algorithm 2 shows when communication is
+// expensive (Fig. 6).
+#pragma once
+
+#include "online/controller.h"
+#include "online/estimator.h"
+
+namespace fedsparse::online {
+
+class ExtendedSignOgd final : public KController {
+ public:
+  struct Config {
+    double kmin = 1.0;
+    double kmax = 1.0;
+    double initial_k = 0.0;   // <=0 => midpoint
+    double alpha = 1.5;       // interval expansion coefficient (α ≥ 1)
+    std::size_t update_window = 20;  // Mu
+  };
+
+  explicit ExtendedSignOgd(const Config& cfg);
+
+  std::string name() const override { return "extended_sign_ogd"; }
+  double current_k() const override { return k_; }
+  double probe_k() const override;
+  void observe(const RoundFeedback& fb) override;
+  void observe_sign(int sign);
+
+  double delta() const;  // δ_m = B/√(2(m−m0))
+  /// Current instance's search interval [lo, hi] (for tests / traces).
+  double interval_lo() const noexcept { return cur_kmin_; }
+  double interval_hi() const noexcept { return cur_kmax_; }
+  std::size_t instances_started() const noexcept { return instances_; }
+
+ private:
+  void post_update(bool updated);
+  double project(double k) const;
+
+  // Outer (absolute) bounds.
+  double kmin_;
+  double kmax_;
+  double alpha_;
+  std::size_t update_window_;
+
+  // Algorithm state (names follow the pseudocode).
+  double k_;
+  std::size_t m_ = 1;       // global round index of the upcoming update
+  std::size_t m0_ = 0;      // round the current instance started at
+  double cur_kmin_;         // K = [cur_kmin_, cur_kmax_]
+  double cur_kmax_;
+  double b_;                // B, current search width
+  std::size_t n_ = 0;       // valid updates inside the current window
+  std::size_t m_prev_ = 0;  // M′: length of the previous instance
+  double track_min_;        // k′min
+  double track_max_;        // k′max
+  std::size_t instances_ = 1;
+};
+
+}  // namespace fedsparse::online

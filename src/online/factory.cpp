@@ -1,0 +1,39 @@
+#include "online/factory.h"
+
+#include <stdexcept>
+
+#include "online/continuous_bandit.h"
+#include "online/exp3.h"
+#include "online/extended_sign_ogd.h"
+#include "online/sign_ogd.h"
+#include "online/value_based.h"
+
+namespace fedsparse::online {
+
+std::unique_ptr<KController> make_controller(const ControllerConfig& cfg) {
+  if (cfg.name == "fixed") {
+    if (cfg.fixed_k < 1.0) throw std::invalid_argument("make_controller: fixed requires fixed_k");
+    return std::make_unique<FixedK>(cfg.fixed_k);
+  }
+  if (cfg.name == "sign_ogd") {
+    return std::make_unique<SignOgd>(SignOgd::Config{cfg.kmin, cfg.kmax, cfg.initial_k});
+  }
+  if (cfg.name == "extended_sign_ogd") {
+    return std::make_unique<ExtendedSignOgd>(ExtendedSignOgd::Config{
+        cfg.kmin, cfg.kmax, cfg.initial_k, cfg.alpha, cfg.update_window});
+  }
+  if (cfg.name == "value_based") {
+    return std::make_unique<ValueBased>(ValueBased::Config{cfg.kmin, cfg.kmax, cfg.initial_k});
+  }
+  if (cfg.name == "exp3") {
+    return std::make_unique<Exp3>(
+        Exp3::Config{cfg.kmin, cfg.kmax, cfg.exp3_arms, cfg.exp3_gamma, cfg.seed});
+  }
+  if (cfg.name == "continuous_bandit") {
+    return std::make_unique<ContinuousBandit>(ContinuousBandit::Config{
+        cfg.kmin, cfg.kmax, cfg.initial_k, cfg.bandit_delta_frac, cfg.seed});
+  }
+  throw std::invalid_argument("make_controller: unknown controller '" + cfg.name + "'");
+}
+
+}  // namespace fedsparse::online

@@ -1,0 +1,32 @@
+// Controller factory shared by examples and the figure harnesses.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "online/controller.h"
+
+namespace fedsparse::online {
+
+struct ControllerConfig {
+  std::string name = "extended_sign_ogd";  // see make_controller
+  /// Search interval [kmin, kmax]; non-positive values mean "auto-fill from
+  /// the model dimension" (core::FederatedTrainer sets kmin = max(2, 0.002·D)
+  /// and kmax = D, the paper's Fig. 5 setting).
+  double kmin = 0.0;
+  double kmax = 0.0;
+  double initial_k = 0.0;   // <=0 => midpoint
+  double alpha = 1.5;       // Algorithm 3
+  std::size_t update_window = 20;  // Algorithm 3 Mu
+  std::size_t exp3_arms = 64;
+  double exp3_gamma = 0.1;
+  double bandit_delta_frac = 0.05;
+  std::uint64_t seed = 1;
+  double fixed_k = 0.0;     // for name == "fixed"
+};
+
+/// names: "sign_ogd" (Algorithm 2), "extended_sign_ogd" (Algorithm 3),
+/// "value_based", "exp3", "continuous_bandit", "fixed".
+std::unique_ptr<KController> make_controller(const ControllerConfig& cfg);
+
+}  // namespace fedsparse::online

@@ -1,0 +1,36 @@
+#include "online/regret.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fedsparse::online {
+
+double QuadraticCostEnv::g_bound(double kmin, double kmax) const noexcept {
+  const double at_min = std::fabs(derivative(kmin));
+  const double at_max = std::fabs(derivative(kmax));
+  return std::max(at_min, at_max);
+}
+
+int QuadraticCostEnv::noisy_sign(double k, double correct_prob, util::Rng& rng) const {
+  const int s = exact_sign(k);
+  if (s == 0) return rng.bernoulli(0.5) ? 1 : -1;  // symmetric when s_m = 0 (Eq. (6))
+  return rng.bernoulli(correct_prob) ? s : -s;
+}
+
+double regret_bound_exact(double g, double b, std::size_t m_rounds) {
+  return g * b * std::sqrt(2.0 * static_cast<double>(m_rounds));
+}
+
+double regret_bound_estimated(double g, double h, double b, std::size_t m_rounds) {
+  return g * h * b * std::sqrt(2.0 * static_cast<double>(m_rounds));
+}
+
+double h_for_flip_probability(double correct_prob) {
+  if (correct_prob <= 0.5 || correct_prob > 1.0) {
+    throw std::invalid_argument("h_for_flip_probability: need correct_prob in (0.5, 1]");
+  }
+  return 1.0 / (2.0 * correct_prob - 1.0);
+}
+
+}  // namespace fedsparse::online

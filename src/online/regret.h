@@ -1,0 +1,56 @@
+// Regret machinery for validating Theorems 1 and 2.
+//
+// QuadraticCostEnv realizes the paper's assumptions exactly: a cost density
+// t(k, l) = base + curvature·(k − k*)² that is convex in k (Assumption 2a),
+// has bounded ∂t/∂k on the search interval (2b), and an l-independent
+// minimizer (2c). Each round consumes a loss interval of width `dloss`, so
+// τ_m(k) = dloss · t(k). Tests drive Algorithm 2/3 against this environment
+// with exact or noise-corrupted signs and check R(M) against the bounds.
+#pragma once
+
+#include <cstddef>
+
+#include "util/rng.h"
+
+namespace fedsparse::online {
+
+struct QuadraticCostEnv {
+  double k_star = 0.0;     // argmin of t(k, ·) for every l (Assumption 2c)
+  double curvature = 1.0;  // a in t(k) = base + a(k − k*)²
+  double base = 1.0;
+  double dloss = 1.0;      // per-round loss decrease (constant for simplicity)
+
+  /// τ_m(k): time to traverse one round's loss interval at degree k.
+  double tau(double k) const noexcept {
+    const double d = k - k_star;
+    return dloss * (base + curvature * d * d);
+  }
+
+  /// τ'_m(k).
+  double derivative(double k) const noexcept { return dloss * 2.0 * curvature * (k - k_star); }
+
+  /// Exact sign s_m = sign(τ'_m(k)).
+  int exact_sign(double k) const noexcept {
+    const double d = derivative(k);
+    return (d > 0.0) - (d < 0.0);
+  }
+
+  /// G: bound on |τ'_m(k)| over [kmin, kmax] (inequality (4) of the paper).
+  double g_bound(double kmin, double kmax) const noexcept;
+
+  /// A noisy sign satisfying (6)–(7): correct with probability p, flipped
+  /// with probability 1−p (p > 0.5). H = 1/(2p−1).
+  int noisy_sign(double k, double correct_prob, util::Rng& rng) const;
+};
+
+/// Theorem 1 bound: R(M) <= G·B·sqrt(2M).
+double regret_bound_exact(double g, double b, std::size_t m_rounds);
+
+/// Theorem 2 bound: E[R(M)] <= G·H·B·sqrt(2M).
+double regret_bound_estimated(double g, double h, double b, std::size_t m_rounds);
+
+/// H for a flip-probability estimator: sign(E[ŝ]) = s requires p > 0.5 and
+/// H = 1/(2p − 1) satisfies H·E[ŝ] = s.
+double h_for_flip_probability(double correct_prob);
+
+}  // namespace fedsparse::online

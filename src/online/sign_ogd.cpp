@@ -1,0 +1,44 @@
+#include "online/sign_ogd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fedsparse::online {
+
+SignOgd::SignOgd(const Config& cfg) : kmin_(cfg.kmin), kmax_(cfg.kmax) {
+  if (!(kmin_ >= 1.0) || !(kmax_ > kmin_)) {
+    throw std::invalid_argument("SignOgd: require 1 <= kmin < kmax");
+  }
+  k_ = cfg.initial_k > 0.0 ? project(cfg.initial_k) : 0.5 * (kmin_ + kmax_);
+}
+
+double SignOgd::delta() const {
+  return (kmax_ - kmin_) / std::sqrt(2.0 * static_cast<double>(m_));
+}
+
+double SignOgd::probe_k() const {
+  // k'_m = k_m − δ_m/2 (Section IV-E); keep it a valid, distinct degree.
+  double kp = k_ - 0.5 * delta();
+  kp = std::max(kp, kmin_);
+  if (kp >= k_) kp = std::max(1.0, k_ - 1.0);
+  return kp;
+}
+
+void SignOgd::observe(const RoundFeedback& fb) {
+  const SignEstimate est = estimate_derivative_sign(fb, k_, probe_k());
+  if (!est.valid) {
+    ++m_;  // the round still elapsed; k stays as-is
+    return;
+  }
+  observe_sign(est.sign);
+}
+
+void SignOgd::observe_sign(int sign) {
+  k_ = project(k_ - delta() * static_cast<double>(sign));
+  ++m_;
+}
+
+double SignOgd::project(double k) const { return std::clamp(k, kmin_, kmax_); }
+
+}  // namespace fedsparse::online

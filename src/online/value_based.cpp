@@ -1,0 +1,43 @@
+#include "online/value_based.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fedsparse::online {
+
+ValueBased::ValueBased(const Config& cfg) : kmin_(cfg.kmin), kmax_(cfg.kmax) {
+  if (!(kmin_ >= 1.0) || !(kmax_ > kmin_)) {
+    throw std::invalid_argument("ValueBased: require 1 <= kmin < kmax");
+  }
+  k_ = cfg.initial_k > 0.0 ? project(cfg.initial_k) : 0.5 * (kmin_ + kmax_);
+}
+
+double ValueBased::delta() const {
+  return (kmax_ - kmin_) / std::sqrt(2.0 * static_cast<double>(m_));
+}
+
+double ValueBased::probe_k() const {
+  double kp = k_ - 0.5 * delta();
+  kp = std::max(kp, kmin_);
+  if (kp >= k_) kp = std::max(1.0, k_ - 1.0);
+  return kp;
+}
+
+void ValueBased::observe(const RoundFeedback& fb) {
+  const SignEstimate est = estimate_derivative_sign(fb, k_, probe_k());
+  if (!est.valid) {
+    ++m_;
+    return;
+  }
+  observe_derivative(est.derivative);
+}
+
+void ValueBased::observe_derivative(double derivative) {
+  k_ = project(k_ - delta() * derivative);
+  ++m_;
+}
+
+double ValueBased::project(double k) const { return std::clamp(k, kmin_, kmax_); }
+
+}  // namespace fedsparse::online

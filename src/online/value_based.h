@@ -1,0 +1,44 @@
+// Value-based gradient (derivative) descent baseline (ref [36], compared in
+// Fig. 5): identical to Algorithm 2 except the raw derivative *estimate*
+// (Section IV-E without the sign(·)) multiplies the step size:
+//
+//   k_{m+1} = P_K(k_m − δ_m · d̂_m),   δ_m = B/√(2m).
+//
+// Because d̂_m has the units of time-per-element (and can be tiny or huge),
+// the update magnitude is unnormalized — the instability the sign-based
+// scheme removes.
+#pragma once
+
+#include "online/controller.h"
+#include "online/estimator.h"
+
+namespace fedsparse::online {
+
+class ValueBased final : public KController {
+ public:
+  struct Config {
+    double kmin = 1.0;
+    double kmax = 1.0;
+    double initial_k = 0.0;
+  };
+
+  explicit ValueBased(const Config& cfg);
+
+  std::string name() const override { return "value_based"; }
+  double current_k() const override { return k_; }
+  double probe_k() const override;
+  void observe(const RoundFeedback& fb) override;
+  void observe_derivative(double derivative);
+
+  double delta() const;
+
+ private:
+  double project(double k) const;
+
+  double kmin_;
+  double kmax_;
+  double k_;
+  std::size_t m_ = 1;
+};
+
+}  // namespace fedsparse::online

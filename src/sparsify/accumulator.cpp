@@ -1,0 +1,28 @@
+#include "sparsify/accumulator.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace fedsparse::sparsify {
+
+void GradientAccumulator::add(std::span<const float> grad) {
+  if (grad.size() != a_.size()) {
+    throw std::invalid_argument("GradientAccumulator::add: dimension mismatch");
+  }
+  for (std::size_t i = 0; i < a_.size(); ++i) a_[i] += grad[i];
+}
+
+void GradientAccumulator::reset_indices(std::span<const std::int32_t> indices) {
+  for (const std::int32_t idx : indices) {
+    if (idx < 0 || static_cast<std::size_t>(idx) >= a_.size()) {
+      throw std::out_of_range("GradientAccumulator::reset_indices: index out of range");
+    }
+    a_[static_cast<std::size_t>(idx)] = 0.0f;
+  }
+}
+
+void GradientAccumulator::reset_all() noexcept {
+  std::memset(a_.data(), 0, a_.size() * sizeof(float));
+}
+
+}  // namespace fedsparse::sparsify

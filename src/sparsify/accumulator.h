@@ -1,0 +1,37 @@
+// Per-client accumulated local gradient a_i (Algorithm 1 of the paper).
+//
+// Elements not selected for a round's sparse gradient keep accumulating so
+// that they eventually get large enough to be transmitted — the mechanism the
+// paper credits for FAB-top-k's convergence. The accumulator conserves
+// "gradient mass": every added value either is still in `value()` or was
+// explicitly consumed by `reset_indices` after transmission.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fedsparse::sparsify {
+
+class GradientAccumulator {
+ public:
+  explicit GradientAccumulator(std::size_t dim) : a_(dim, 0.0f) {}
+
+  std::size_t dim() const noexcept { return a_.size(); }
+
+  /// a_i += grad (dimension-checked).
+  void add(std::span<const float> grad);
+
+  /// Zeroes the transmitted indices (Line 17 of Algorithm 1).
+  void reset_indices(std::span<const std::int32_t> indices);
+
+  /// Zeroes everything (used by send-all-style methods).
+  void reset_all() noexcept;
+
+  std::span<const float> value() const noexcept { return {a_.data(), a_.size()}; }
+
+ private:
+  std::vector<float> a_;
+};
+
+}  // namespace fedsparse::sparsify

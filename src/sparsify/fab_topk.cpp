@@ -1,0 +1,120 @@
+#include "sparsify/fab_topk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "sparsify/topk.h"
+
+namespace fedsparse::sparsify {
+
+FabTopK::FabTopK(std::size_t dim) : dim_(dim), agg_(dim, 0.0f), stamp_(dim, 0) {}
+
+std::size_t FabTopK::find_kappa(const std::vector<SparseVector>& uploads, std::size_t k) {
+  // |∪_i J_i^κ| is nondecreasing in κ, so binary search works. Evaluating the
+  // union size at κ costs O(N·κ) with a hash set.
+  const auto union_size = [&uploads](std::size_t kappa) {
+    std::unordered_set<std::int32_t> seen;
+    for (const auto& up : uploads) {
+      const std::size_t take = std::min(kappa, up.size());
+      for (std::size_t j = 0; j < take; ++j) seen.insert(up[j].index);
+    }
+    return seen.size();
+  };
+  std::size_t lo = 0, hi = k;  // invariant: union_size(lo) <= k
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo + 1) / 2;
+    if (union_size(mid) <= k) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+RoundOutcome FabTopK::round(const RoundInput& in, std::size_t k) {
+  validate_round_input(in);
+  const std::size_t n = in.client_vectors.size();
+  k = std::clamp<std::size_t>(k, 1, dim_);
+
+  // Client side: top-k of the accumulated gradient, strongest first.
+  std::vector<SparseVector> uploads(n);
+  for (std::size_t i = 0; i < n; ++i) uploads[i] = top_k_entries(in.client_vectors[i], k);
+
+  // Server side: fairness-aware selection.
+  const std::size_t kappa = find_kappa(uploads, k);
+
+  ++stamp_token_;
+  const std::uint32_t in_j = stamp_token_;
+  std::vector<std::int32_t> selected;
+  selected.reserve(k);
+  for (const auto& up : uploads) {
+    const std::size_t take = std::min(kappa, up.size());
+    for (std::size_t j = 0; j < take; ++j) {
+      const auto idx = static_cast<std::size_t>(up[j].index);
+      if (stamp_[idx] != in_j) {
+        stamp_[idx] = in_j;
+        selected.push_back(up[j].index);
+      }
+    }
+  }
+
+  // Fill to k from the (κ+1)-th candidates (the only members of
+  // (∪J^{κ+1}) \ (∪J^κ)), strongest |value| first, deterministic tie-break.
+  if (selected.size() < k) {
+    SparseVector candidates;
+    for (const auto& up : uploads) {
+      if (up.size() > kappa) {
+        const auto& e = up[kappa];
+        if (stamp_[static_cast<std::size_t>(e.index)] != in_j) candidates.push_back(e);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(), [](const SparseEntry& a, const SparseEntry& b) {
+      const float aa = std::fabs(a.value), bb = std::fabs(b.value);
+      if (aa != bb) return aa > bb;
+      return a.index < b.index;
+    });
+    for (const auto& e : candidates) {
+      if (selected.size() >= k) break;
+      const auto idx = static_cast<std::size_t>(e.index);
+      if (stamp_[idx] != in_j) {
+        stamp_[idx] = in_j;
+        selected.push_back(e.index);
+      }
+    }
+  }
+
+  // Aggregate b_j = Σ_i (C_i/C) a_ij over uploaders, for j ∈ J only, and
+  // record per-client resets/contributions.
+  for (const std::int32_t j : selected) agg_[static_cast<std::size_t>(j)] = 0.0f;
+
+  RoundOutcome out;
+  out.kind = RoundOutcome::Kind::kSparseUpdate;
+  out.reset.resize(n);
+  out.contributed.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto w = static_cast<float>(in.data_weights[i]);
+    for (const auto& e : uploads[i]) {
+      const auto idx = static_cast<std::size_t>(e.index);
+      if (stamp_[idx] == in_j) {  // j ∈ J and j ∈ J_i
+        agg_[idx] += w * e.value;
+        out.reset[i].push_back(e.index);
+        ++out.contributed[i];
+      }
+    }
+  }
+
+  out.update.reserve(selected.size());
+  for (const std::int32_t j : selected) {
+    out.update.push_back(SparseEntry{j, agg_[static_cast<std::size_t>(j)]});
+  }
+  sort_by_index(out.update);
+
+  out.uplink_values = 2.0 * static_cast<double>(k);  // k index/value pairs
+  out.downlink_values = 2.0 * static_cast<double>(out.update.size());
+  return out;
+}
+
+}  // namespace fedsparse::sparsify

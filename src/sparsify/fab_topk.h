@@ -1,0 +1,42 @@
+// FAB-top-k: fairness-aware bidirectional top-k gradient sparsification.
+//
+// The paper's first contribution (Section III-B, Algorithm 1). Each client
+// uploads the top-k entries of its accumulated gradient; the server selects
+// exactly k downlink elements such that every client contributes at least
+// ⌊k/N⌋ of them:
+//
+//   1. binary-search the largest per-client prefix length κ with
+//      |∪_i J_i^κ| ≤ k  (J_i^κ = client i's κ strongest uploaded indices);
+//   2. J ← ∪_i J_i^κ, then fill up to k with the strongest entries of
+//      (∪_i J_i^{κ+1}) \ J;
+//   3. aggregate b_j = Σ_i (C_i/C)·a_ij·1[j ∈ J_i] for j ∈ J;
+//   4. clients reset accumulated entries j ∈ J ∩ J_i.
+//
+// Fairness guarantee: κ never drops below ⌊k/N⌋ because N·⌊k/N⌋ ≤ k.
+#pragma once
+
+#include "sparsify/method.h"
+
+namespace fedsparse::sparsify {
+
+class FabTopK final : public Method {
+ public:
+  explicit FabTopK(std::size_t dim);
+
+  std::string name() const override { return "fab_topk"; }
+  RoundOutcome round(const RoundInput& in, std::size_t k) override;
+
+  /// Exposed for unit tests: given per-client uploads sorted strongest-first,
+  /// returns the largest κ ∈ [0, k] with |∪_i J_i^κ| ≤ k.
+  static std::size_t find_kappa(const std::vector<SparseVector>& uploads, std::size_t k);
+
+ private:
+  std::size_t dim_;
+  // Dense scratch reused across rounds (sized D): aggregation buffer and a
+  // membership stamp array (stamped with the round counter to avoid clears).
+  std::vector<float> agg_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t stamp_token_ = 0;
+};
+
+}  // namespace fedsparse::sparsify

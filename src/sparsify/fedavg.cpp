@@ -1,0 +1,38 @@
+#include "sparsify/fedavg.h"
+
+#include <algorithm>
+
+namespace fedsparse::sparsify {
+
+std::size_t FedAvg::period(std::size_t k) const {
+  k = std::clamp<std::size_t>(k, 1, dim_);
+  return std::max<std::size_t>(1, dim_ / (2 * k));
+}
+
+RoundOutcome FedAvg::round(const RoundInput& in, std::size_t k) {
+  validate_round_input(in);
+  const std::size_t n = in.client_vectors.size();
+  RoundOutcome out;
+  out.reset.resize(n);          // FedAvg holds no accumulators to reset
+  out.contributed.assign(n, 0);
+
+  if (in.round % period(k) != 0) {
+    out.kind = RoundOutcome::Kind::kLocalOnly;
+    return out;
+  }
+
+  out.kind = RoundOutcome::Kind::kWeightAverage;
+  out.dense.assign(dim_, 0.0f);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto w = static_cast<float>(in.data_weights[i]);
+    const auto& v = in.client_vectors[i];  // local weights for FedAvg
+    for (std::size_t j = 0; j < dim_; ++j) out.dense[j] += w * v[j];
+  }
+  // All clients' full weight vectors were aggregated this round.
+  out.contributed.assign(n, dim_);
+  out.uplink_values = static_cast<double>(dim_);
+  out.downlink_values = static_cast<double>(dim_);
+  return out;
+}
+
+}  // namespace fedsparse::sparsify

@@ -1,0 +1,29 @@
+// FedAvg baseline (ref [2]) at matched communication budget.
+//
+// Clients run local SGD every round; every P = max(1, ⌊D/(2k)⌋) rounds the
+// server averages the local weights (weighted by C_i/C) and broadcasts the
+// result. The ⌊D/(2k)⌋ period makes FedAvg's *average* per-round
+// communication equal a k-element GS method's 2k values (footnote 5 of the
+// paper). This is the paper's "send-all-or-nothing" comparison point.
+#pragma once
+
+#include "sparsify/method.h"
+
+namespace fedsparse::sparsify {
+
+class FedAvg final : public Method {
+ public:
+  explicit FedAvg(std::size_t dim) : dim_(dim) {}
+
+  std::string name() const override { return "fedavg"; }
+  bool local_update_style() const override { return true; }
+  RoundOutcome round(const RoundInput& in, std::size_t k) override;
+
+  /// Aggregation period for a given sparsity degree.
+  std::size_t period(std::size_t k) const;
+
+ private:
+  std::size_t dim_;
+};
+
+}  // namespace fedsparse::sparsify

@@ -1,0 +1,75 @@
+#include "sparsify/fub_topk.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sparsify/topk.h"
+
+namespace fedsparse::sparsify {
+
+FubTopK::FubTopK(std::size_t dim) : dim_(dim), agg_(dim, 0.0f), stamp_(dim, 0) {}
+
+RoundOutcome FubTopK::round(const RoundInput& in, std::size_t k) {
+  validate_round_input(in);
+  const std::size_t n = in.client_vectors.size();
+  k = std::clamp<std::size_t>(k, 1, dim_);
+
+  std::vector<SparseVector> uploads(n);
+  for (std::size_t i = 0; i < n; ++i) uploads[i] = top_k_entries(in.client_vectors[i], k);
+
+  // Aggregate everything uploaded, then keep the top-k by |aggregate|.
+  ++stamp_token_;
+  const std::uint32_t touched = stamp_token_;
+  std::vector<std::int32_t> touched_list;
+  for (const auto& up : uploads) {
+    for (const auto& e : up) {
+      const auto idx = static_cast<std::size_t>(e.index);
+      if (stamp_[idx] != touched) {
+        stamp_[idx] = touched;
+        agg_[idx] = 0.0f;
+        touched_list.push_back(e.index);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto w = static_cast<float>(in.data_weights[i]);
+    for (const auto& e : uploads[i]) agg_[static_cast<std::size_t>(e.index)] += w * e.value;
+  }
+
+  SparseVector aggregated;
+  aggregated.reserve(touched_list.size());
+  for (const std::int32_t j : touched_list) {
+    aggregated.push_back(SparseEntry{j, agg_[static_cast<std::size_t>(j)]});
+  }
+  std::sort(aggregated.begin(), aggregated.end(), [](const SparseEntry& a, const SparseEntry& b) {
+    const float aa = std::fabs(a.value), bb = std::fabs(b.value);
+    if (aa != bb) return aa > bb;
+    return a.index < b.index;
+  });
+  if (aggregated.size() > k) aggregated.resize(k);
+
+  // Membership of J for reset/contribution bookkeeping: reuse a fresh stamp.
+  ++stamp_token_;
+  const std::uint32_t in_j = stamp_token_;
+  for (const auto& e : aggregated) stamp_[static_cast<std::size_t>(e.index)] = in_j;
+
+  RoundOutcome out;
+  out.kind = RoundOutcome::Kind::kSparseUpdate;
+  out.update = std::move(aggregated);
+  sort_by_index(out.update);
+  out.reset.resize(n);
+  out.contributed.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& e : uploads[i]) {
+      if (stamp_[static_cast<std::size_t>(e.index)] == in_j) {
+        out.reset[i].push_back(e.index);
+        ++out.contributed[i];
+      }
+    }
+  }
+  out.uplink_values = 2.0 * static_cast<double>(k);
+  out.downlink_values = 2.0 * static_cast<double>(out.update.size());
+  return out;
+}
+
+}  // namespace fedsparse::sparsify

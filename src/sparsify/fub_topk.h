@@ -1,0 +1,27 @@
+// FUB-top-k: fairness-unaware bidirectional top-k (baseline, refs [28],[31]).
+//
+// Identical uplink to FAB-top-k, but the server simply keeps the k
+// largest-|aggregate| indices among everything uploaded — no per-client
+// guarantee, so clients whose gradients are small can be excluded entirely
+// (the bias FAB-top-k exists to prevent; see Fig. 4 right).
+#pragma once
+
+#include "sparsify/method.h"
+
+namespace fedsparse::sparsify {
+
+class FubTopK final : public Method {
+ public:
+  explicit FubTopK(std::size_t dim);
+
+  std::string name() const override { return "fub_topk"; }
+  RoundOutcome round(const RoundInput& in, std::size_t k) override;
+
+ private:
+  std::size_t dim_;
+  std::vector<float> agg_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t stamp_token_ = 0;
+};
+
+}  // namespace fedsparse::sparsify

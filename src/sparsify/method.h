@@ -1,0 +1,92 @@
+// Strategy interface for one server-side aggregation round.
+//
+// Every gradient-sparsification scheme the paper evaluates — FAB-top-k (the
+// contribution), FUB-top-k, unidirectional top-k, periodic-k, send-all, and
+// FedAvg — implements this interface so the federated simulation treats them
+// uniformly. A method sees the per-client *accumulated gradients* (or, for
+// FedAvg, the per-client local weights) and produces:
+//
+//  * the downlink payload (sparse or dense update, or averaged weights),
+//  * which accumulator indices each client must reset (it transmitted them),
+//  * per-client "contributed element" counts feeding the fairness CDF of
+//    Fig. 4 (right),
+//  * uplink/downlink payload sizes in "values" for the timing model
+//    (an index/value pair counts as 2 values — footnote 5 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sparsify/sparse_vector.h"
+#include "util/rng.h"
+
+namespace fedsparse::sparsify {
+
+struct RoundInput {
+  /// Per-client accumulated gradient a_i; for FedAvg-style methods, the
+  /// per-client local weight vector instead.
+  std::vector<std::span<const float>> client_vectors;
+  /// C_i / C (sums to 1).
+  std::span<const double> data_weights;
+  std::size_t dim = 0;   // D
+  std::size_t round = 1; // m, 1-based
+};
+
+struct RoundOutcome {
+  enum class Kind {
+    kSparseUpdate,    // apply w -= eta * update to every client
+    kDenseUpdate,     // same but dense payload (send-all)
+    kWeightAverage,   // replace every client's weights (FedAvg aggregation)
+    kLocalOnly,       // no communication this round (FedAvg between syncs)
+  };
+  Kind kind = Kind::kSparseUpdate;
+
+  SparseVector update;                 // kSparseUpdate: the (j, b_j) pairs
+  std::vector<float> dense;            // kDenseUpdate / kWeightAverage payloads
+
+  /// Per-client indices to zero in the accumulator (J ∩ J_i).
+  std::vector<std::vector<std::int32_t>> reset;
+  /// Per-client number of elements that made it into the downlink gradient.
+  std::vector<std::size_t> contributed;
+
+  /// Payload sizes in "values" for the timing model. Uplink is per client
+  /// (clients transmit in parallel); downlink is the broadcast payload.
+  double uplink_values = 0.0;
+  double downlink_values = 0.0;
+};
+
+class Method {
+ public:
+  virtual ~Method() = default;
+
+  virtual std::string name() const = 0;
+
+  /// FedAvg-style methods let clients run local SGD between aggregations and
+  /// receive client *weights* rather than accumulated gradients.
+  virtual bool local_update_style() const { return false; }
+
+  /// Executes the server side of round `in.round` with sparsity degree k
+  /// (already integer via stochastic rounding; clamped to [1, D] by callers).
+  virtual RoundOutcome round(const RoundInput& in, std::size_t k) = 0;
+
+  /// Evaluates what `round(in, k)` *would* produce without committing any
+  /// internal state — used for the k'_m probe of the derivative-sign
+  /// estimator (Section IV-E). Stateless methods inherit this default;
+  /// stateful ones (periodic-k) override it to snapshot/restore.
+  virtual RoundOutcome probe_round(const RoundInput& in, std::size_t k) { return round(in, k); }
+};
+
+/// Factory: "fab_topk" | "fub_topk" | "unidirectional_topk" | "periodic" |
+/// "send_all" | "fedavg". `dim` is D; `seed` feeds methods that randomize
+/// (periodic-k). Throws std::invalid_argument for unknown names.
+std::unique_ptr<Method> make_method(const std::string& name, std::size_t dim,
+                                    std::uint64_t seed = 1);
+
+/// Validates a RoundInput against a method call (dimension/shape checks
+/// shared by all implementations). Throws std::invalid_argument.
+void validate_round_input(const RoundInput& in);
+
+}  // namespace fedsparse::sparsify

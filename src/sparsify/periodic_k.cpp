@@ -1,0 +1,69 @@
+#include "sparsify/periodic_k.h"
+
+#include <algorithm>
+
+namespace fedsparse::sparsify {
+
+PeriodicK::PeriodicK(std::size_t dim, std::uint64_t seed) : dim_(dim), rng_(seed) {
+  permutation_.resize(dim);
+  for (std::size_t i = 0; i < dim; ++i) permutation_[i] = static_cast<std::int32_t>(i);
+  reshuffle();
+}
+
+void PeriodicK::reshuffle() {
+  rng_.shuffle(permutation_);
+  cursor_ = 0;
+}
+
+RoundOutcome PeriodicK::probe_round(const RoundInput& in, std::size_t k) {
+  // Snapshot the selection state so the probe does not advance the
+  // permutation pass the real round will consume.
+  const util::Rng saved_rng = rng_;
+  const auto saved_perm = permutation_;
+  const std::size_t saved_cursor = cursor_;
+  RoundOutcome out = round(in, k);
+  rng_ = saved_rng;
+  permutation_ = saved_perm;
+  cursor_ = saved_cursor;
+  return out;
+}
+
+RoundOutcome PeriodicK::round(const RoundInput& in, std::size_t k) {
+  validate_round_input(in);
+  const std::size_t n = in.client_vectors.size();
+  k = std::clamp<std::size_t>(k, 1, dim_);
+
+  // Next k coordinates of the current permutation pass; reshuffle on wrap so
+  // each pass visits every coordinate exactly once.
+  std::vector<std::int32_t> selected;
+  selected.reserve(k);
+  while (selected.size() < k) {
+    if (cursor_ >= dim_) reshuffle();
+    const std::size_t take = std::min(k - selected.size(), dim_ - cursor_);
+    selected.insert(selected.end(), permutation_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+                    permutation_.begin() + static_cast<std::ptrdiff_t>(cursor_ + take));
+    cursor_ += take;
+  }
+
+  RoundOutcome out;
+  out.kind = RoundOutcome::Kind::kSparseUpdate;
+  out.update.reserve(k);
+  for (const std::int32_t j : selected) {
+    double b = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      b += in.data_weights[i] *
+           static_cast<double>(in.client_vectors[i][static_cast<std::size_t>(j)]);
+    }
+    out.update.push_back(SparseEntry{j, static_cast<float>(b)});
+  }
+  sort_by_index(out.update);
+
+  // Every client's value for every selected coordinate was aggregated.
+  out.reset.assign(n, selected);
+  out.contributed.assign(n, selected.size());
+  out.uplink_values = 2.0 * static_cast<double>(k);
+  out.downlink_values = 2.0 * static_cast<double>(k);
+  return out;
+}
+
+}  // namespace fedsparse::sparsify

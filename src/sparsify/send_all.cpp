@@ -1,0 +1,29 @@
+#include "sparsify/send_all.h"
+
+namespace fedsparse::sparsify {
+
+RoundOutcome SendAll::round(const RoundInput& in, std::size_t k) {
+  (void)k;  // sparsity degree is irrelevant: everything is transmitted
+  validate_round_input(in);
+  const std::size_t n = in.client_vectors.size();
+
+  RoundOutcome out;
+  out.kind = RoundOutcome::Kind::kDenseUpdate;
+  out.dense.assign(dim_, 0.0f);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto w = static_cast<float>(in.data_weights[i]);
+    const auto& v = in.client_vectors[i];
+    for (std::size_t j = 0; j < dim_; ++j) out.dense[j] += w * v[j];
+  }
+
+  // All accumulated mass is consumed every round.
+  std::vector<std::int32_t> all(dim_);
+  for (std::size_t j = 0; j < dim_; ++j) all[j] = static_cast<std::int32_t>(j);
+  out.reset.assign(n, all);
+  out.contributed.assign(n, dim_);
+  out.uplink_values = static_cast<double>(dim_);    // dense: no index overhead
+  out.downlink_values = static_cast<double>(dim_);
+  return out;
+}
+
+}  // namespace fedsparse::sparsify

@@ -1,0 +1,21 @@
+// Always-send-all baseline: the full D-element gradient is exchanged every
+// round. No index overhead (dense payload), so one round costs exactly the
+// full communication time β under the paper's timing model.
+#pragma once
+
+#include "sparsify/method.h"
+
+namespace fedsparse::sparsify {
+
+class SendAll final : public Method {
+ public:
+  explicit SendAll(std::size_t dim) : dim_(dim) {}
+
+  std::string name() const override { return "send_all"; }
+  RoundOutcome round(const RoundInput& in, std::size_t k) override;
+
+ private:
+  std::size_t dim_;
+};
+
+}  // namespace fedsparse::sparsify

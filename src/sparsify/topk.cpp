@@ -1,0 +1,65 @@
+#include "sparsify/topk.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedsparse::sparsify {
+
+namespace {
+
+struct HeapItem {
+  float abs_value;
+  std::int32_t index;
+};
+
+// Min-heap ordering on (abs_value asc, index desc) so the weakest element —
+// the one a stronger candidate should evict — sits at the top.
+bool stronger(const HeapItem& a, const HeapItem& b) {
+  if (a.abs_value != b.abs_value) return a.abs_value > b.abs_value;
+  return a.index < b.index;
+}
+
+std::vector<HeapItem> select(std::span<const float> v, std::size_t k) {
+  k = std::min(k, v.size());
+  std::vector<HeapItem> heap;
+  if (k == 0) return heap;
+  heap.reserve(k);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const float av = std::fabs(v[i]);
+    const HeapItem item{av, static_cast<std::int32_t>(i)};
+    if (heap.size() < k) {
+      heap.push_back(item);
+      std::push_heap(heap.begin(), heap.end(), stronger);
+    } else if (stronger(item, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), stronger);
+      heap.back() = item;
+      std::push_heap(heap.begin(), heap.end(), stronger);
+    }
+  }
+  // Strongest first: sort by (abs desc, index asc).
+  std::sort(heap.begin(), heap.end(), [](const HeapItem& a, const HeapItem& b) {
+    if (a.abs_value != b.abs_value) return a.abs_value > b.abs_value;
+    return a.index < b.index;
+  });
+  return heap;
+}
+
+}  // namespace
+
+std::vector<std::int32_t> top_k_indices(std::span<const float> v, std::size_t k) {
+  const auto items = select(v, k);
+  std::vector<std::int32_t> out(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) out[i] = items[i].index;
+  return out;
+}
+
+SparseVector top_k_entries(std::span<const float> v, std::size_t k) {
+  const auto items = select(v, k);
+  SparseVector out(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    out[i] = SparseEntry{items[i].index, v[static_cast<std::size_t>(items[i].index)]};
+  }
+  return out;
+}
+
+}  // namespace fedsparse::sparsify

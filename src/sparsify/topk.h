@@ -1,0 +1,24 @@
+// Top-k selection by absolute value.
+//
+// The per-round, per-client hot path of every top-k GS method. Uses a bounded
+// min-heap (O(D log k)) so no O(D)-sized index buffer is allocated. Ties are
+// broken deterministically (larger |value| first, then smaller index), which
+// keeps whole simulations bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparsify/sparse_vector.h"
+
+namespace fedsparse::sparsify {
+
+/// Indices of the k largest-|v| entries, sorted by |v| descending
+/// (ties: smaller index first). k is clamped to v.size().
+std::vector<std::int32_t> top_k_indices(std::span<const float> v, std::size_t k);
+
+/// Same selection returned as (index, value) pairs in |value|-descending order.
+SparseVector top_k_entries(std::span<const float> v, std::size_t k);
+
+}  // namespace fedsparse::sparsify

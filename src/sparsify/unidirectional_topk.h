@@ -1,0 +1,26 @@
+// Unidirectional top-k GS (baseline, ref [22] — Deep Gradient Compression).
+//
+// Clients upload their top-k; the server aggregates and broadcasts the whole
+// union, which can be as large as k·N elements — the downlink blow-up that
+// motivates bidirectional schemes.
+#pragma once
+
+#include "sparsify/method.h"
+
+namespace fedsparse::sparsify {
+
+class UnidirectionalTopK final : public Method {
+ public:
+  explicit UnidirectionalTopK(std::size_t dim);
+
+  std::string name() const override { return "unidirectional_topk"; }
+  RoundOutcome round(const RoundInput& in, std::size_t k) override;
+
+ private:
+  std::size_t dim_;
+  std::vector<float> agg_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t stamp_token_ = 0;
+};
+
+}  // namespace fedsparse::sparsify

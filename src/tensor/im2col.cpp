@@ -1,0 +1,58 @@
+#include "tensor/im2col.h"
+
+namespace fedsparse::tensor {
+
+void im2col(const float* image, const ConvGeometry& g, Matrix& cols) {
+  const std::size_t oh = g.out_height(), ow = g.out_width();
+  cols.resize(g.col_rows(), g.col_cols());
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < g.channels; ++c) {
+    const float* chan = image + c * g.height * g.width;
+    for (std::size_t ky = 0; ky < g.ksize; ++ky) {
+      for (std::size_t kx = 0; kx < g.ksize; ++kx, ++row) {
+        float* out = cols.row(row);
+        std::size_t col = 0;
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          // signed arithmetic: padding can push the source row off the image
+          const long iy = static_cast<long>(oy * g.stride + ky) - static_cast<long>(g.pad);
+          for (std::size_t ox = 0; ox < ow; ++ox, ++col) {
+            const long ix = static_cast<long>(ox * g.stride + kx) - static_cast<long>(g.pad);
+            const bool inside = iy >= 0 && iy < static_cast<long>(g.height) && ix >= 0 &&
+                                ix < static_cast<long>(g.width);
+            out[col] = inside ? chan[static_cast<std::size_t>(iy) * g.width +
+                                     static_cast<std::size_t>(ix)]
+                              : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const Matrix& cols, const ConvGeometry& g, float* image) {
+  const std::size_t oh = g.out_height(), ow = g.out_width();
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < g.channels; ++c) {
+    float* chan = image + c * g.height * g.width;
+    for (std::size_t ky = 0; ky < g.ksize; ++ky) {
+      for (std::size_t kx = 0; kx < g.ksize; ++kx, ++row) {
+        const float* in = cols.row(row);
+        std::size_t col = 0;
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          const long iy = static_cast<long>(oy * g.stride + ky) - static_cast<long>(g.pad);
+          for (std::size_t ox = 0; ox < ow; ++ox, ++col) {
+            const long ix = static_cast<long>(ox * g.stride + kx) - static_cast<long>(g.pad);
+            const bool inside = iy >= 0 && iy < static_cast<long>(g.height) && ix >= 0 &&
+                                ix < static_cast<long>(g.width);
+            if (inside) {
+              chan[static_cast<std::size_t>(iy) * g.width + static_cast<std::size_t>(ix)] +=
+                  in[col];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace fedsparse::tensor

@@ -1,0 +1,38 @@
+// im2col / col2im for convolution lowering.
+//
+// Conv2d lowers each sample's (C, H, W) activation block into a
+// (C*ksize*ksize) x (outH*outW) column matrix so the convolution becomes one
+// GEMM with the (outC) x (C*ksize*ksize) filter matrix. col2im scatters
+// column-space gradients back into image space (accumulating overlaps).
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/matrix.h"
+
+namespace fedsparse::tensor {
+
+struct ConvGeometry {
+  std::size_t channels = 1;
+  std::size_t height = 0;
+  std::size_t width = 0;
+  std::size_t ksize = 3;
+  std::size_t stride = 1;
+  std::size_t pad = 0;
+
+  std::size_t out_height() const noexcept { return (height + 2 * pad - ksize) / stride + 1; }
+  std::size_t out_width() const noexcept { return (width + 2 * pad - ksize) / stride + 1; }
+  std::size_t col_rows() const noexcept { return channels * ksize * ksize; }
+  std::size_t col_cols() const noexcept { return out_height() * out_width(); }
+  std::size_t image_size() const noexcept { return channels * height * width; }
+};
+
+/// image: pointer to one sample, layout C x H x W contiguous. Fills `cols`
+/// (resized to col_rows x col_cols).
+void im2col(const float* image, const ConvGeometry& g, Matrix& cols);
+
+/// Inverse scatter-add: accumulates `cols` back into `image` (which must hold
+/// image_size() floats and should be zeroed by the caller beforehand).
+void col2im(const Matrix& cols, const ConvGeometry& g, float* image);
+
+}  // namespace fedsparse::tensor

@@ -1,0 +1,136 @@
+#include "tensor/matrix.h"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace fedsparse::tensor {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  if (data_.size() != rows * cols) {
+    throw std::invalid_argument("Matrix: data size does not match rows*cols");
+  }
+}
+
+void Matrix::fill(float v) noexcept {
+  for (auto& x : data_) x = v;
+}
+
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0f);
+}
+
+namespace {
+
+// Inner kernel for the common non-transposed case: C[mi,:] += a_ik * B[ki,:].
+// Iterating B rows in the inner loop keeps both B and C accesses sequential.
+void gemm_nn(const Matrix& a, const Matrix& b, float alpha, Matrix& c) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (std::size_t mi = 0; mi < m; ++mi) {
+    const float* arow = a.row(mi);
+    float* crow = c.row(mi);
+    for (std::size_t ki = 0; ki < k; ++ki) {
+      const float aik = alpha * arow[ki];
+      if (aik == 0.0f) continue;
+      const float* brow = b.row(ki);
+      for (std::size_t ni = 0; ni < n; ++ni) crow[ni] += aik * brow[ni];
+    }
+  }
+}
+
+// C += alpha * A * B^T : dot products of rows — sequential in both operands.
+void gemm_nt(const Matrix& a, const Matrix& b, float alpha, Matrix& c) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (std::size_t mi = 0; mi < m; ++mi) {
+    const float* arow = a.row(mi);
+    float* crow = c.row(mi);
+    for (std::size_t ni = 0; ni < n; ++ni) {
+      const float* brow = b.row(ni);
+      float acc = 0.0f;
+      for (std::size_t ki = 0; ki < k; ++ki) acc += arow[ki] * brow[ki];
+      crow[ni] += alpha * acc;
+    }
+  }
+}
+
+// C += alpha * A^T * B : rank-1 style updates over rows of A and B.
+void gemm_tn(const Matrix& a, const Matrix& b, float alpha, Matrix& c) {
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  for (std::size_t ki = 0; ki < k; ++ki) {
+    const float* arow = a.row(ki);
+    const float* brow = b.row(ki);
+    for (std::size_t mi = 0; mi < m; ++mi) {
+      const float atk = alpha * arow[mi];
+      if (atk == 0.0f) continue;
+      float* crow = c.row(mi);
+      for (std::size_t ni = 0; ni < n; ++ni) crow[ni] += atk * brow[ni];
+    }
+  }
+}
+
+// C += alpha * A^T * B^T — rare; implemented via explicit index arithmetic.
+void gemm_tt(const Matrix& a, const Matrix& b, float alpha, Matrix& c) {
+  const std::size_t m = a.cols(), k = a.rows(), n = b.rows();
+  for (std::size_t mi = 0; mi < m; ++mi) {
+    float* crow = c.row(mi);
+    for (std::size_t ni = 0; ni < n; ++ni) {
+      float acc = 0.0f;
+      for (std::size_t ki = 0; ki < k; ++ki) acc += a.at(ki, mi) * b.at(ni, ki);
+      crow[ni] += alpha * acc;
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b, float alpha, float beta,
+          Matrix& c) {
+  const std::size_t m = trans_a ? a.cols() : a.rows();
+  const std::size_t ka = trans_a ? a.rows() : a.cols();
+  const std::size_t kb = trans_b ? b.cols() : b.rows();
+  const std::size_t n = trans_b ? b.rows() : b.cols();
+  if (ka != kb) throw std::invalid_argument("gemm: inner dimensions do not match");
+  if (c.rows() != m || c.cols() != n) {
+    if (beta != 0.0f) throw std::invalid_argument("gemm: C has wrong shape for beta != 0");
+    c.resize(m, n);
+  }
+  if (beta == 0.0f) {
+    zero(c.flat());
+  } else if (beta != 1.0f) {
+    scale(beta, c.flat());
+  }
+  if (!trans_a && !trans_b) {
+    gemm_nn(a, b, alpha, c);
+  } else if (!trans_a && trans_b) {
+    gemm_nt(a, b, alpha, c);
+  } else if (trans_a && !trans_b) {
+    gemm_tn(a, b, alpha, c);
+  } else {
+    gemm_tt(a, b, alpha, c);
+  }
+}
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scale(float alpha, std::span<float> x) {
+  for (auto& v : x) v *= alpha;
+}
+
+double dot(std::span<const float> x, std::span<const float> y) {
+  double acc = 0.0;
+  const std::size_t n = std::min(x.size(), y.size());
+  for (std::size_t i = 0; i < n; ++i) acc += static_cast<double>(x[i]) * y[i];
+  return acc;
+}
+
+double norm2(std::span<const float> x) { return std::sqrt(dot(x, x)); }
+
+void zero(std::span<float> x) { std::memset(x.data(), 0, x.size() * sizeof(float)); }
+
+}  // namespace fedsparse::tensor

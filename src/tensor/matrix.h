@@ -1,0 +1,66 @@
+// Dense row-major float matrix — the numeric workhorse under the nn substrate.
+//
+// Deliberately minimal: the neural-network layers only need GEMM (with
+// transpose variants), elementwise ops and flat-vector BLAS-1 helpers. All
+// storage is contiguous std::vector<float>, so a Matrix doubles as a flat
+// parameter/gradient buffer view.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fedsparse::tensor {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  Matrix(std::size_t rows, std::size_t cols, std::vector<float> data);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  float& at(std::size_t r, std::size_t c) noexcept { return data_[r * cols_ + c]; }
+  float at(std::size_t r, std::size_t c) const noexcept { return data_[r * cols_ + c]; }
+
+  float* data() noexcept { return data_.data(); }
+  const float* data() const noexcept { return data_.data(); }
+  float* row(std::size_t r) noexcept { return data_.data() + r * cols_; }
+  const float* row(std::size_t r) const noexcept { return data_.data() + r * cols_; }
+
+  std::span<float> flat() noexcept { return {data_.data(), data_.size()}; }
+  std::span<const float> flat() const noexcept { return {data_.data(), data_.size()}; }
+
+  void fill(float v) noexcept;
+  void resize(std::size_t rows, std::size_t cols);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// GEMM: C = alpha * op(A) * op(B) + beta * C, with op = identity or
+/// transpose controlled by `trans_a` / `trans_b`. Dimensions are validated
+/// (throws std::invalid_argument on mismatch). Blocked over k for cache reuse.
+void gemm(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b, float alpha, float beta,
+          Matrix& c);
+
+// --- BLAS-1 style helpers on flat spans ------------------------------------
+
+/// y += alpha * x
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+/// x *= alpha
+void scale(float alpha, std::span<float> x);
+/// dot(x, y)
+double dot(std::span<const float> x, std::span<const float> y);
+/// sqrt(sum x_i^2)
+double norm2(std::span<const float> x);
+/// sets all elements to zero
+void zero(std::span<float> x);
+
+}  // namespace fedsparse::tensor

@@ -1,0 +1,66 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "util/logging.h"
+
+namespace fedsparse::util {
+
+CsvWriter::CsvWriter(std::string path, bool echo_stdout, std::string tag)
+    : echo_stdout_(echo_stdout), tag_(std::move(tag)) {
+  if (!path.empty()) {
+    const std::filesystem::path p(path);
+    if (p.has_parent_path()) ensure_directory(p.parent_path().string());
+    file_.open(path, std::ios::trunc);
+    file_open_ = file_.is_open();
+    if (!file_open_) log_warn() << "CsvWriter: could not open " << path;
+  }
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) { row_text(names); }
+
+void CsvWriter::row(const std::vector<double>& values) {
+  std::string line;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) line += ',';
+    line += format(values[i]);
+  }
+  emit(line);
+}
+
+void CsvWriter::row_text(const std::vector<std::string>& cells) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) line += ',';
+    line += cells[i];
+  }
+  emit(line);
+}
+
+std::string CsvWriter::format(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+void CsvWriter::emit(const std::string& line) {
+  if (file_open_) file_ << line << '\n';
+  if (echo_stdout_) {
+    if (tag_.empty()) {
+      std::printf("%s\n", line.c_str());
+    } else {
+      std::printf("%s,%s\n", tag_.c_str(), line.c_str());
+    }
+    std::fflush(stdout);
+  }
+}
+
+bool ensure_directory(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  return !ec;
+}
+
+}  // namespace fedsparse::util

@@ -1,0 +1,50 @@
+// CSV emission for experiment series.
+//
+// Bench binaries print the same rows/series the paper's figures plot; CsvWriter
+// writes them both to stdout (for `tee`-style capture) and optionally to a
+// file under an output directory so plots can be regenerated offline.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace fedsparse::util {
+
+/// Writes rows of comma-separated values. All values are stringified with
+/// enough precision to round-trip doubles.
+class CsvWriter {
+ public:
+  /// Creates a writer; if `path` is non-empty the rows are also appended to
+  /// that file (the file is truncated on construction). If `echo_stdout` is
+  /// true every row is mirrored to stdout prefixed with `# <tag>,` so multiple
+  /// series can share one stream.
+  explicit CsvWriter(std::string path = {}, bool echo_stdout = true, std::string tag = {});
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+  CsvWriter(CsvWriter&&) = default;
+  CsvWriter& operator=(CsvWriter&&) = default;
+
+  void header(const std::vector<std::string>& names);
+  void row(const std::vector<double>& values);
+  /// Mixed row: any cell can be text.
+  void row_text(const std::vector<std::string>& cells);
+
+  /// Formats a double compactly but losslessly.
+  static std::string format(double v);
+
+ private:
+  void emit(const std::string& line);
+
+  std::ofstream file_;
+  bool file_open_ = false;
+  bool echo_stdout_ = true;
+  std::string tag_;
+};
+
+/// Ensures a directory exists (mkdir -p); returns false on failure.
+bool ensure_directory(const std::string& path);
+
+}  // namespace fedsparse::util

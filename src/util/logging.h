@@ -1,0 +1,48 @@
+// Minimal leveled logger used across the library and the bench harnesses.
+//
+// A single global level gates output; everything goes to stderr so that bench
+// binaries can reserve stdout for machine-readable experiment series.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fedsparse::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the process-wide minimum level that is emitted.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emits one line ("[level] message") if `level` passes the global filter.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::LogStream log_debug() { return detail::LogStream(LogLevel::kDebug); }
+inline detail::LogStream log_info() { return detail::LogStream(LogLevel::kInfo); }
+inline detail::LogStream log_warn() { return detail::LogStream(LogLevel::kWarn); }
+inline detail::LogStream log_error() { return detail::LogStream(LogLevel::kError); }
+
+}  // namespace fedsparse::util

@@ -1,0 +1,147 @@
+// Deterministic random number generation for reproducible simulations.
+//
+// All stochastic components of fedsparse draw from `Rng`, a small
+// xoshiro256**-based generator with hand-rolled distributions so that a given
+// seed produces identical streams on every platform/standard library.
+// `split()` derives statistically independent child streams (per client, per
+// round) from a parent seed via SplitMix64, which is how the federated
+// simulation keeps client behaviour reproducible regardless of the number of
+// worker threads.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace fedsparse::util {
+
+/// SplitMix64 step: maps any 64-bit state to a well-mixed 64-bit output.
+/// Used both for seeding and for deriving child seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97f4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic PRNG (xoshiro256**) with portable distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853C49E6748FEA9BULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+    cached_normal_valid_ = false;
+  }
+
+  /// Derives an independent child generator; mixing in `stream_id` gives
+  /// distinct streams for e.g. (client, round) pairs.
+  [[nodiscard]] Rng split(std::uint64_t stream_id) const noexcept {
+    std::uint64_t sm = state_[0] ^ (0x9E6A4C15ULL + stream_id * 0xD2B74407B1CE6E93ULL);
+    Rng child(splitmix64(sm));
+    return child;
+  }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  std::uint64_t operator()() noexcept { return next_u64(); }
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+  /// Uniform integer in [0, bound). Lemire's multiply-shift with rejection.
+  std::uint64_t uniform_u64(std::uint64_t bound) noexcept {
+    if (bound <= 1) return 0;
+    // Rejection sampling on the top bits keeps the result exactly uniform.
+    const std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 mod bound
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniform_u64(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal via Marsaglia polar method (cached pair).
+  double normal() noexcept {
+    if (cached_normal_valid_) {
+      cached_normal_valid_ = false;
+      return cached_normal_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_normal_ = v * factor;
+    cached_normal_valid_ = true;
+    return u * factor;
+  }
+
+  double normal(double mean, double stddev) noexcept { return mean + stddev * normal(); }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = uniform_u64(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples an index from an (unnormalized) non-negative weight vector.
+  std::size_t categorical(const std::vector<double>& weights) noexcept {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    if (total <= 0.0) return uniform_u64(weights.empty() ? 1 : weights.size());
+    double u = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      u -= weights[i];
+      if (u < 0.0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int s) noexcept {
+    return (x << s) | (x >> (64 - s));
+  }
+
+  std::uint64_t state_[4]{};
+  double cached_normal_ = 0.0;
+  bool cached_normal_valid_ = false;
+};
+
+}  // namespace fedsparse::util

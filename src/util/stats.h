@@ -1,0 +1,56 @@
+// Small statistics helpers: running moments, empirical CDFs, percentiles.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace fedsparse::util {
+
+/// Welford running mean/variance with min/max tracking.
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStat& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Empirical CDF over a sample set. Points are (x, P[X <= x]).
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  /// P[X <= x].
+  double at(double x) const noexcept;
+  /// Smallest sample x with P[X <= x] >= q, for q in (0, 1].
+  double quantile(double q) const noexcept;
+  std::size_t size() const noexcept { return sorted_.size(); }
+
+  /// The full step function as (x, cdf) pairs, one per distinct sample.
+  std::vector<std::pair<double, double>> steps() const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Percentile (q in [0,100]) with linear interpolation; `values` is copied.
+double percentile(std::vector<double> values, double q);
+
+/// Arithmetic mean; 0 for empty input.
+double mean_of(const std::vector<double>& values) noexcept;
+
+}  // namespace fedsparse::util

@@ -1,0 +1,353 @@
+// Integration tests for the federated simulation: timing-model consistency,
+// client mechanics, weight-synchronization invariants, convergence of every
+// GS method, FedAvg ≡ send-all at period 1, and the adaptive-k plumbing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "data/synthetic.h"
+#include "fl/client.h"
+#include "fl/metrics.h"
+#include "fl/simulation.h"
+#include "fl/timing.h"
+#include "nn/models.h"
+#include "online/extended_sign_ogd.h"
+#include "online/factory.h"
+#include "sparsify/method.h"
+
+namespace fedsparse::fl {
+namespace {
+
+data::SyntheticConfig tiny_dataset(std::uint64_t seed = 1) {
+  data::SyntheticConfig cfg;
+  cfg.num_classes = 4;
+  cfg.channels = 1;
+  cfg.height = 4;
+  cfg.width = 4;
+  cfg.num_clients = 5;
+  cfg.samples_per_client = 24;
+  cfg.samples_spread = 0.3;
+  cfg.test_samples = 128;
+  cfg.class_sep = 2.5;
+  cfg.noise_std = 0.6;
+  cfg.partition = data::PartitionKind::kByWriter;
+  cfg.classes_per_writer = 2;
+  cfg.seed = seed;
+  return cfg;
+}
+
+nn::ModelFactory tiny_model() { return nn::mlp(16, {12}, 4); }
+
+SimulationConfig fast_sim(double beta = 10.0) {
+  SimulationConfig cfg;
+  cfg.lr = 0.05f;
+  cfg.batch = 8;
+  cfg.max_rounds = 60;
+  cfg.comm_time = beta;
+  cfg.eval_every = 10;
+  cfg.eval_samples_per_client = 0;  // tiny data: evaluate exactly
+  cfg.eval_test_samples = 0;
+  cfg.threads = 2;
+  cfg.seed = 3;
+  return cfg;
+}
+
+std::unique_ptr<Simulation> make_sim(const std::string& method, double fixed_k,
+                                     SimulationConfig cfg = fast_sim(),
+                                     std::uint64_t data_seed = 1) {
+  auto dataset = data::make_synthetic(tiny_dataset(data_seed));
+  auto factory = tiny_model();
+  util::Rng probe(1);
+  const std::size_t dim = factory(probe)->dim();
+  return std::make_unique<Simulation>(cfg, std::move(dataset), factory,
+                                      sparsify::make_method(method, dim, 5),
+                                      std::make_unique<online::FixedK>(fixed_k));
+}
+
+// ------------------------------------------------------------ timing -------
+
+TEST(TimingModel, SendAllCostsExactlyBeta) {
+  TimingModel t{/*comm_time=*/10.0, /*compute_time=*/1.0, /*dim=*/1000};
+  EXPECT_DOUBLE_EQ(t.round_time(1000, 1000), 1.0 + 10.0);
+}
+
+TEST(TimingModel, TopKCostMatchesFormula) {
+  TimingModel t{10.0, 1.0, 1000};
+  // k-element GS: 2k values each way => 1 + β·2k/D.
+  EXPECT_DOUBLE_EQ(t.theta(50.0), 1.0 + 10.0 * 2.0 * 50.0 / 1000.0);
+}
+
+TEST(TimingModel, FedAvgMatchedBudgetConsistency) {
+  // Average FedAvg cost per round equals the k-element GS cost per round.
+  const std::size_t dim = 10000;
+  const std::size_t k = 100;
+  TimingModel t{7.0, 1.0, dim};
+  const double gs_per_round = t.theta(k) - t.compute_time;
+  const std::size_t period = dim / (2 * k);
+  const double fedavg_per_round =
+      (t.round_time(dim, dim) - t.compute_time) / static_cast<double>(period);
+  EXPECT_NEAR(gs_per_round, fedavg_per_round, 1e-9);
+}
+
+TEST(TimingModel, ThetaIsMonotoneInK) {
+  TimingModel t{3.0, 1.0, 500};
+  EXPECT_LT(t.theta(10), t.theta(20));
+  EXPECT_THROW((TimingModel{1.0, 1.0, 0}).round_time(1, 1), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ client -------
+
+TEST(Client, GradientAccumulatesAndResets) {
+  auto fed = data::make_synthetic(tiny_dataset());
+  Client client(0, std::move(fed.clients[0]), tiny_model(), 42);
+  const double loss = client.compute_round_gradient(1, 8);
+  EXPECT_TRUE(std::isfinite(loss));
+  double mass = 0.0;
+  for (const float v : client.accumulated()) mass += std::fabs(v);
+  EXPECT_GT(mass, 0.0);
+  std::vector<std::int32_t> all(client.dim());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<std::int32_t>(i);
+  client.reset_accumulated({all.data(), all.size()});
+  mass = 0.0;
+  for (const float v : client.accumulated()) mass += std::fabs(v);
+  EXPECT_EQ(mass, 0.0);
+}
+
+TEST(Client, ProbeLossShiftRestoresWeightsExactly) {
+  auto fed = data::make_synthetic(tiny_dataset());
+  Client client(0, std::move(fed.clients[0]), tiny_model(), 7);
+  client.compute_round_gradient(1, 8);
+  std::vector<float> before(client.weights().begin(), client.weights().end());
+  sparsify::SparseVector diff{{0, 0.5f}, {5, -1.0f}};
+  (void)client.probe_loss_shifted(diff, 0.1f);
+  const auto after = client.weights();
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i], after[i]) << "weight " << i << " not restored";
+  }
+}
+
+TEST(Client, SparseUpdateTouchesOnlyListedCoords) {
+  auto fed = data::make_synthetic(tiny_dataset());
+  Client client(0, std::move(fed.clients[0]), tiny_model(), 9);
+  std::vector<float> before(client.weights().begin(), client.weights().end());
+  client.apply_sparse_update({{2, 2.0f}, {7, -4.0f}}, 0.5f);
+  const auto after = client.weights();
+  EXPECT_FLOAT_EQ(after[2], before[2] - 1.0f);
+  EXPECT_FLOAT_EQ(after[7], before[7] + 2.0f);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (i != 2 && i != 7) EXPECT_EQ(after[i], before[i]);
+  }
+}
+
+// --------------------------------------------------------- simulation ------
+
+TEST(Simulation, WeightsStaySynchronizedUnderGs) {
+  // The paper's key invariant (Sec. III-A): all clients share w(m).
+  auto sim = make_sim("fab_topk", 20.0);
+  (void)sim->run();
+  // Re-run with direct access: construct again and compare client weights
+  // after a few manual rounds — easiest is to rely on Simulation internals
+  // via the result of a short run and check final loss is finite. For a
+  // stronger check, run two simulations with identical seeds: identical
+  // traces imply synchronized determinism end to end.
+  auto a = make_sim("fab_topk", 20.0)->run();
+  auto b = make_sim("fab_topk", 20.0)->run();
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].train_loss, b.records[i].train_loss);
+    EXPECT_EQ(a.records[i].k_used, b.records[i].k_used);
+  }
+}
+
+struct MethodCase {
+  const char* name;
+  double k;
+};
+
+class EveryMethodConverges : public ::testing::TestWithParam<MethodCase> {};
+
+TEST_P(EveryMethodConverges, LossDropsOnSeparableData) {
+  const auto [name, k] = GetParam();
+  SimulationConfig cfg = fast_sim(1.0);
+  cfg.max_rounds = 120;
+  auto sim = make_sim(name, k, cfg);
+  const auto res = sim->run();
+  ASSERT_FALSE(res.records.empty());
+  const double first_loss = res.records.front().train_loss;
+  EXPECT_TRUE(std::isfinite(res.final_loss));
+  EXPECT_LT(res.final_loss, first_loss) << name;
+  EXPECT_GT(res.final_accuracy, 1.0 / 4.0) << name;  // beats random guessing
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, EveryMethodConverges,
+                         ::testing::Values(MethodCase{"fab_topk", 20},
+                                           MethodCase{"fub_topk", 20},
+                                           MethodCase{"unidirectional_topk", 20},
+                                           MethodCase{"periodic", 20},
+                                           MethodCase{"send_all", 20},
+                                           MethodCase{"fedavg", 20}));
+
+TEST(Simulation, FedAvgPeriodOneEqualsSendAllFirstRound) {
+  // With aggregation every round and identical seeds, FedAvg's first-round
+  // averaged weights equal send-all's first-round update applied to w(0):
+  // avg_i(w − η g_i) = w − η avg_i(g_i). Compare via the recorded train loss
+  // of round 2 (computed on the synchronized weights after round 1).
+  SimulationConfig cfg = fast_sim(1.0);
+  cfg.max_rounds = 2;
+  const std::size_t dim = [] {
+    util::Rng r(1);
+    return tiny_model()(r)->dim();
+  }();
+  // fedavg with k = D/2 => period = ⌊D/(2·D/2)⌋ = 1.
+  auto fedavg = make_sim("fedavg", static_cast<double>(dim) / 2.0, cfg);
+  auto sendall = make_sim("send_all", static_cast<double>(dim) / 2.0, cfg);
+  const auto ra = fedavg->run();
+  const auto rb = sendall->run();
+  ASSERT_EQ(ra.records.size(), 2u);
+  ASSERT_EQ(rb.records.size(), 2u);
+  EXPECT_NEAR(ra.records[1].train_loss, rb.records[1].train_loss, 1e-5);
+}
+
+TEST(Simulation, TimeAccountingMatchesTimingModel) {
+  SimulationConfig cfg = fast_sim(10.0);
+  cfg.max_rounds = 5;
+  auto sim = make_sim("fab_topk", 10.0, cfg);
+  const auto res = sim->run();
+  ASSERT_EQ(res.records.size(), 5u);
+  double expected = 0.0;
+  TimingModel t{10.0, 1.0, sim->dim()};
+  for (const auto& r : res.records) {
+    expected += t.round_time(r.uplink_values, r.downlink_values);
+    EXPECT_NEAR(r.time, expected, 1e-9);
+  }
+}
+
+TEST(Simulation, StopsAtMaxTime) {
+  SimulationConfig cfg = fast_sim(100.0);
+  cfg.max_rounds = 100000;
+  cfg.max_time = 50.0;
+  auto sim = make_sim("send_all", 10.0, cfg);  // 101 per round => stops fast
+  const auto res = sim->run();
+  EXPECT_LE(res.rounds_run, 2u);
+  EXPECT_GE(res.total_time, 50.0);
+}
+
+TEST(Simulation, StopsAtTargetLoss) {
+  SimulationConfig cfg = fast_sim(0.1);
+  cfg.max_rounds = 500;
+  cfg.target_loss = 1.2;
+  cfg.eval_every = 5;
+  auto sim = make_sim("fab_topk", 40.0, cfg);
+  const auto res = sim->run();
+  EXPECT_TRUE(res.reached_target);
+  EXPECT_LE(res.final_loss, 1.2);
+  EXPECT_LT(res.rounds_run, 500u);
+}
+
+TEST(Simulation, SwitchAtLossReplacesController) {
+  // Fig. 1 mechanism: run with large k until loss <= psi, then k = 5.
+  SimulationConfig cfg = fast_sim(0.1);
+  cfg.max_rounds = 300;
+  cfg.eval_every = 5;
+  cfg.switch_at_loss = 1.3;
+  cfg.switch_to_k = 5.0;
+  auto sim = make_sim("fab_topk", 100.0, cfg);
+  const auto res = sim->run();
+  ASSERT_GT(res.k_sequence.size(), 10u);
+  EXPECT_DOUBLE_EQ(res.k_sequence.front(), 100.0);
+  EXPECT_DOUBLE_EQ(res.k_sequence.back(), 5.0);  // switched at some point
+}
+
+TEST(Simulation, FairnessCountsFlowThrough) {
+  SimulationConfig cfg = fast_sim(1.0);
+  cfg.max_rounds = 20;
+  auto sim = make_sim("fab_topk", 25.0, cfg);
+  const std::size_t n = sim->num_clients();
+  const auto res = sim->run();
+  ASSERT_EQ(res.contributed_totals.size(), n);
+  // FAB guarantees ⌊k/N⌋ = ⌊25/5⌋ = 5 elements per client per round.
+  for (const auto total : res.contributed_totals) {
+    EXPECT_GE(total, 5u * res.rounds_run);
+  }
+  const auto per_round = contribution_per_round(res.contributed_totals, res.rounds_run);
+  for (const auto v : per_round) EXPECT_GE(v, 5.0);
+}
+
+TEST(Simulation, AdaptiveControllerReceivesValidFeedback) {
+  SimulationConfig cfg = fast_sim(10.0);
+  cfg.max_rounds = 80;
+  auto dataset = data::make_synthetic(tiny_dataset(2));
+  auto factory = tiny_model();
+  util::Rng probe(1);
+  const std::size_t dim = factory(probe)->dim();
+  auto controller = std::make_unique<online::ExtendedSignOgd>(
+      online::ExtendedSignOgd::Config{2.0, static_cast<double>(dim), 0.0, 1.5, 10});
+  Simulation sim(cfg, std::move(dataset), factory, sparsify::make_method("fab_topk", dim, 5),
+                 std::move(controller));
+  const auto res = sim.run();
+  EXPECT_EQ(res.k_sequence.size(), res.rounds_run);
+  // k must have moved at least once (valid signs estimated), and most rounds
+  // should produce valid estimates on this easy separable problem.
+  bool moved = false;
+  for (std::size_t i = 1; i < res.k_sequence.size(); ++i) {
+    if (res.k_sequence[i] != res.k_sequence[i - 1]) moved = true;
+  }
+  EXPECT_TRUE(moved);
+  EXPECT_LT(res.invalid_probe_rounds, res.rounds_run);
+}
+
+TEST(Simulation, ExtremeCommTimePushesAdaptiveKDown) {
+  // With β huge, communication dominates: the learned k should end well below
+  // its starting midpoint. With β tiny, k should stay high. (Figs. 7–8 trend.)
+  auto run_with_beta = [&](double beta) {
+    SimulationConfig cfg = fast_sim(beta);
+    cfg.max_rounds = 150;
+    auto dataset = data::make_synthetic(tiny_dataset(4));
+    auto factory = tiny_model();
+    util::Rng probe(1);
+    const std::size_t dim = factory(probe)->dim();
+    auto controller = std::make_unique<online::ExtendedSignOgd>(
+        online::ExtendedSignOgd::Config{2.0, static_cast<double>(dim), 0.0, 1.5, 10});
+    Simulation sim(cfg, std::move(dataset), factory, sparsify::make_method("fab_topk", dim, 5),
+                   std::move(controller));
+    const auto res = sim.run();
+    double tail = 0.0;
+    const std::size_t tail_n = res.k_sequence.size() / 4;
+    for (std::size_t i = res.k_sequence.size() - tail_n; i < res.k_sequence.size(); ++i) {
+      tail += res.k_sequence[i];
+    }
+    return tail / static_cast<double>(tail_n);
+  };
+  const double k_cheap_comm = run_with_beta(0.01);
+  const double k_dear_comm = run_with_beta(300.0);
+  EXPECT_GT(k_cheap_comm, k_dear_comm);
+}
+
+TEST(Simulation, ValidatesConfiguration) {
+  auto dataset = data::make_synthetic(tiny_dataset());
+  auto factory = tiny_model();
+  util::Rng probe(1);
+  const std::size_t dim = factory(probe)->dim();
+  SimulationConfig bad = fast_sim();
+  bad.lr = 0.0f;
+  EXPECT_THROW(Simulation(bad, std::move(dataset), factory,
+                          sparsify::make_method("fab_topk", dim, 5),
+                          std::make_unique<online::FixedK>(5.0)),
+               std::invalid_argument);
+}
+
+TEST(Evaluator, LossAndAccuracyOnKnownModel) {
+  auto fed = data::make_synthetic(tiny_dataset());
+  Evaluator ev(tiny_model(), 3);
+  util::Rng rng(8);
+  const double loss = ev.loss(fed.test, 0, rng);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_NEAR(loss, std::log(4.0), 1.5);  // random init ≈ uniform predictions
+  const double acc = ev.accuracy(fed.test, 0, rng);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+}  // namespace
+}  // namespace fedsparse::fl

@@ -1,0 +1,355 @@
+// Tests for the nn substrate. The load-bearing tests are finite-difference
+// gradient checks: they validate every layer's backward pass and, by
+// extension, the flat gradient vector the whole sparsification stack consumes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/maxpool.h"
+#include "nn/models.h"
+#include "nn/relu.h"
+#include "nn/sequential.h"
+#include "util/rng.h"
+
+namespace fedsparse::nn {
+namespace {
+
+Matrix random_batch(std::size_t batch, std::size_t features, util::Rng& rng, double scale = 1.0) {
+  Matrix x(batch, features);
+  for (auto& v : x.flat()) v = static_cast<float>(rng.normal(0.0, scale));
+  return x;
+}
+
+std::vector<int> random_labels(std::size_t batch, std::size_t classes, util::Rng& rng) {
+  std::vector<int> y(batch);
+  for (auto& v : y) v = static_cast<int>(rng.uniform_u64(classes));
+  return y;
+}
+
+// Central-difference check of d(loss)/d(weights) against the analytic grad.
+// Checks a subsample of coordinates to keep runtime reasonable.
+void check_weight_gradients(Sequential& model, const Matrix& x, const std::vector<int>& y,
+                            double tol, std::size_t max_coords = 60) {
+  model.zero_grad();
+  model.forward_loss_grad(x, y);
+  std::vector<float> analytic(model.grad().begin(), model.grad().end());
+
+  auto w = model.weights();
+  util::Rng pick(12345);
+  const std::size_t d = w.size();
+  const std::size_t n_checks = std::min(max_coords, d);
+  const float eps = 1e-3f;
+  for (std::size_t c = 0; c < n_checks; ++c) {
+    const std::size_t j = n_checks == d ? c : pick.uniform_u64(d);
+    const float saved = w[j];
+    w[j] = saved + eps;
+    const double lp = model.forward_loss(x, y);
+    w[j] = saved - eps;
+    const double lm = model.forward_loss(x, y);
+    w[j] = saved;
+    const double numeric = (lp - lm) / (2.0 * eps);
+    EXPECT_NEAR(analytic[j], numeric, tol) << "coordinate " << j;
+  }
+}
+
+// Gradient w.r.t. the *input*, via Sequential with a single layer.
+void check_input_gradients(Sequential& model, Matrix x, const std::vector<int>& y, double tol) {
+  model.zero_grad();
+  // Analytic input grad: run forward/backward manually through predict-like
+  // path is not exposed; instead perturb inputs and compare to loss change
+  // predicted by a full-batch re-evaluation (weak but layer-independent).
+  const double base = model.forward_loss(x, y);
+  (void)base;
+  // Directional derivative check: random direction v, compare
+  // (L(x+εv) − L(x−εv)) / 2ε against itself at two ε values (Richardson):
+  util::Rng rng(77);
+  Matrix v(x.rows(), x.cols());
+  for (auto& e : v.flat()) e = static_cast<float>(rng.normal());
+  auto eval_at = [&](float eps) {
+    Matrix xp = x;
+    for (std::size_t i = 0; i < xp.size(); ++i) xp.data()[i] += eps * v.data()[i];
+    return model.forward_loss(xp, y);
+  };
+  const double d1 = (eval_at(1e-3f) - eval_at(-1e-3f)) / 2e-3;
+  const double d2 = (eval_at(5e-4f) - eval_at(-5e-4f)) / 1e-3;
+  EXPECT_NEAR(d1, d2, tol);  // consistency across step sizes => smoothness
+}
+
+// ----------------------------------------------------------- loss ----------
+
+TEST(SoftmaxCrossEntropy, MatchesHandComputedValue) {
+  Matrix logits(1, 3);
+  logits.at(0, 0) = 1.0f;
+  logits.at(0, 1) = 2.0f;
+  logits.at(0, 2) = 3.0f;
+  const std::vector<int> y{2};
+  const double lse = std::log(std::exp(1.0) + std::exp(2.0) + std::exp(3.0));
+  EXPECT_NEAR(SoftmaxCrossEntropy::loss_only(logits, y), lse - 3.0, 1e-9);
+}
+
+TEST(SoftmaxCrossEntropy, GradientIsSoftmaxMinusOnehot) {
+  Matrix logits(2, 3);
+  util::Rng rng(1);
+  for (auto& v : logits.flat()) v = static_cast<float>(rng.normal());
+  const std::vector<int> y{0, 2};
+  Matrix dlogits;
+  SoftmaxCrossEntropy::loss_and_grad(logits, y, dlogits);
+  Matrix sm = logits;
+  SoftmaxCrossEntropy::softmax_rows(sm);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      const double expected = (sm.at(r, c) - (static_cast<int>(c) == y[r] ? 1.0 : 0.0)) / 2.0;
+      EXPECT_NEAR(dlogits.at(r, c), expected, 1e-6);
+    }
+  }
+}
+
+TEST(SoftmaxCrossEntropy, NumericallyStableForHugeLogits) {
+  Matrix logits(1, 2);
+  logits.at(0, 0) = 1000.0f;
+  logits.at(0, 1) = -1000.0f;
+  const std::vector<int> y{0};
+  const double loss = SoftmaxCrossEntropy::loss_only(logits, y);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_NEAR(loss, 0.0, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, RejectsBadLabels) {
+  Matrix logits(1, 3);
+  EXPECT_THROW(SoftmaxCrossEntropy::loss_only(logits, std::vector<int>{5}),
+               std::invalid_argument);
+  EXPECT_THROW(SoftmaxCrossEntropy::loss_only(logits, std::vector<int>{-1}),
+               std::invalid_argument);
+  EXPECT_THROW(SoftmaxCrossEntropy::loss_only(logits, std::vector<int>{0, 0}),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------- gradient checks --------
+
+TEST(GradientCheck, LinearLayer) {
+  util::Rng rng(2);
+  Sequential model(8);
+  model.add(std::make_unique<Linear>(8, 5));
+  model.finalize(rng);
+  const Matrix x = random_batch(4, 8, rng);
+  check_weight_gradients(model, x, random_labels(4, 5, rng), 2e-3, model.dim());
+}
+
+TEST(GradientCheck, MlpTwoHidden) {
+  util::Rng rng(3);
+  auto model = mlp(10, {16, 12}, 4)(rng);
+  const Matrix x = random_batch(6, 10, rng);
+  check_weight_gradients(*model, x, random_labels(6, 4, rng), 2e-3);
+}
+
+TEST(GradientCheck, ConvLayer) {
+  util::Rng rng(4);
+  Sequential model(1 * 6 * 6);
+  model.add(std::make_unique<Conv2d>(1, 6, 6, 3, 3, 1, 1));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Linear>(3 * 6 * 6, 4));
+  model.finalize(rng);
+  const Matrix x = random_batch(3, 36, rng);
+  check_weight_gradients(model, x, random_labels(3, 4, rng), 3e-3);
+}
+
+TEST(GradientCheck, ConvWithStrideAndNoPad) {
+  util::Rng rng(5);
+  Sequential model(2 * 7 * 7);
+  model.add(std::make_unique<Conv2d>(2, 7, 7, 4, 3, 2, 0));  // out 3x3
+  model.add(std::make_unique<Linear>(4 * 3 * 3, 3));
+  model.finalize(rng);
+  const Matrix x = random_batch(2, 2 * 49, rng);
+  check_weight_gradients(model, x, random_labels(2, 3, rng), 3e-3);
+}
+
+TEST(GradientCheck, MaxPoolPath) {
+  util::Rng rng(6);
+  Sequential model(1 * 8 * 8);
+  model.add(std::make_unique<Conv2d>(1, 8, 8, 2, 3, 1, 1));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<MaxPool2d>(2, 8, 8, 2));
+  model.add(std::make_unique<Linear>(2 * 4 * 4, 3));
+  model.finalize(rng);
+  const Matrix x = random_batch(3, 64, rng);
+  check_weight_gradients(model, x, random_labels(3, 3, rng), 3e-3);
+}
+
+TEST(GradientCheck, FullCnnTiny) {
+  util::Rng rng(7);
+  auto model = cnn(1, 8, 8, 2, 3, 8, 4)(rng);
+  const Matrix x = random_batch(2, 64, rng);
+  check_weight_gradients(*model, x, random_labels(2, 4, rng), 4e-3);
+}
+
+TEST(GradientCheck, InputSmoothness) {
+  util::Rng rng(8);
+  auto model = mlp(6, {8}, 3)(rng);
+  const Matrix x = random_batch(4, 6, rng);
+  check_input_gradients(*model, x, random_labels(4, 3, rng), 1e-3);
+}
+
+// ----------------------------------------------------------- layers --------
+
+TEST(ReLULayer, ForwardBackwardMask) {
+  ReLU relu;
+  Matrix x(1, 4);
+  x.at(0, 0) = -1.0f;
+  x.at(0, 1) = 2.0f;
+  x.at(0, 2) = 0.0f;
+  x.at(0, 3) = 3.0f;
+  Matrix y;
+  relu.forward(x, y);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 2), 0.0f);
+  Matrix dy(1, 4, 1.0f), dx;
+  relu.backward(dy, dx);
+  EXPECT_FLOAT_EQ(dx.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(dx.at(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(dx.at(0, 2), 0.0f);  // subgradient 0 at exactly 0
+}
+
+TEST(MaxPoolLayer, SelectsMaxAndRoutesGradient) {
+  MaxPool2d pool(1, 4, 4, 2);
+  Matrix x(1, 16);
+  for (std::size_t i = 0; i < 16; ++i) x.data()[i] = static_cast<float>(i);
+  Matrix y;
+  pool.forward(x, y);
+  ASSERT_EQ(y.cols(), 4u);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 5.0f);   // max of {0,1,4,5}
+  EXPECT_FLOAT_EQ(y.at(0, 3), 15.0f);  // max of {10,11,14,15}
+  Matrix dy(1, 4, 1.0f), dx;
+  pool.backward(dy, dx);
+  EXPECT_FLOAT_EQ(dx.data()[5], 1.0f);
+  EXPECT_FLOAT_EQ(dx.data()[0], 0.0f);
+}
+
+TEST(MaxPoolLayer, RejectsNonDivisibleWindow) {
+  EXPECT_THROW(MaxPool2d(1, 5, 4, 2), std::invalid_argument);
+}
+
+TEST(LinearLayer, ValidatesInputDim) {
+  util::Rng rng(9);
+  Sequential model(4);
+  model.add(std::make_unique<Linear>(5, 2));  // mismatched on purpose
+  EXPECT_THROW(model.finalize(rng), std::invalid_argument);
+}
+
+// -------------------------------------------------------- sequential -------
+
+TEST(Sequential, FlatParameterLayoutIsStable) {
+  util::Rng rng(10);
+  auto model = mlp(4, {3}, 2)(rng);
+  EXPECT_EQ(model->dim(), 4u * 3 + 3 + 3 * 2 + 2);
+  const float* before = model->weights().data();
+  Matrix x = random_batch(2, 4, rng);
+  model->zero_grad();
+  model->forward_loss_grad(x, random_labels(2, 2, rng));
+  EXPECT_EQ(model->weights().data(), before);  // storage never moves
+}
+
+TEST(Sequential, SetWeightsRoundTrip) {
+  util::Rng rng(11);
+  auto a = mlp(4, {5}, 3)(rng);
+  auto b = mlp(4, {5}, 3)(rng);
+  b->set_weights(a->weights());
+  const Matrix x = random_batch(3, 4, rng);
+  const auto y = random_labels(3, 3, rng);
+  EXPECT_DOUBLE_EQ(a->forward_loss(x, y), b->forward_loss(x, y));
+  std::vector<float> wrong(3, 0.0f);
+  EXPECT_THROW(b->set_weights({wrong.data(), wrong.size()}), std::invalid_argument);
+}
+
+TEST(Sequential, SgdStepDecreasesLossOnAverage) {
+  util::Rng rng(12);
+  auto model = mlp(6, {8}, 3)(rng);
+  const Matrix x = random_batch(16, 6, rng);
+  const auto y = random_labels(16, 3, rng);
+  const double before = model->forward_loss(x, y);
+  for (int i = 0; i < 20; ++i) {
+    model->zero_grad();
+    model->forward_loss_grad(x, y);
+    model->sgd_step(0.1f);
+  }
+  EXPECT_LT(model->forward_loss(x, y), before);
+}
+
+TEST(Sequential, AccuracyComputation) {
+  util::Rng rng(13);
+  Sequential model(2);
+  model.add(std::make_unique<Linear>(2, 2));
+  model.finalize(rng);
+  // Force weights: class = argmax(x) by identity weights.
+  auto w = model.weights();
+  w[0] = 1.0f;
+  w[1] = 0.0f;
+  w[2] = 0.0f;
+  w[3] = 1.0f;
+  w[4] = 0.0f;
+  w[5] = 0.0f;
+  Matrix x(2, 2);
+  x.at(0, 0) = 3.0f;
+  x.at(0, 1) = 1.0f;
+  x.at(1, 0) = 0.0f;
+  x.at(1, 1) = 2.0f;
+  EXPECT_DOUBLE_EQ(model.accuracy(x, std::vector<int>{0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(model.accuracy(x, std::vector<int>{1, 0}), 0.0);
+}
+
+TEST(Sequential, LifecycleErrors) {
+  util::Rng rng(14);
+  Sequential model(3);
+  EXPECT_THROW(model.finalize(rng), std::logic_error);  // no layers
+  model.add(std::make_unique<Linear>(3, 2));
+  Matrix x(1, 3);
+  EXPECT_THROW(model.forward_loss(x, std::vector<int>{0}), std::logic_error);  // not finalized
+  model.finalize(rng);
+  EXPECT_THROW(model.add(std::make_unique<ReLU>()), std::logic_error);
+  EXPECT_THROW(model.finalize(rng), std::logic_error);
+  Matrix wrong(1, 5);
+  EXPECT_THROW(model.forward_loss(wrong, std::vector<int>{0}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ models -------
+
+TEST(Models, FactoriesProduceExpectedGeometry) {
+  util::Rng rng(15);
+  auto femnist = cnn_femnist(1.0)(rng);
+  EXPECT_EQ(femnist->in_features(), 28u * 28);
+  EXPECT_EQ(femnist->num_classes(), 62u);
+  EXPECT_GT(femnist->dim(), 400000u);  // the paper's D > 400,000
+
+  auto cifar = cnn_cifar(0.25)(rng);
+  EXPECT_EQ(cifar->in_features(), 3u * 32 * 32);
+  EXPECT_EQ(cifar->num_classes(), 10u);
+
+  auto lg = logistic(10, 3)(rng);
+  EXPECT_EQ(lg->dim(), 33u);
+}
+
+TEST(Models, MakeModelDispatchesAndValidates) {
+  util::Rng rng(16);
+  EXPECT_EQ(make_model("mlp", 1, 4, 4, 5, 8)(rng)->num_classes(), 5u);
+  EXPECT_EQ(make_model("logistic", 1, 4, 4, 5)(rng)->dim(), 16u * 5 + 5);
+  EXPECT_THROW(make_model("transformer", 1, 4, 4, 5), std::invalid_argument);
+  EXPECT_THROW(cnn_femnist(0.0), std::invalid_argument);
+  EXPECT_THROW(cnn_femnist(1.5), std::invalid_argument);
+}
+
+TEST(Models, SameSeedSameInit) {
+  util::Rng a(17), b(17);
+  auto m1 = mlp(5, {4}, 3)(a);
+  auto m2 = mlp(5, {4}, 3)(b);
+  for (std::size_t i = 0; i < m1->dim(); ++i) {
+    EXPECT_FLOAT_EQ(m1->weights()[i], m2->weights()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace fedsparse::nn

@@ -1,0 +1,207 @@
+// Unit tests for the tensor substrate: Matrix, GEMM variants, im2col/col2im.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "tensor/im2col.h"
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace fedsparse::tensor {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, util::Rng& rng) {
+  Matrix m(r, c);
+  for (auto& v : m.flat()) v = static_cast<float>(rng.normal());
+  return m;
+}
+
+// Reference GEMM: direct triple loop on logical (possibly transposed) views.
+Matrix naive_gemm(const Matrix& a, bool ta, const Matrix& b, bool tb, float alpha) {
+  const std::size_t m = ta ? a.cols() : a.rows();
+  const std::size_t k = ta ? a.rows() : a.cols();
+  const std::size_t n = tb ? b.rows() : b.cols();
+  Matrix c(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = ta ? a.at(p, i) : a.at(i, p);
+        const float bv = tb ? b.at(j, p) : b.at(p, j);
+        acc += static_cast<double>(av) * bv;
+      }
+      c.at(i, j) = alpha * static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+void expect_matrix_near(const Matrix& a, const Matrix& b, float tol) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      EXPECT_NEAR(a.at(i, j), b.at(i, j), tol) << "at (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(Matrix, ConstructAndAccess) {
+  Matrix m(2, 3, 1.5f);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  m.at(1, 2) = 7.0f;
+  EXPECT_FLOAT_EQ(m.at(1, 2), 7.0f);
+  EXPECT_FLOAT_EQ(m.row(1)[2], 7.0f);
+}
+
+TEST(Matrix, VectorConstructorValidatesSize) {
+  EXPECT_NO_THROW(Matrix(2, 2, std::vector<float>{1, 2, 3, 4}));
+  EXPECT_THROW(Matrix(2, 2, std::vector<float>{1, 2, 3}), std::invalid_argument);
+}
+
+struct GemmCase {
+  bool ta, tb;
+};
+
+class GemmTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmTest, MatchesNaiveReference) {
+  util::Rng rng(42);
+  const auto [ta, tb] = GetParam();
+  // Logical op: (5x4) * (4x3).
+  const Matrix a = ta ? random_matrix(4, 5, rng) : random_matrix(5, 4, rng);
+  const Matrix b = tb ? random_matrix(3, 4, rng) : random_matrix(4, 3, rng);
+  Matrix c;
+  gemm(a, ta, b, tb, 2.0f, 0.0f, c);
+  expect_matrix_near(c, naive_gemm(a, ta, b, tb, 2.0f), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransposes, GemmTest,
+                         ::testing::Values(GemmCase{false, false}, GemmCase{false, true},
+                                           GemmCase{true, false}, GemmCase{true, true}));
+
+TEST(Gemm, BetaAccumulates) {
+  util::Rng rng(1);
+  const Matrix a = random_matrix(3, 3, rng);
+  const Matrix b = random_matrix(3, 3, rng);
+  Matrix c(3, 3, 1.0f);
+  gemm(a, false, b, false, 1.0f, 2.0f, c);
+  Matrix expected = naive_gemm(a, false, b, false, 1.0f);
+  for (auto& v : expected.flat()) v += 2.0f;
+  expect_matrix_near(c, expected, 1e-4f);
+}
+
+TEST(Gemm, ThrowsOnDimensionMismatch) {
+  Matrix a(2, 3), b(4, 5), c;
+  EXPECT_THROW(gemm(a, false, b, false, 1.0f, 0.0f, c), std::invalid_argument);
+}
+
+TEST(Gemm, LargerRandomShapes) {
+  util::Rng rng(77);
+  const Matrix a = random_matrix(17, 23, rng);
+  const Matrix b = random_matrix(23, 9, rng);
+  Matrix c;
+  gemm(a, false, b, false, 1.0f, 0.0f, c);
+  expect_matrix_near(c, naive_gemm(a, false, b, false, 1.0f), 5e-4f);
+}
+
+TEST(VecOps, AxpyScaleDotNorm) {
+  std::vector<float> x{1, 2, 3};
+  std::vector<float> y{10, 20, 30};
+  axpy(2.0f, {x.data(), 3}, {y.data(), 3});
+  EXPECT_FLOAT_EQ(y[0], 12.0f);
+  EXPECT_FLOAT_EQ(y[2], 36.0f);
+  scale(0.5f, {y.data(), 3});
+  EXPECT_FLOAT_EQ(y[0], 6.0f);
+  EXPECT_DOUBLE_EQ(dot({x.data(), 3}, {x.data(), 3}), 14.0);
+  EXPECT_NEAR(norm2({x.data(), 3}), std::sqrt(14.0), 1e-12);
+  zero({y.data(), 3});
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+}
+
+TEST(Im2col, IdentityKernelGeometry) {
+  // 1 channel, 3x3 image, 1x1 kernel: cols == image row-major.
+  ConvGeometry g;
+  g.channels = 1;
+  g.height = 3;
+  g.width = 3;
+  g.ksize = 1;
+  const float img[9] = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  Matrix cols;
+  im2col(img, g, cols);
+  ASSERT_EQ(cols.rows(), 1u);
+  ASSERT_EQ(cols.cols(), 9u);
+  for (int i = 0; i < 9; ++i) EXPECT_FLOAT_EQ(cols.row(0)[i], img[i]);
+}
+
+TEST(Im2col, PaddingYieldsZeros) {
+  ConvGeometry g;
+  g.channels = 1;
+  g.height = 2;
+  g.width = 2;
+  g.ksize = 3;
+  g.pad = 1;
+  const float img[4] = {1, 2, 3, 4};
+  Matrix cols;
+  im2col(img, g, cols);
+  ASSERT_EQ(cols.rows(), 9u);   // 1*3*3
+  ASSERT_EQ(cols.cols(), 4u);   // 2x2 output
+  // Top-left kernel tap at output (0,0) reads padded (-1,-1) => 0.
+  EXPECT_FLOAT_EQ(cols.at(0, 0), 0.0f);
+  // Center tap (ky=1,kx=1) at output (0,0) reads (0,0) => 1.
+  EXPECT_FLOAT_EQ(cols.at(4, 0), 1.0f);
+}
+
+TEST(Im2col, Col2imIsAdjoint) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining adjoint
+  // property that guarantees conv backward is consistent with forward.
+  util::Rng rng(5);
+  ConvGeometry g;
+  g.channels = 2;
+  g.height = 5;
+  g.width = 4;
+  g.ksize = 3;
+  g.stride = 1;
+  g.pad = 1;
+  std::vector<float> x(g.image_size());
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+  Matrix cols;
+  im2col(x.data(), g, cols);
+  Matrix y(cols.rows(), cols.cols());
+  for (auto& v : y.flat()) v = static_cast<float>(rng.normal());
+
+  double lhs = 0.0;
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    lhs += static_cast<double>(cols.data()[i]) * y.data()[i];
+  }
+  std::vector<float> xt(g.image_size(), 0.0f);
+  col2im(y, g, xt.data());
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) rhs += static_cast<double>(x[i]) * xt[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Im2col, StrideTwoGeometry) {
+  ConvGeometry g;
+  g.channels = 1;
+  g.height = 4;
+  g.width = 4;
+  g.ksize = 2;
+  g.stride = 2;
+  EXPECT_EQ(g.out_height(), 2u);
+  EXPECT_EQ(g.out_width(), 2u);
+  const float img[16] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+  Matrix cols;
+  im2col(img, g, cols);
+  // Output (0,0) window is {1,2,5,6}; tap (0,0) reads 1, tap (1,1) reads 6.
+  EXPECT_FLOAT_EQ(cols.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(cols.at(3, 0), 6.0f);
+  // Output (1,1) window is {11,12,15,16}.
+  EXPECT_FLOAT_EQ(cols.at(0, 3), 11.0f);
+  EXPECT_FLOAT_EQ(cols.at(3, 3), 16.0f);
+}
+
+}  // namespace
+}  // namespace fedsparse::tensor
