@@ -1,0 +1,195 @@
+// Emits BENCH_micro.json: before/after timings of every kernel this repo's
+// per-round hot path runs — top-k selection (seed heap vs quickselect), GEMM
+// (seed scalar triple loop vs blocked 4x-unrolled kernel), accumulator adds,
+// and the FAB-top-k server round. Self-contained (std::chrono, no google
+// benchmark) so CI can produce the JSON artifact on any box.
+//
+// Usage: emit_json [output_path] [--quick]
+//   output_path defaults to BENCH_micro.json in the current directory.
+//   --quick shrinks the measurement budget (CI smoke).
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sparsify/accumulator.h"
+#include "sparsify/fab_topk.h"
+#include "sparsify/method.h"
+#include "sparsify/topk.h"
+#include "tensor/matrix.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace fedsparse;
+using Clock = std::chrono::steady_clock;
+
+double g_budget_seconds = 0.5;  // per kernel; --quick shrinks it
+
+template <typename T>
+inline void do_not_optimize(const T& value) {
+  asm volatile("" : : "g"(&value) : "memory");
+}
+
+struct KernelResult {
+  std::string name;
+  std::string baseline;  // empty when this kernel IS a baseline
+  double ns_per_op = 0.0;
+  double items_per_s = 0.0;
+  std::size_t iterations = 0;
+};
+
+/// Runs fn repeatedly until the time budget is spent (at least 3 iterations)
+/// and reports mean ns/op. `items` is the per-op work amount for items/s.
+KernelResult measure(const std::string& name, const std::string& baseline, double items,
+                     const std::function<void()>& fn) {
+  fn();  // warmup (also warms scratch-buffer capacities)
+  std::size_t iters = 0;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    fn();
+    ++iters;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < g_budget_seconds || iters < 3);
+  KernelResult r;
+  r.name = name;
+  r.baseline = baseline;
+  r.iterations = iters;
+  r.ns_per_op = elapsed * 1e9 / static_cast<double>(iters);
+  r.items_per_s = items * static_cast<double>(iters) / elapsed;
+  std::printf("  %-28s %12.0f ns/op  %10.3e items/s  (%zu iters)\n", name.c_str(), r.ns_per_op,
+              r.items_per_s, iters);
+  return r;
+}
+
+std::vector<float> random_vec(std::size_t d, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> v(d);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+void bench_topk(std::vector<KernelResult>& out) {
+  const std::size_t d = 1u << 20;  // 1M — the acceptance-criteria point
+  const std::size_t k = 1000;
+  const auto v = random_vec(d, 1);
+  const std::span<const float> vs{v.data(), v.size()};
+  out.push_back(measure("topk_heap_D1M_k1000", "", static_cast<double>(d), [&] {
+    do_not_optimize(sparsify::top_k_entries_heap(vs, k));
+  }));
+  sparsify::TopKWorkspace ws;
+  sparsify::SparseVector result;
+  out.push_back(measure("topk_quickselect_D1M_k1000", "topk_heap_D1M_k1000",
+                        static_cast<double>(d), [&] {
+                          sparsify::top_k_entries(vs, k, ws, result);
+                          do_not_optimize(result);
+                        }));
+}
+
+void bench_gemm(std::vector<KernelResult>& out) {
+  const std::size_t n = 256;  // MLP-layer scale used by nn/models
+  tensor::Matrix a(n, n), b(n, n), c(n, n);
+  util::Rng rng(7);
+  for (auto& x : a.flat()) x = static_cast<float>(rng.normal());
+  for (auto& x : b.flat()) x = static_cast<float>(rng.normal());
+  const double flops = 2.0 * static_cast<double>(n) * n * n;
+  out.push_back(measure("gemm_reference_256", "", flops, [&] {
+    tensor::zero(c.flat());
+    tensor::detail::gemm_nn_reference(a, b, 1.0f, c);
+    do_not_optimize(c);
+  }));
+  out.push_back(measure("gemm_blocked_256", "gemm_reference_256", flops, [&] {
+    tensor::gemm(a, false, b, false, 1.0f, 0.0f, c);
+    do_not_optimize(c);
+  }));
+}
+
+void bench_accumulator(std::vector<KernelResult>& out) {
+  const std::size_t d = 1u << 20;
+  sparsify::GradientAccumulator acc(d);
+  const auto g = random_vec(d, 3);
+  out.push_back(measure("accumulator_add_D1M", "", static_cast<double>(d), [&] {
+    acc.add({g.data(), g.size()});
+    do_not_optimize(acc.value().data());
+  }));
+}
+
+void bench_fab_round(std::vector<KernelResult>& out) {
+  const std::size_t n = 10, d = 1u << 17;
+  const std::size_t k = d / 100 + 1;
+  std::vector<std::vector<float>> vecs;
+  for (std::size_t i = 0; i < n; ++i) vecs.push_back(random_vec(d, i + 1));
+  std::vector<double> weights(n, 1.0 / static_cast<double>(n));
+  sparsify::RoundInput in;
+  in.dim = d;
+  in.round = 1;
+  in.data_weights = {weights.data(), weights.size()};
+  for (const auto& v : vecs) in.client_vectors.push_back({v.data(), v.size()});
+  sparsify::FabTopK method(d);
+  out.push_back(measure("fab_server_round_N10_D128k", "", static_cast<double>(n * d), [&] {
+    do_not_optimize(method.round(in, k));
+  }));
+}
+
+void bench_parallel_for(std::vector<KernelResult>& out) {
+  util::ThreadPool pool;
+  const std::size_t n = 1u << 20;
+  std::vector<float> x(n, 1.0f);
+  out.push_back(measure("parallel_for_chunked_1M", "", static_cast<double>(n), [&] {
+    pool.parallel_for(n, [&](std::size_t i) { x[i] *= 1.0000001f; });
+    do_not_optimize(x.data());
+  }));
+}
+
+double find_ns(const std::vector<KernelResult>& rs, const std::string& name) {
+  for (const auto& r : rs) {
+    if (r.name == name) return r.ns_per_op;
+  }
+  return 0.0;
+}
+
+void write_json(const std::vector<KernelResult>& rs, const std::string& path) {
+  std::ofstream f(path);
+  f << "{\n  \"schema\": 1,\n  \"kernels\": [\n";
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    const auto& r = rs[i];
+    f << "    {\"name\": \"" << r.name << "\", \"ns_per_op\": " << r.ns_per_op
+      << ", \"items_per_s\": " << r.items_per_s << ", \"iterations\": " << r.iterations;
+    if (!r.baseline.empty()) {
+      const double base = find_ns(rs, r.baseline);
+      f << ", \"baseline\": \"" << r.baseline
+        << "\", \"speedup_vs_baseline\": " << (r.ns_per_op > 0.0 ? base / r.ns_per_op : 0.0);
+    }
+    f << "}" << (i + 1 < rs.size() ? "," : "") << "\n";
+  }
+  f << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path = "BENCH_micro.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      g_budget_seconds = 0.05;
+    } else {
+      path = argv[i];
+    }
+  }
+  std::printf("fedsparse kernel microbenchmarks (budget %.2fs/kernel)\n", g_budget_seconds);
+  std::vector<KernelResult> results;
+  bench_topk(results);
+  bench_gemm(results);
+  bench_accumulator(results);
+  bench_fab_round(results);
+  bench_parallel_for(results);
+  write_json(results, path);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

@@ -1,9 +1,12 @@
 // Micro-benchmarks of the primitives on the per-round hot path: top-k
-// selection, the FAB-top-k server selection (κ binary search + aggregation),
-// accumulator updates, sparse algebra, and the GEMM kernel under the models.
+// selection (seed heap vs quickselect), the FAB-top-k server selection
+// (κ search + aggregation), accumulator updates, sparse algebra, and the
+// GEMM kernel under the models (seed scalar loop vs blocked micro-kernel).
 //
 // Not a paper figure — this quantifies the Section III-B complexity claims
-// (client sort O(D log D) vs our O(D log k) heap; server O(ND log D)).
+// (client sort O(D log D) vs our O(D) expected quickselect; server
+// O(ND log D)). bench/emit_json.cpp runs the same kernel pairs without the
+// google-benchmark dependency and writes BENCH_micro.json for CI tracking.
 #include <benchmark/benchmark.h>
 
 #include <vector>
@@ -28,12 +31,34 @@ std::vector<float> random_vec(std::size_t d, std::uint64_t seed) {
   return v;
 }
 
-void BM_TopKSelect(benchmark::State& state) {
+// Seed implementation (bounded min-heap, O(D log k)) — the "before" side of
+// every top-k comparison, kept callable so speedups stay measurable in-tree.
+void BM_TopKHeap(benchmark::State& state) {
   const auto d = static_cast<std::size_t>(state.range(0));
   const auto k = static_cast<std::size_t>(state.range(1));
   const auto v = random_vec(d, 1);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sparsify::top_k_entries({v.data(), v.size()}, k));
+    benchmark::DoNotOptimize(sparsify::top_k_entries_heap({v.data(), v.size()}, k));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(d));
+}
+BENCHMARK(BM_TopKHeap)
+    ->Args({1 << 14, 256})
+    ->Args({1 << 17, 4096})
+    ->Args({1 << 20, 1000});
+
+// Production path: sampled-threshold + nth_element quickselect through a
+// reused workspace (zero steady-state allocations).
+void BM_TopKSelect(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto v = random_vec(d, 1);
+  sparsify::TopKWorkspace ws;
+  sparsify::SparseVector out;
+  for (auto _ : state) {
+    sparsify::top_k_entries({v.data(), v.size()}, k, ws, out);
+    benchmark::DoNotOptimize(out);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(d));
@@ -43,7 +68,8 @@ BENCHMARK(BM_TopKSelect)
     ->Args({1 << 14, 16})
     ->Args({1 << 14, 256})
     ->Args({1 << 17, 256})
-    ->Args({1 << 17, 4096});
+    ->Args({1 << 17, 4096})
+    ->Args({1 << 20, 1000});
 
 void BM_FabServerRound(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -90,6 +116,24 @@ void BM_SparseSubtract(benchmark::State& state) {
 }
 BENCHMARK(BM_SparseSubtract)->Arg(256)->Arg(4096);
 
+// Seed scalar triple loop — the "before" side of the GEMM comparison.
+void BM_GemmReference(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  tensor::Matrix a(n, n), b(n, n), c(n, n);
+  util::Rng rng(7);
+  for (auto& x : a.flat()) x = static_cast<float>(rng.normal());
+  for (auto& x : b.flat()) x = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    tensor::zero(c.flat());
+    tensor::detail::gemm_nn_reference(a, b, 1.0f, c);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmReference)->Arg(64)->Arg(128)->Arg(256);
+
+// Production path: mc/kc/nc-blocked with the 4x16 register micro-kernel.
 void BM_Gemm(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   tensor::Matrix a(n, n), b(n, n), c(n, n);

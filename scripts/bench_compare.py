@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_micro.json files (as written by bench/emit_json).
+
+Usage: bench_compare.py OLD.json NEW.json [--threshold PCT]
+
+Prints a per-kernel table of ns/op deltas and exits nonzero when any kernel
+regressed by more than --threshold percent (default 10). Intended for CI once
+a baseline artifact is being archived; until then it is a manual tool:
+
+    ./build/emit_json /tmp/before.json   # on the old commit
+    ./build/emit_json /tmp/after.json    # on the new commit
+    scripts/bench_compare.py /tmp/before.json /tmp/after.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {k["name"]: k for k in doc.get("kernels", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("old")
+    ap.add_argument("new")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="max tolerated regression in percent (default 10)")
+    args = ap.parse_args()
+
+    try:
+        old, new = load(args.old), load(args.new)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    shared = sorted(set(old) & set(new))
+    if not shared:
+        print("no kernels in common between the two files", file=sys.stderr)
+        return 2
+
+    regressions = []
+    print(f"{'kernel':<32} {'old ns/op':>14} {'new ns/op':>14} {'delta':>8}")
+    for name in shared:
+        o, n = old[name]["ns_per_op"], new[name]["ns_per_op"]
+        delta = (n - o) / o * 100.0 if o else 0.0
+        flag = ""
+        if delta > args.threshold:
+            regressions.append((name, delta))
+            flag = "  <-- REGRESSION"
+        print(f"{name:<32} {o:>14.0f} {n:>14.0f} {delta:>+7.1f}%{flag}")
+    for name in sorted(set(old) ^ set(new)):
+        side = "old only" if name in old else "new only"
+        print(f"{name:<32} ({side})")
+
+    if regressions:
+        print(f"\n{len(regressions)} kernel(s) regressed past {args.threshold}%",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,7 @@
 
 #include "online/estimator.h"
 #include "online/rounding.h"
+#include "tensor/matrix.h"
 #include "util/logging.h"
 #include "util/stats.h"
 
@@ -67,6 +68,17 @@ Simulation::Simulation(SimulationConfig cfg, data::FederatedDataset dataset,
   util::log_info() << "Simulation: " << clients_.size() << " clients, D=" << dim_
                    << ", method=" << method_->name() << ", controller=" << controller_->name()
                    << ", beta=" << cfg.comm_time;
+
+  // Let large GEMMs inside client forward/backward split their M loop across
+  // this pool. Nested parallel_for calls are safe: the caller always drains
+  // chunks itself, so a busy pool just means the inner call runs serially.
+  tensor::set_parallel_pool(&pool_);
+}
+
+Simulation::~Simulation() {
+  // Unregister only if still pointing at our pool (last Simulation wins when
+  // several coexist; they must not run concurrently in one process).
+  if (tensor::parallel_pool() == &pool_) tensor::set_parallel_pool(nullptr);
 }
 
 std::vector<std::size_t> Simulation::sample_participants() {
@@ -154,12 +166,15 @@ SimulationResult Simulation::run() {
     // (A) Local computation at w(m−1), participating clients in parallel. A
     // synchronous round waits for the slowest participant.
     const std::vector<std::size_t> part = sample_participants();
-    pool_.parallel_for(part.size(), [&](std::size_t s) {
-      const std::size_t i = part[s];
-      mb_losses[i] = fedavg_style
-                         ? clients_[i]->local_update(m, cfg_.batch, cfg_.lr)
-                         : clients_[i]->compute_round_gradient(m, cfg_.batch);
-    });
+    pool_.parallel_for(
+        part.size(),
+        [&](std::size_t s) {
+          const std::size_t i = part[s];
+          mb_losses[i] = fedavg_style
+                             ? clients_[i]->local_update(m, cfg_.batch, cfg_.lr)
+                             : clients_[i]->compute_round_gradient(m, cfg_.batch);
+        },
+        /*grain=*/1);
     double compute_multiplier = 0.0;
     for (const std::size_t i : part) {
       compute_multiplier = std::max(compute_multiplier, client_compute_[i]);
@@ -189,31 +204,41 @@ SimulationResult Simulation::run() {
       }
     }
 
-    // (B)/(C) Apply the global update; weights stay synchronized for GS.
-    switch (outcome.kind) {
-      case sparsify::RoundOutcome::Kind::kSparseUpdate:
-        pool_.parallel_for(n, [&](std::size_t i) {
-          clients_[i]->apply_sparse_update(outcome.update, cfg_.lr);
-        });
-        break;
-      case sparsify::RoundOutcome::Kind::kDenseUpdate:
-        pool_.parallel_for(n, [&](std::size_t i) {
-          clients_[i]->apply_dense_update(outcome.dense, cfg_.lr);
-        });
-        break;
-      case sparsify::RoundOutcome::Kind::kWeightAverage:
-        pool_.parallel_for(n, [&](std::size_t i) {
-          clients_[i]->set_weights({outcome.dense.data(), outcome.dense.size()});
-        });
-        break;
-      case sparsify::RoundOutcome::Kind::kLocalOnly:
-        break;
+    // (B)/(C) Apply the global update and consume transmitted accumulator
+    // entries in ONE fused parallel pass: each client is touched exactly once
+    // per round instead of once per sub-step, halving the fork/join barriers.
+    part_slot_.assign(n, -1);
+    for (std::size_t s = 0; s < part.size(); ++s) {
+      part_slot_[part[s]] = static_cast<std::int32_t>(s);
     }
-    if (!fedavg_style) {
-      pool_.parallel_for(part.size(), [&](std::size_t s) {
-        clients_[part[s]]->reset_accumulated(
-            {outcome.reset[s].data(), outcome.reset[s].size()});
-      });
+    // kLocalOnly with a local-update method means no apply AND no resets —
+    // skip the barrier entirely instead of forking n no-op tasks.
+    const bool round_touches_clients =
+        outcome.kind != sparsify::RoundOutcome::Kind::kLocalOnly || !fedavg_style;
+    if (round_touches_clients) {
+      pool_.parallel_for(
+          n,
+          [&](std::size_t i) {
+            switch (outcome.kind) {
+              case sparsify::RoundOutcome::Kind::kSparseUpdate:
+                clients_[i]->apply_sparse_update(outcome.update, cfg_.lr);
+                break;
+              case sparsify::RoundOutcome::Kind::kDenseUpdate:
+                clients_[i]->apply_dense_update(outcome.dense, cfg_.lr);
+                break;
+              case sparsify::RoundOutcome::Kind::kWeightAverage:
+                clients_[i]->set_weights({outcome.dense.data(), outcome.dense.size()});
+                break;
+              case sparsify::RoundOutcome::Kind::kLocalOnly:
+                break;
+            }
+            const std::int32_t s = part_slot_[i];
+            if (!fedavg_style && s >= 0) {
+              clients_[i]->reset_accumulated({outcome.reset[static_cast<std::size_t>(s)].data(),
+                                              outcome.reset[static_cast<std::size_t>(s)].size()});
+            }
+          },
+          /*grain=*/1);
     }
     for (std::size_t s = 0; s < part.size(); ++s) {
       res.contributed_totals[part[s]] += outcome.contributed[s];
@@ -227,12 +252,15 @@ SimulationResult Simulation::run() {
     double wall_time = fb.round_time;
     if (!fedavg_style) {
       std::vector<double> pv(part.size()), cv(part.size()), sv(part.size());
-      pool_.parallel_for(part.size(), [&](std::size_t s) {
-        Client& c = *clients_[part[s]];
-        pv[s] = c.probe_loss_prev();
-        cv[s] = c.probe_loss_now();
-        if (want_probe) sv[s] = c.probe_loss_shifted(probe_diff, cfg_.lr);
-      });
+      pool_.parallel_for(
+          part.size(),
+          [&](std::size_t s) {
+            Client& c = *clients_[part[s]];
+            pv[s] = c.probe_loss_prev();
+            cv[s] = c.probe_loss_now();
+            if (want_probe) sv[s] = c.probe_loss_shifted(probe_diff, cfg_.lr);
+          },
+          /*grain=*/1);
       fb.loss_prev = util::mean_of(pv);
       fb.loss_cur = util::mean_of(cv);
       if (want_probe) {

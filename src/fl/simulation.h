@@ -110,6 +110,7 @@ class Simulation {
   Simulation(SimulationConfig cfg, data::FederatedDataset dataset, nn::ModelFactory factory,
              std::unique_ptr<sparsify::Method> method,
              std::unique_ptr<online::KController> controller);
+  ~Simulation();
 
   SimulationResult run();
 
@@ -152,6 +153,7 @@ class Simulation {
   util::Rng rng_;
   std::size_t dim_ = 0;
   std::vector<float> fedavg_weights_;  // scratch for weight averaging
+  std::vector<std::int32_t> part_slot_;  // client id -> participant slot (-1 = absent)
   bool switched_ = false;
 };
 

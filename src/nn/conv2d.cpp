@@ -46,7 +46,7 @@ void Conv2d::forward(const Matrix& x, Matrix& y) {
   const std::size_t batch = x.rows();
   const std::size_t spatial = geom_.col_cols();  // outH*outW
   const std::size_t ckk = geom_.col_rows();
-  y.resize(batch, out_channels_ * spatial);
+  y.reshape(batch, out_channels_ * spatial);  // fully overwritten below
   for (std::size_t s = 0; s < batch; ++s) {
     tensor::im2col(x.row(s), geom_, cols_);
     float* ys = y.row(s);
@@ -69,7 +69,7 @@ void Conv2d::backward(const Matrix& dy, Matrix& dx) {
   const std::size_t batch = dy.rows();
   const std::size_t spatial = geom_.col_cols();
   const std::size_t ckk = geom_.col_rows();
-  dx.resize(batch, geom_.image_size());
+  dx.reshape(batch, geom_.image_size());
   tensor::zero(dx.flat());
   for (std::size_t s = 0; s < batch; ++s) {
     tensor::im2col(x_cache_.row(s), geom_, cols_);  // recompute (saves memory)
@@ -89,7 +89,7 @@ void Conv2d::backward(const Matrix& dy, Matrix& dx) {
       }
     }
     // dcols(r, p) = sum_o W(o, r) * dy(o, p); then scatter back to image space.
-    dcols_.resize(ckk, spatial);
+    dcols_.reshape(ckk, spatial);
     tensor::zero(dcols_.flat());
     for (std::size_t o = 0; o < out_channels_; ++o) {
       const float* dyrow = dys + o * spatial;

@@ -9,7 +9,10 @@ void GradientAccumulator::add(std::span<const float> grad) {
   if (grad.size() != a_.size()) {
     throw std::invalid_argument("GradientAccumulator::add: dimension mismatch");
   }
-  for (std::size_t i = 0; i < a_.size(); ++i) a_[i] += grad[i];
+  float* __restrict__ a = a_.data();
+  const float* __restrict__ g = grad.data();
+  const std::size_t n = a_.size();
+  for (std::size_t i = 0; i < n; ++i) a[i] += g[i];
 }
 
 void GradientAccumulator::reset_indices(std::span<const std::int32_t> indices) {

@@ -34,61 +34,94 @@ std::size_t FabTopK::find_kappa(const std::vector<SparseVector>& uploads, std::s
   return lo;
 }
 
+std::size_t FabTopK::find_kappa_stamped(std::size_t k) {
+  // growth[j] = number of indices appearing first at prefix depth j+1, so
+  // |∪_i J_i^κ| = growth[0] + … + growth[κ-1]. One stamp pass computes every
+  // union size at once; the walk then returns the largest κ with size ≤ k.
+  union_growth_.assign(k, 0);
+  ++stamp_token_;
+  const std::uint32_t token = stamp_token_;
+  for (std::size_t j = 0; j < k; ++j) {
+    for (const auto& up : uploads_) {
+      if (up.size() <= j) continue;
+      const auto idx = static_cast<std::size_t>(up[j].index);
+      if (stamp_[idx] != token) {
+        stamp_[idx] = token;
+        ++union_growth_[j];
+      }
+    }
+  }
+  std::size_t size = 0, kappa = 0;
+  for (std::size_t j = 0; j < k; ++j) {
+    size += union_growth_[j];
+    if (size > k) break;
+    kappa = j + 1;
+  }
+  return kappa;
+}
+
 RoundOutcome FabTopK::round(const RoundInput& in, std::size_t k) {
   validate_round_input(in);
   const std::size_t n = in.client_vectors.size();
   k = std::clamp<std::size_t>(k, 1, dim_);
 
   // Client side: top-k of the accumulated gradient, strongest first.
-  std::vector<SparseVector> uploads(n);
-  for (std::size_t i = 0; i < n; ++i) uploads[i] = top_k_entries(in.client_vectors[i], k);
+  // uploads_ / topk_ws_ keep their capacity across rounds — no allocations
+  // here once warm.
+  uploads_.resize(n);  // shrink-to-n keeps find_kappa_stamped's view exact
+  for (std::size_t i = 0; i < n; ++i) {
+    top_k_entries(in.client_vectors[i], k, topk_ws_, uploads_[i]);
+  }
 
   // Server side: fairness-aware selection.
-  const std::size_t kappa = find_kappa(uploads, k);
+  const std::size_t kappa = find_kappa_stamped(k);
 
   ++stamp_token_;
   const std::uint32_t in_j = stamp_token_;
-  std::vector<std::int32_t> selected;
-  selected.reserve(k);
-  for (const auto& up : uploads) {
+  selected_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& up = uploads_[i];
     const std::size_t take = std::min(kappa, up.size());
     for (std::size_t j = 0; j < take; ++j) {
       const auto idx = static_cast<std::size_t>(up[j].index);
       if (stamp_[idx] != in_j) {
         stamp_[idx] = in_j;
-        selected.push_back(up[j].index);
+        selected_.push_back(up[j].index);
       }
     }
   }
 
   // Fill to k from the (κ+1)-th candidates (the only members of
   // (∪J^{κ+1}) \ (∪J^κ)), strongest |value| first, deterministic tie-break.
-  if (selected.size() < k) {
-    SparseVector candidates;
-    for (const auto& up : uploads) {
+  if (selected_.size() < k) {
+    fill_candidates_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& up = uploads_[i];
       if (up.size() > kappa) {
         const auto& e = up[kappa];
-        if (stamp_[static_cast<std::size_t>(e.index)] != in_j) candidates.push_back(e);
+        if (stamp_[static_cast<std::size_t>(e.index)] != in_j) fill_candidates_.push_back(e);
       }
     }
-    std::sort(candidates.begin(), candidates.end(), [](const SparseEntry& a, const SparseEntry& b) {
-      const float aa = std::fabs(a.value), bb = std::fabs(b.value);
-      if (aa != bb) return aa > bb;
-      return a.index < b.index;
-    });
-    for (const auto& e : candidates) {
-      if (selected.size() >= k) break;
+    std::sort(fill_candidates_.begin(), fill_candidates_.end(),
+              [](const SparseEntry& a, const SparseEntry& b) {
+                const float aa = std::fabs(a.value), bb = std::fabs(b.value);
+                if (aa != bb) return aa > bb;
+                return a.index < b.index;
+              });
+    for (const auto& e : fill_candidates_) {
+      if (selected_.size() >= k) break;
       const auto idx = static_cast<std::size_t>(e.index);
       if (stamp_[idx] != in_j) {
         stamp_[idx] = in_j;
-        selected.push_back(e.index);
+        selected_.push_back(e.index);
       }
     }
   }
 
-  // Aggregate b_j = Σ_i (C_i/C) a_ij over uploaders, for j ∈ J only, and
-  // record per-client resets/contributions.
-  for (const std::int32_t j : selected) agg_[static_cast<std::size_t>(j)] = 0.0f;
+  // Aggregate b_j = Σ_i (C_i/C) a_ij over uploaders, for j ∈ J only, through
+  // the reusable dense accumulator agg_; record per-client resets and
+  // contributions in the same pass.
+  for (const std::int32_t j : selected_) agg_[static_cast<std::size_t>(j)] = 0.0f;
 
   RoundOutcome out;
   out.kind = RoundOutcome::Kind::kSparseUpdate;
@@ -96,7 +129,7 @@ RoundOutcome FabTopK::round(const RoundInput& in, std::size_t k) {
   out.contributed.assign(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
     const auto w = static_cast<float>(in.data_weights[i]);
-    for (const auto& e : uploads[i]) {
+    for (const auto& e : uploads_[i]) {
       const auto idx = static_cast<std::size_t>(e.index);
       if (stamp_[idx] == in_j) {  // j ∈ J and j ∈ J_i
         agg_[idx] += w * e.value;
@@ -106,8 +139,8 @@ RoundOutcome FabTopK::round(const RoundInput& in, std::size_t k) {
     }
   }
 
-  out.update.reserve(selected.size());
-  for (const std::int32_t j : selected) {
+  out.update.reserve(selected_.size());
+  for (const std::int32_t j : selected_) {
     out.update.push_back(SparseEntry{j, agg_[static_cast<std::size_t>(j)]});
   }
   sort_by_index(out.update);

@@ -16,6 +16,7 @@
 #pragma once
 
 #include "sparsify/method.h"
+#include "sparsify/topk.h"
 
 namespace fedsparse::sparsify {
 
@@ -26,17 +27,31 @@ class FabTopK final : public Method {
   std::string name() const override { return "fab_topk"; }
   RoundOutcome round(const RoundInput& in, std::size_t k) override;
 
-  /// Exposed for unit tests: given per-client uploads sorted strongest-first,
-  /// returns the largest κ ∈ [0, k] with |∪_i J_i^κ| ≤ k.
+  /// Reference κ search (hash-set based), exposed for unit tests: given
+  /// per-client uploads sorted strongest-first, returns the largest
+  /// κ ∈ [0, k] with |∪_i J_i^κ| ≤ k. round() uses the zero-allocation
+  /// stamp-based equivalent.
   static std::size_t find_kappa(const std::vector<SparseVector>& uploads, std::size_t k);
 
  private:
+  /// Stamp-based κ search: one O(N·k) pass counting how many *new* indices
+  /// each prefix depth contributes, then a prefix-sum walk. Same result as
+  /// find_kappa, no hashing, no allocation beyond the reused growth buffer.
+  std::size_t find_kappa_stamped(std::size_t k);
+
   std::size_t dim_;
   // Dense scratch reused across rounds (sized D): aggregation buffer and a
   // membership stamp array (stamped with the round counter to avoid clears).
   std::vector<float> agg_;
   std::vector<std::uint32_t> stamp_;
   std::uint32_t stamp_token_ = 0;
+  // Per-round scratch, reused so steady-state rounds allocate nothing in the
+  // selection path.
+  TopKWorkspace topk_ws_;
+  std::vector<SparseVector> uploads_;
+  std::vector<std::int32_t> selected_;
+  SparseVector fill_candidates_;
+  std::vector<std::size_t> union_growth_;
 };
 
 }  // namespace fedsparse::sparsify

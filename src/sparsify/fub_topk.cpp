@@ -14,31 +14,33 @@ RoundOutcome FubTopK::round(const RoundInput& in, std::size_t k) {
   const std::size_t n = in.client_vectors.size();
   k = std::clamp<std::size_t>(k, 1, dim_);
 
-  std::vector<SparseVector> uploads(n);
-  for (std::size_t i = 0; i < n; ++i) uploads[i] = top_k_entries(in.client_vectors[i], k);
+  uploads_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    top_k_entries(in.client_vectors[i], k, topk_ws_, uploads_[i]);
+  }
 
   // Aggregate everything uploaded, then keep the top-k by |aggregate|.
   ++stamp_token_;
   const std::uint32_t touched = stamp_token_;
-  std::vector<std::int32_t> touched_list;
-  for (const auto& up : uploads) {
+  touched_list_.clear();
+  for (const auto& up : uploads_) {
     for (const auto& e : up) {
       const auto idx = static_cast<std::size_t>(e.index);
       if (stamp_[idx] != touched) {
         stamp_[idx] = touched;
         agg_[idx] = 0.0f;
-        touched_list.push_back(e.index);
+        touched_list_.push_back(e.index);
       }
     }
   }
   for (std::size_t i = 0; i < n; ++i) {
     const auto w = static_cast<float>(in.data_weights[i]);
-    for (const auto& e : uploads[i]) agg_[static_cast<std::size_t>(e.index)] += w * e.value;
+    for (const auto& e : uploads_[i]) agg_[static_cast<std::size_t>(e.index)] += w * e.value;
   }
 
   SparseVector aggregated;
-  aggregated.reserve(touched_list.size());
-  for (const std::int32_t j : touched_list) {
+  aggregated.reserve(touched_list_.size());
+  for (const std::int32_t j : touched_list_) {
     aggregated.push_back(SparseEntry{j, agg_[static_cast<std::size_t>(j)]});
   }
   std::sort(aggregated.begin(), aggregated.end(), [](const SparseEntry& a, const SparseEntry& b) {
@@ -60,7 +62,7 @@ RoundOutcome FubTopK::round(const RoundInput& in, std::size_t k) {
   out.reset.resize(n);
   out.contributed.assign(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
-    for (const auto& e : uploads[i]) {
+    for (const auto& e : uploads_[i]) {
       if (stamp_[static_cast<std::size_t>(e.index)] == in_j) {
         out.reset[i].push_back(e.index);
         ++out.contributed[i];

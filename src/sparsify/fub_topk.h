@@ -7,6 +7,7 @@
 #pragma once
 
 #include "sparsify/method.h"
+#include "sparsify/topk.h"
 
 namespace fedsparse::sparsify {
 
@@ -22,6 +23,10 @@ class FubTopK final : public Method {
   std::vector<float> agg_;
   std::vector<std::uint32_t> stamp_;
   std::uint32_t stamp_token_ = 0;
+  // Per-round scratch reused across rounds (zero steady-state allocations).
+  TopKWorkspace topk_ws_;
+  std::vector<SparseVector> uploads_;
+  std::vector<std::int32_t> touched_list_;
 };
 
 }  // namespace fedsparse::sparsify

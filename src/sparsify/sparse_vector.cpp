@@ -12,7 +12,7 @@ std::vector<float> to_dense(const SparseVector& sv, std::size_t dim) {
     if (e.index < 0 || static_cast<std::size_t>(e.index) >= dim) {
       throw std::out_of_range("to_dense: index out of range");
     }
-    out[static_cast<std::size_t>(e.index)] = e.value;
+    out[static_cast<std::size_t>(e.index)] += e.value;
   }
   return out;
 }

@@ -17,6 +17,9 @@ struct SparseEntry {
 using SparseVector = std::vector<SparseEntry>;
 
 /// Scatters `sv` into a dense vector of dimension `dim` (unset entries zero).
+/// Duplicate-index contract: repeated indices ACCUMULATE (`+=`), matching
+/// axpy_sparse — a duplicated entry contributes every occurrence, none are
+/// silently dropped.
 std::vector<float> to_dense(const SparseVector& sv, std::size_t dim);
 
 /// dst[j] += alpha * value for each (j, value) in sv.

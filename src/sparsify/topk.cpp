@@ -2,27 +2,116 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
 namespace fedsparse::sparsify {
 
 namespace {
 
-struct HeapItem {
-  float abs_value;
-  std::int32_t index;
-};
-
-// Min-heap ordering on (abs_value asc, index desc) so the weakest element —
-// the one a stronger candidate should evict — sits at the top.
-bool stronger(const HeapItem& a, const HeapItem& b) {
-  if (a.abs_value != b.abs_value) return a.abs_value > b.abs_value;
+// Total order on (|value| desc, index asc): the same order the seed heap used,
+// so the selected set and its presentation are bit-identical.
+inline bool stronger_entry(const SparseEntry& a, const SparseEntry& b) {
+  const float aa = std::fabs(a.value), bb = std::fabs(b.value);
+  if (aa != bb) return aa > bb;
   return a.index < b.index;
 }
 
-std::vector<HeapItem> select(std::span<const float> v, std::size_t k) {
+// Below this dimension the prefilter's sampling pass is not worth its scan;
+// quickselect over all D entries is already cheap.
+constexpr std::size_t kPrefilterMinDim = 4096;
+constexpr std::size_t kSampleSize = 512;
+
+// Estimates an |value| threshold from a strided sample such that roughly
+// 2.5*k of the D entries survive, then keeps only entries >= threshold.
+// Returns false when fewer than k survive (threshold overshot) — the caller
+// falls back to scanning everything. Exactness: if >= k entries pass the
+// filter, the k-th largest |v| overall is >= threshold, so every true top-k
+// entry passed the filter too.
+bool prefilter(std::span<const float> v, std::size_t k, SparseVector& cand) {
+  float sample[kSampleSize];
+  const std::size_t stride = v.size() / kSampleSize;
+  for (std::size_t s = 0; s < kSampleSize; ++s) sample[s] = std::fabs(v[s * stride]);
+  const double frac =
+      std::min(1.0, 2.5 * static_cast<double>(k) / static_cast<double>(v.size()));
+  const auto rank = std::min<std::size_t>(
+      kSampleSize - 1, static_cast<std::size_t>(frac * static_cast<double>(kSampleSize)));
+  std::nth_element(sample, sample + rank, sample + kSampleSize, std::greater<float>());
+  const float threshold = sample[rank];
+
+  cand.clear();
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (std::fabs(v[i]) >= threshold) {
+      cand.push_back(SparseEntry{static_cast<std::int32_t>(i), v[i]});
+    }
+  }
+  if (cand.size() >= k) return true;
+  cand.clear();
+  return false;
+}
+
+// Leaves the k strongest entries in ws.candidates, sorted strongest first.
+void select(std::span<const float> v, std::size_t k, TopKWorkspace& ws) {
+  k = std::min(k, v.size());
+  SparseVector& cand = ws.candidates;
+  cand.clear();
+  if (k == 0) return;
+
+  if (!(k < v.size() && v.size() >= kPrefilterMinDim && prefilter(v, k, cand))) {
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      cand.push_back(SparseEntry{static_cast<std::int32_t>(i), v[i]});
+    }
+  }
+  if (cand.size() > k) {
+    std::nth_element(cand.begin(), cand.begin() + static_cast<std::ptrdiff_t>(k), cand.end(),
+                     stronger_entry);
+    cand.resize(k);
+  }
+  std::sort(cand.begin(), cand.end(), stronger_entry);
+}
+
+}  // namespace
+
+void top_k_entries(std::span<const float> v, std::size_t k, TopKWorkspace& ws, SparseVector& out) {
+  select(v, k, ws);
+  out.assign(ws.candidates.begin(), ws.candidates.end());
+}
+
+void top_k_indices(std::span<const float> v, std::size_t k, TopKWorkspace& ws,
+                   std::vector<std::int32_t>& out) {
+  select(v, k, ws);
+  out.clear();
+  for (const auto& e : ws.candidates) out.push_back(e.index);
+}
+
+std::vector<std::int32_t> top_k_indices(std::span<const float> v, std::size_t k) {
+  TopKWorkspace ws;
+  std::vector<std::int32_t> out;
+  top_k_indices(v, k, ws, out);
+  return out;
+}
+
+SparseVector top_k_entries(std::span<const float> v, std::size_t k) {
+  TopKWorkspace ws;
+  SparseVector out;
+  top_k_entries(v, k, ws, out);
+  return out;
+}
+
+SparseVector top_k_entries_heap(std::span<const float> v, std::size_t k) {
+  struct HeapItem {
+    float abs_value;
+    std::int32_t index;
+  };
+  // Min-heap ordering on (abs_value asc, index desc) so the weakest element —
+  // the one a stronger candidate should evict — sits at the top.
+  const auto stronger = [](const HeapItem& a, const HeapItem& b) {
+    if (a.abs_value != b.abs_value) return a.abs_value > b.abs_value;
+    return a.index < b.index;
+  };
   k = std::min(k, v.size());
   std::vector<HeapItem> heap;
-  if (k == 0) return heap;
+  SparseVector out;
+  if (k == 0) return out;
   heap.reserve(k);
   for (std::size_t i = 0; i < v.size(); ++i) {
     const float av = std::fabs(v[i]);
@@ -36,28 +125,13 @@ std::vector<HeapItem> select(std::span<const float> v, std::size_t k) {
       std::push_heap(heap.begin(), heap.end(), stronger);
     }
   }
-  // Strongest first: sort by (abs desc, index asc).
-  std::sort(heap.begin(), heap.end(), [](const HeapItem& a, const HeapItem& b) {
+  std::sort(heap.begin(), heap.end(), [&](const HeapItem& a, const HeapItem& b) {
     if (a.abs_value != b.abs_value) return a.abs_value > b.abs_value;
     return a.index < b.index;
   });
-  return heap;
-}
-
-}  // namespace
-
-std::vector<std::int32_t> top_k_indices(std::span<const float> v, std::size_t k) {
-  const auto items = select(v, k);
-  std::vector<std::int32_t> out(items.size());
-  for (std::size_t i = 0; i < items.size(); ++i) out[i] = items[i].index;
-  return out;
-}
-
-SparseVector top_k_entries(std::span<const float> v, std::size_t k) {
-  const auto items = select(v, k);
-  SparseVector out(items.size());
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    out[i] = SparseEntry{items[i].index, v[static_cast<std::size_t>(items[i].index)]};
+  out.resize(heap.size());
+  for (std::size_t i = 0; i < heap.size(); ++i) {
+    out[i] = SparseEntry{heap[i].index, v[static_cast<std::size_t>(heap[i].index)]};
   }
   return out;
 }

@@ -1,9 +1,16 @@
 // Top-k selection by absolute value.
 //
-// The per-round, per-client hot path of every top-k GS method. Uses a bounded
-// min-heap (O(D log k)) so no O(D)-sized index buffer is allocated. Ties are
-// broken deterministically (larger |value| first, then smaller index), which
-// keeps whole simulations bit-reproducible.
+// The per-round, per-client hot path of every top-k GS method. The production
+// path is a sampled-threshold prefilter followed by std::nth_element
+// quickselect — O(D) expected work versus the O(D log D) client sort the paper
+// argues against (Section III-B) and the O(D log k) heap of the seed
+// implementation. Ties are broken deterministically (larger |value| first,
+// then smaller index), which keeps whole simulations bit-reproducible; the
+// selected set is exact (identical to a full sort) regardless of sampling.
+//
+// Callers on the round loop should hold a TopKWorkspace and use the
+// scratch-buffer overloads: after the first call warms the buffers up, a
+// round performs zero heap allocations in selection.
 #pragma once
 
 #include <cstdint>
@@ -14,11 +21,33 @@
 
 namespace fedsparse::sparsify {
 
-/// Indices of the k largest-|v| entries, sorted by |v| descending
-/// (ties: smaller index first). k is clamped to v.size().
-std::vector<std::int32_t> top_k_indices(std::span<const float> v, std::size_t k);
+/// Reusable scratch for the quickselect path. One workspace per caller
+/// (not thread-safe); capacity grows to the largest candidate set seen and
+/// is then reused, so steady-state rounds allocate nothing.
+struct TopKWorkspace {
+  SparseVector candidates;  // surviving (index, value) pairs under selection
 
-/// Same selection returned as (index, value) pairs in |value|-descending order.
+  /// Total capacity currently held, in entries — observable by tests that
+  /// assert the steady state stops allocating.
+  std::size_t capacity() const noexcept { return candidates.capacity(); }
+};
+
+/// Writes the k largest-|v| entries into `out` as (index, value) pairs in
+/// |value|-descending order (ties: smaller index first). k is clamped to
+/// v.size(). Zero allocations once `ws` and `out` have warmed capacity.
+void top_k_entries(std::span<const float> v, std::size_t k, TopKWorkspace& ws, SparseVector& out);
+
+/// Same selection, indices only.
+void top_k_indices(std::span<const float> v, std::size_t k, TopKWorkspace& ws,
+                   std::vector<std::int32_t>& out);
+
+/// Allocating conveniences over the scratch API (cold paths and tests).
+std::vector<std::int32_t> top_k_indices(std::span<const float> v, std::size_t k);
 SparseVector top_k_entries(std::span<const float> v, std::size_t k);
+
+/// Seed implementation: bounded min-heap, O(D log k). Retained as the
+/// reference for equivalence tests and as the "before" side of the
+/// BENCH_micro.json kernel comparison.
+SparseVector top_k_entries_heap(std::span<const float> v, std::size_t k);
 
 }  // namespace fedsparse::sparsify

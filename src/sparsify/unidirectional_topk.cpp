@@ -14,31 +14,33 @@ RoundOutcome UnidirectionalTopK::round(const RoundInput& in, std::size_t k) {
   const std::size_t n = in.client_vectors.size();
   k = std::clamp<std::size_t>(k, 1, dim_);
 
-  std::vector<SparseVector> uploads(n);
-  for (std::size_t i = 0; i < n; ++i) uploads[i] = top_k_entries(in.client_vectors[i], k);
+  uploads_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    top_k_entries(in.client_vectors[i], k, topk_ws_, uploads_[i]);
+  }
 
   ++stamp_token_;
   const std::uint32_t touched = stamp_token_;
-  std::vector<std::int32_t> union_indices;
-  for (const auto& up : uploads) {
+  union_indices_.clear();
+  for (const auto& up : uploads_) {
     for (const auto& e : up) {
       const auto idx = static_cast<std::size_t>(e.index);
       if (stamp_[idx] != touched) {
         stamp_[idx] = touched;
         agg_[idx] = 0.0f;
-        union_indices.push_back(e.index);
+        union_indices_.push_back(e.index);
       }
     }
   }
   for (std::size_t i = 0; i < n; ++i) {
     const auto w = static_cast<float>(in.data_weights[i]);
-    for (const auto& e : uploads[i]) agg_[static_cast<std::size_t>(e.index)] += w * e.value;
+    for (const auto& e : uploads_[i]) agg_[static_cast<std::size_t>(e.index)] += w * e.value;
   }
 
   RoundOutcome out;
   out.kind = RoundOutcome::Kind::kSparseUpdate;
-  out.update.reserve(union_indices.size());
-  for (const std::int32_t j : union_indices) {
+  out.update.reserve(union_indices_.size());
+  for (const std::int32_t j : union_indices_) {
     out.update.push_back(SparseEntry{j, agg_[static_cast<std::size_t>(j)]});
   }
   sort_by_index(out.update);
@@ -47,9 +49,9 @@ RoundOutcome UnidirectionalTopK::round(const RoundInput& in, std::size_t k) {
   out.reset.resize(n);
   out.contributed.assign(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
-    out.reset[i].reserve(uploads[i].size());
-    for (const auto& e : uploads[i]) out.reset[i].push_back(e.index);
-    out.contributed[i] = uploads[i].size();
+    out.reset[i].reserve(uploads_[i].size());
+    for (const auto& e : uploads_[i]) out.reset[i].push_back(e.index);
+    out.contributed[i] = uploads_[i].size();
   }
   out.uplink_values = 2.0 * static_cast<double>(k);
   out.downlink_values = 2.0 * static_cast<double>(out.update.size());  // up to 2kN

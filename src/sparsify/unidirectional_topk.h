@@ -6,6 +6,7 @@
 #pragma once
 
 #include "sparsify/method.h"
+#include "sparsify/topk.h"
 
 namespace fedsparse::sparsify {
 
@@ -21,6 +22,10 @@ class UnidirectionalTopK final : public Method {
   std::vector<float> agg_;
   std::vector<std::uint32_t> stamp_;
   std::uint32_t stamp_token_ = 0;
+  // Per-round scratch reused across rounds (zero steady-state allocations).
+  TopKWorkspace topk_ws_;
+  std::vector<SparseVector> uploads_;
+  std::vector<std::int32_t> union_indices_;
 };
 
 }  // namespace fedsparse::sparsify

@@ -4,7 +4,9 @@ namespace fedsparse::tensor {
 
 void im2col(const float* image, const ConvGeometry& g, Matrix& cols) {
   const std::size_t oh = g.out_height(), ow = g.out_width();
-  cols.resize(g.col_rows(), g.col_cols());
+  // Every element is written below, so skip resize()'s zero-fill — the caller
+  // reuses one scratch Matrix across samples/rounds with no allocation.
+  cols.reshape(g.col_rows(), g.col_cols());
   std::size_t row = 0;
   for (std::size_t c = 0; c < g.channels; ++c) {
     const float* chan = image + c * g.height * g.width;

@@ -10,6 +10,10 @@
 #include <span>
 #include <vector>
 
+namespace fedsparse::util {
+class ThreadPool;
+}
+
 namespace fedsparse::tensor {
 
 class Matrix {
@@ -36,7 +40,14 @@ class Matrix {
   std::span<const float> flat() const noexcept { return {data_.data(), data_.size()}; }
 
   void fill(float v) noexcept;
+  /// Resizes and zero-fills (allocation-free when capacity suffices).
   void resize(std::size_t rows, std::size_t cols);
+  /// Resizes WITHOUT re-zeroing surviving elements: grown-into elements are
+  /// zero, everything else keeps its (stale) value. For scratch buffers whose
+  /// every element is overwritten anyway (im2col columns) — skips resize()'s
+  /// full O(rows*cols) clear and never shrinks capacity, so steady-state
+  /// reuse performs no allocation at all.
+  void reshape(std::size_t rows, std::size_t cols);
 
  private:
   std::size_t rows_ = 0;
@@ -46,9 +57,24 @@ class Matrix {
 
 /// GEMM: C = alpha * op(A) * op(B) + beta * C, with op = identity or
 /// transpose controlled by `trans_a` / `trans_b`. Dimensions are validated
-/// (throws std::invalid_argument on mismatch). Blocked over k for cache reuse.
+/// (throws std::invalid_argument on mismatch). The non-transposed kernel is
+/// cache-blocked (mc/kc/nc tiles) with a 4-row-unrolled vectorizable inner
+/// kernel; when a pool is registered via set_parallel_pool, large products
+/// split their M loop across it (bitwise-identical results — each C row is
+/// computed by exactly one thread).
 void gemm(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b, float alpha, float beta,
           Matrix& c);
+
+/// Registers a thread pool for GEMM M-loop threading (nullptr = serial, the
+/// default). The pool must outlive all subsequent gemm calls.
+void set_parallel_pool(util::ThreadPool* pool) noexcept;
+util::ThreadPool* parallel_pool() noexcept;
+
+namespace detail {
+/// Seed scalar kernel (C += alpha * A * B, unblocked triple loop). Retained
+/// as the "before" reference for equivalence tests and BENCH_micro.json.
+void gemm_nn_reference(const Matrix& a, const Matrix& b, float alpha, Matrix& c);
+}  // namespace detail
 
 // --- BLAS-1 style helpers on flat spans ------------------------------------
 

@@ -1,7 +1,9 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
+#include <memory>
 
 namespace fedsparse::util {
 
@@ -39,15 +41,26 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+std::size_t ThreadPool::auto_grain(std::size_t n) const noexcept {
+  // ~4 chunks per worker keeps the tail balanced without re-paying the atomic
+  // too often; the 256 floor makes the per-chunk overhead negligible against
+  // even single-instruction bodies.
+  return std::max<std::size_t>(256, n / (4 * workers_.size()));
+}
+
+void ThreadPool::parallel_for_ranges(std::size_t n,
+                                     const std::function<void(std::size_t, std::size_t)>& fn,
+                                     std::size_t grain) {
   if (n == 0) return;
-  if (n == 1 || workers_.size() == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+  if (grain == 0) grain = auto_grain(n);
+  const std::size_t chunks = (n + grain - 1) / grain;
+  if (chunks == 1 || workers_.size() == 1) {
+    fn(0, n);
     return;
   }
 
-  // Work-stealing via a shared atomic index: workers grab the next i until
-  // exhausted. The calling thread participates too.
+  // Work-stealing via a shared atomic chunk index: workers grab the next
+  // chunk until exhausted. The calling thread participates too.
   struct Shared {
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
@@ -58,37 +71,49 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   };
   auto shared = std::make_shared<Shared>();
 
-  auto run_chunk = [shared, n, &fn] {
+  auto run_chunks = [shared, n, grain, chunks, &fn] {
     for (;;) {
-      const std::size_t i = shared->next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) break;
+      const std::size_t c = shared->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) break;
+      const std::size_t begin = c * grain;
+      const std::size_t end = std::min(n, begin + grain);
       try {
-        fn(i);
+        fn(begin, end);
       } catch (...) {
         std::lock_guard<std::mutex> lock(shared->error_mutex);
         if (!shared->error) shared->error = std::current_exception();
       }
-      if (shared->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+      if (shared->done.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
         std::lock_guard<std::mutex> lock(shared->done_mutex);
         shared->done_cv.notify_all();
       }
     }
   };
 
-  const std::size_t helpers = std::min(workers_.size(), n - 1);
+  const std::size_t helpers = std::min(workers_.size(), chunks - 1);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (std::size_t i = 0; i < helpers; ++i) tasks_.emplace(run_chunk);
+    for (std::size_t i = 0; i < helpers; ++i) tasks_.emplace(run_chunks);
   }
   cv_.notify_all();
 
-  run_chunk();  // calling thread joins the work
+  run_chunks();  // calling thread joins the work
 
   {
     std::unique_lock<std::mutex> lock(shared->done_mutex);
-    shared->done_cv.wait(lock, [&] { return shared->done.load(std::memory_order_acquire) >= n; });
+    shared->done_cv.wait(lock,
+                         [&] { return shared->done.load(std::memory_order_acquire) >= chunks; });
   }
   if (shared->error) std::rethrow_exception(shared->error);
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+  parallel_for_ranges(
+      n, [&fn](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      },
+      grain);
 }
 
 }  // namespace fedsparse::util

@@ -1,8 +1,14 @@
-// Fixed-size thread pool with a blocking parallel_for.
+// Fixed-size thread pool with a blocking, chunked parallel_for.
 //
 // The federated simulation uses this to run per-client gradient computation
-// concurrently. Determinism is preserved because each client draws from its
-// own RNG stream regardless of which worker executes it.
+// concurrently, and the tensor GEMM threads its M-loop through it.
+// Determinism is preserved because each client draws from its own RNG stream
+// regardless of which worker executes it.
+//
+// Work is handed out in contiguous chunks ("grains") so the shared atomic and
+// the std::function indirection are paid once per chunk, not once per index —
+// the difference between ~5 ns and ~50 ns of overhead per element on fine
+// loops.
 #pragma once
 
 #include <condition_variable>
@@ -28,11 +34,25 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [0, n) across the pool and blocks until all
   /// invocations complete. Exceptions thrown by fn propagate (first one wins).
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  ///
+  /// `grain` is the number of consecutive indices a worker claims at a time.
+  /// 0 selects the automatic grain max(256, n / (4 * threads)) — right for
+  /// cheap per-index bodies (vector arithmetic). Pass grain = 1 when each
+  /// index is heavy (per-client training) so work still spreads across
+  /// workers.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 0);
+
+  /// Chunk interface: fn(begin, end) over disjoint ranges covering [0, n).
+  /// Prefer this on hot paths — the callee loops natively over its range, so
+  /// there is no per-index type-erased call at all.
+  void parallel_for_ranges(std::size_t n,
+                           const std::function<void(std::size_t, std::size_t)>& fn,
+                           std::size_t grain = 0);
 
  private:
-  struct Batch;
   void worker_loop();
+  std::size_t auto_grain(std::size_t n) const noexcept;
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;

@@ -82,6 +82,66 @@ TEST(TopK, DeterministicTieBreakPrefersSmallIndex) {
   EXPECT_EQ(idx[1], 1);
 }
 
+// Quickselect path vs the retained seed heap: identical (index, value)
+// sequences across dimension regimes (empty, single, k-boundary, prefilter
+// territory), heavy ties, and k >= D.
+TEST(TopK, QuickselectMatchesHeapAcrossSizes) {
+  util::Rng rng(101);
+  const std::size_t k = 37;
+  for (const std::size_t d : {std::size_t{0}, std::size_t{1}, k, k + 1, 10 * k, std::size_t{8192},
+                              std::size_t{100000}}) {
+    const auto v = random_vector(d, rng);
+    const std::span<const float> vs{v.data(), v.size()};
+    EXPECT_EQ(top_k_entries(vs, k), top_k_entries_heap(vs, k)) << "D=" << d;
+  }
+}
+
+TEST(TopK, QuickselectMatchesHeapUnderTies) {
+  util::Rng rng(103);
+  for (const std::size_t d : {std::size_t{64}, std::size_t{5000}, std::size_t{20000}}) {
+    // Quantize to a handful of magnitudes so the k-th boundary is a long tie
+    // run and the index tie-break does real work.
+    std::vector<float> v(d);
+    for (auto& x : v) {
+      x = static_cast<float>(rng.uniform_int(-3, 3));
+    }
+    const std::span<const float> vs{v.data(), v.size()};
+    for (const std::size_t k : {std::size_t{1}, std::size_t{50}, d / 2, d, d + 5}) {
+      EXPECT_EQ(top_k_entries(vs, k), top_k_entries_heap(vs, k)) << "D=" << d << " k=" << k;
+    }
+  }
+}
+
+TEST(TopK, ScratchApiStopsAllocatingAfterWarmup) {
+  util::Rng rng(107);
+  const std::size_t d = 50000, k = 500;
+  TopKWorkspace ws;
+  SparseVector out;
+  std::vector<std::int32_t> idx_out;
+  // Two distinct inputs; warm both so the workspace holds the max capacity
+  // either needs, then assert repeated calls never touch the allocator again.
+  const auto v1 = random_vector(d, rng);
+  const auto v2 = random_vector(d, rng);
+  for (const auto* v : {&v1, &v2}) {
+    top_k_entries({v->data(), v->size()}, k, ws, out);
+    top_k_indices({v->data(), v->size()}, k, ws, idx_out);
+  }
+  const std::size_t ws_cap = ws.capacity();
+  const std::size_t out_cap = out.capacity();
+  const SparseEntry* out_data = out.data();
+  const std::size_t idx_cap = idx_out.capacity();
+  for (int round = 0; round < 10; ++round) {
+    const auto& v = (round % 2 == 0) ? v1 : v2;
+    top_k_entries({v.data(), v.size()}, k, ws, out);
+    top_k_indices({v.data(), v.size()}, k, ws, idx_out);
+    EXPECT_EQ(ws.capacity(), ws_cap) << "workspace reallocated in round " << round;
+    EXPECT_EQ(out.capacity(), out_cap);
+    EXPECT_EQ(out.data(), out_data) << "output buffer reallocated in round " << round;
+    EXPECT_EQ(idx_out.capacity(), idx_cap);
+    ASSERT_EQ(out.size(), k);
+  }
+}
+
 TEST(TopK, EntriesCarryOriginalSignedValues) {
   std::vector<float> v{0.1f, -5.0f, 2.0f};
   const auto entries = top_k_entries({v.data(), v.size()}, 2);
@@ -107,6 +167,20 @@ TEST(SparseVector, ToDenseAndAxpy) {
   EXPECT_FLOAT_EQ(dst[3], -1.0f);
 
   EXPECT_THROW(to_dense(SparseVector{{9, 1.0f}}, 5), std::out_of_range);
+}
+
+TEST(SparseVector, ToDenseAccumulatesDuplicateIndices) {
+  // Contract: duplicated indices accumulate (matching axpy_sparse) — no
+  // occurrence is silently dropped.
+  SparseVector sv{{2, 1.5f}, {0, 1.0f}, {2, 2.0f}, {2, -0.5f}};
+  const auto dense = to_dense(sv, 4);
+  EXPECT_FLOAT_EQ(dense[2], 3.0f);
+  EXPECT_FLOAT_EQ(dense[0], 1.0f);
+  EXPECT_FLOAT_EQ(dense[1], 0.0f);
+
+  std::vector<float> via_axpy(4, 0.0f);
+  axpy_sparse(1.0f, sv, {via_axpy.data(), via_axpy.size()});
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(dense[i], via_axpy[i]);
 }
 
 TEST(SparseVector, SubtractMergesUnion) {

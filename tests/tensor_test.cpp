@@ -1,11 +1,13 @@
 // Unit tests for the tensor substrate: Matrix, GEMM variants, im2col/col2im.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <stdexcept>
 
 #include "tensor/im2col.h"
 #include "tensor/matrix.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace fedsparse::tensor {
 namespace {
@@ -105,6 +107,75 @@ TEST(Gemm, LargerRandomShapes) {
   Matrix c;
   gemm(a, false, b, false, 1.0f, 0.0f, c);
   expect_matrix_near(c, naive_gemm(a, false, b, false, 1.0f), 5e-4f);
+}
+
+TEST(Gemm, BlockedMatchesScalarReferenceAcrossTileBoundaries) {
+  // Shapes chosen to cross every tile edge: MC=64 (m), KC=256 (k), NC=512 and
+  // the 16-wide register tile (n), plus awkward remainders in each dimension.
+  struct Shape {
+    std::size_t m, k, n;
+  };
+  util::Rng rng(123);
+  for (const auto& s : {Shape{130, 70, 90}, Shape{65, 257, 30}, Shape{3, 5, 513},
+                        Shape{64, 256, 16}, Shape{1, 1, 1}, Shape{67, 300, 521}}) {
+    const Matrix a = random_matrix(s.m, s.k, rng);
+    const Matrix b = random_matrix(s.k, s.n, rng);
+    Matrix want(s.m, s.n);
+    detail::gemm_nn_reference(a, b, 1.5f, want);
+    Matrix got;
+    gemm(a, false, b, false, 1.5f, 0.0f, got);
+    ASSERT_EQ(got.rows(), s.m);
+    ASSERT_EQ(got.cols(), s.n);
+    for (std::size_t i = 0; i < s.m; ++i) {
+      for (std::size_t j = 0; j < s.n; ++j) {
+        // 1e-4 relative (absolute near zero): both kernels are float, they
+        // only differ in summation order.
+        const float tol = 1e-4f * std::max(1.0f, std::fabs(want.at(i, j)));
+        EXPECT_NEAR(got.at(i, j), want.at(i, j), tol)
+            << s.m << "x" << s.k << "x" << s.n << " at (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(Gemm, ThreadedMatchesSerialBitwise) {
+  // Each C row belongs to exactly one thread and thread blocks are 4-aligned,
+  // so every row hits the same micro-kernel as in the serial order — threading
+  // must not change a single bit. alpha != 1 matters: the 4x16 kernel applies
+  // alpha after k-accumulation while the tail kernel folds it per term, so a
+  // misaligned block boundary would show up here.
+  util::Rng rng(321);
+  const Matrix a = random_matrix(150, 200, rng);
+  const Matrix b = random_matrix(200, 170, rng);
+  for (const float alpha : {1.0f, 1.5f}) {
+    Matrix serial;
+    gemm(a, false, b, false, alpha, 0.0f, serial);
+
+    util::ThreadPool pool(4);
+    set_parallel_pool(&pool);
+    Matrix threaded;
+    gemm(a, false, b, false, alpha, 0.0f, threaded);
+    set_parallel_pool(nullptr);
+
+    ASSERT_EQ(threaded.rows(), serial.rows());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(threaded.data()[i], serial.data()[i]) << "alpha " << alpha << " flat " << i;
+    }
+  }
+}
+
+TEST(Matrix, ReshapeKeepsCapacityAndSkipsZeroFill) {
+  Matrix m(8, 8, 3.0f);
+  const float* before = m.data();
+  m.reshape(4, 8);  // shrink: same buffer, no realloc
+  EXPECT_EQ(m.data(), before);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.size(), 32u);           // size() tracks the logical shape
+  EXPECT_EQ(m.flat().size(), 32u);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 3.0f);  // surviving contents untouched (not zeroed)
+  m.reshape(8, 8);  // grow back within capacity: still no realloc
+  EXPECT_EQ(m.data(), before);
+  EXPECT_EQ(m.size(), 64u);
 }
 
 TEST(VecOps, AxpyScaleDotNorm) {

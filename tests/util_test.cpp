@@ -236,6 +236,52 @@ TEST(ThreadPool, ReusableAcrossCalls) {
   EXPECT_EQ(total.load(), 1000);
 }
 
+TEST(ThreadPool, ExplicitGrainCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); }, /*grain=*/7);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, AutoGrainCoversLargeRange) {
+  ThreadPool pool(4);
+  const std::size_t n = 100000;
+  std::vector<unsigned char> hits(n, 0);
+  // Chunks are disjoint, so each index is written by exactly one thread and
+  // plain bytes are race-free.
+  pool.parallel_for(n, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i], 1) << i;
+}
+
+TEST(ThreadPool, RangesPartitionExactly) {
+  ThreadPool pool(3);
+  const std::size_t n = 10000;
+  std::vector<unsigned char> hits(n, 0);
+  std::atomic<int> chunks{0};
+  pool.parallel_for_ranges(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        EXPECT_LT(begin, end);
+        EXPECT_LE(end, n);
+        for (std::size_t i = begin; i < end; ++i) ++hits[i];
+        chunks.fetch_add(1);
+      },
+      /*grain=*/97);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i], 1) << i;
+  EXPECT_EQ(chunks.load(), static_cast<int>((n + 96) / 97));
+}
+
+TEST(ThreadPool, RangesPropagateExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for_ranges(
+                   1000,
+                   [&](std::size_t begin, std::size_t) {
+                     if (begin >= 500) throw std::runtime_error("boom");
+                   },
+                   /*grain=*/100),
+               std::runtime_error);
+}
+
 TEST(ThreadPool, ZeroAndOneElement) {
   ThreadPool pool(2);
   std::atomic<int> total{0};
