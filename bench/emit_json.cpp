@@ -1,25 +1,31 @@
 // Emits BENCH_micro.json: before/after timings of every kernel this repo's
 // per-round hot path runs — top-k selection (seed heap vs quickselect), GEMM
-// (seed scalar triple loop vs blocked 4x-unrolled kernel), accumulator adds,
-// and the FAB-top-k server round. Self-contained (std::chrono, no google
-// benchmark) so CI can produce the JSON artifact on any box.
+// (seed scalar triple loop vs blocked 4x-unrolled kernel), Linear and Conv2d
+// forward+backward (seed scalar loops vs the GEMM-routed layers), accumulator
+// adds, and the FAB-top-k server round. Self-contained (std::chrono, no
+// google benchmark) so CI can produce the JSON artifact on any box.
 //
 // Usage: emit_json [output_path] [--quick]
 //   output_path defaults to BENCH_micro.json in the current directory.
 //   --quick shrinks the measurement budget (CI smoke).
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "nn/conv2d.h"
+#include "nn/linear.h"
 #include "sparsify/accumulator.h"
 #include "sparsify/fab_topk.h"
 #include "sparsify/method.h"
 #include "sparsify/topk.h"
+#include "tensor/im2col.h"
 #include "tensor/matrix.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -110,6 +116,170 @@ void bench_gemm(std::vector<KernelResult>& out) {
   }));
 }
 
+// --- layer forward+backward: seed scalar loops vs the GEMM-routed layers ---
+//
+// The "before" side replicates the seed Linear/Conv2d triple loops verbatim
+// (per-row dot products, per-channel column sweeps); the "after" side runs
+// the live layers, which now route through gemm_nt / gemm_tn / gemm_nn.
+// Shapes are the acceptance-criteria points: batch 32, 784->128 linear and a
+// 1x28x28 -> 8ch k=5 conv.
+
+void linear_fwd_bwd_scalar(const tensor::Matrix& x, const tensor::Matrix& dy,
+                           std::span<const float> w, std::span<const float> b,
+                           std::span<float> gw, std::span<float> gb, tensor::Matrix& y,
+                           tensor::Matrix& dx, std::size_t in, std::size_t out_f) {
+  const std::size_t batch = x.rows();
+  y.reshape(batch, out_f);
+  for (std::size_t r = 0; r < batch; ++r) {
+    const float* xr = x.row(r);
+    float* yr = y.row(r);
+    for (std::size_t o = 0; o < out_f; ++o) {
+      const float* wr = w.data() + o * in;
+      float acc = b[o];
+      for (std::size_t i = 0; i < in; ++i) acc += xr[i] * wr[i];
+      yr[o] = acc;
+    }
+  }
+  for (std::size_t r = 0; r < batch; ++r) {
+    const float* dyr = dy.row(r);
+    const float* xr = x.row(r);
+    for (std::size_t o = 0; o < out_f; ++o) {
+      const float d = dyr[o];
+      if (d == 0.0f) continue;
+      float* gwr = gw.data() + o * in;
+      for (std::size_t i = 0; i < in; ++i) gwr[i] += d * xr[i];
+      gb[o] += d;
+    }
+  }
+  dx.reshape(batch, in);
+  for (std::size_t r = 0; r < batch; ++r) {
+    const float* dyr = dy.row(r);
+    float* dxr = dx.row(r);
+    for (std::size_t i = 0; i < in; ++i) dxr[i] = 0.0f;
+    for (std::size_t o = 0; o < out_f; ++o) {
+      const float d = dyr[o];
+      if (d == 0.0f) continue;
+      const float* wr = w.data() + o * in;
+      for (std::size_t i = 0; i < in; ++i) dxr[i] += d * wr[i];
+    }
+  }
+}
+
+void bench_linear(std::vector<KernelResult>& out) {
+  const std::size_t batch = 32, in = 784, out_f = 128;
+  util::Rng rng(11);
+  nn::Linear layer(in, out_f);
+  std::vector<float> weights(layer.param_count()), grads(layer.param_count(), 0.0f);
+  layer.bind({weights.data(), weights.size()}, {grads.data(), grads.size()});
+  layer.init_params(rng);
+  tensor::Matrix x(batch, in), dy(batch, out_f), y, dx;
+  for (auto& v : x.flat()) v = static_cast<float>(rng.normal());
+  for (auto& v : dy.flat()) v = static_cast<float>(rng.normal());
+  // fwd (batch*in*out) + bwd dW (same) + bwd dx (same) multiply-adds.
+  const double flops = 3.0 * 2.0 * static_cast<double>(batch) * in * out_f;
+  const std::span<float> gw{grads.data(), in * out_f};
+  const std::span<float> gb{grads.data() + in * out_f, out_f};
+  out.push_back(measure("linear_fwd_bwd_scalar", "", flops, [&] {
+    std::fill(grads.begin(), grads.end(), 0.0f);
+    linear_fwd_bwd_scalar(x, dy, {weights.data(), in * out_f},
+                          {weights.data() + in * out_f, out_f}, gw, gb, y, dx, in, out_f);
+    do_not_optimize(dx);
+  }));
+  out.push_back(measure("linear_fwd_bwd", "linear_fwd_bwd_scalar", flops, [&] {
+    std::fill(grads.begin(), grads.end(), 0.0f);
+    layer.forward(x, y);
+    layer.backward(dy, dx);
+    do_not_optimize(dx);
+  }));
+}
+
+void conv2d_fwd_bwd_scalar(const tensor::Matrix& x, const tensor::Matrix& dy,
+                           const tensor::ConvGeometry& g, std::size_t out_ch,
+                           std::span<const float> w, std::span<const float> b,
+                           std::span<float> gw, std::span<float> gb, tensor::Matrix& y,
+                           tensor::Matrix& dx, tensor::Matrix& cols, tensor::Matrix& dcols) {
+  const std::size_t batch = x.rows();
+  const std::size_t spatial = g.col_cols(), ckk = g.col_rows();
+  y.reshape(batch, out_ch * spatial);
+  for (std::size_t s = 0; s < batch; ++s) {
+    tensor::im2col(x.row(s), g, cols);
+    float* ys = y.row(s);
+    for (std::size_t o = 0; o < out_ch; ++o) {
+      const float* wr = w.data() + o * ckk;
+      float* yrow = ys + o * spatial;
+      for (std::size_t p = 0; p < spatial; ++p) yrow[p] = b[o];
+      for (std::size_t r = 0; r < ckk; ++r) {
+        const float wv = wr[r];
+        if (wv == 0.0f) continue;
+        const float* crow = cols.row(r);
+        for (std::size_t p = 0; p < spatial; ++p) yrow[p] += wv * crow[p];
+      }
+    }
+  }
+  dx.reshape(batch, g.image_size());
+  tensor::zero(dx.flat());
+  for (std::size_t s = 0; s < batch; ++s) {
+    tensor::im2col(x.row(s), g, cols);
+    const float* dys = dy.row(s);
+    for (std::size_t o = 0; o < out_ch; ++o) {
+      const float* dyrow = dys + o * spatial;
+      float* gwr = gw.data() + o * ckk;
+      double bsum = 0.0;
+      for (std::size_t p = 0; p < spatial; ++p) bsum += dyrow[p];
+      gb[o] += static_cast<float>(bsum);
+      for (std::size_t r = 0; r < ckk; ++r) {
+        const float* crow = cols.row(r);
+        float acc = 0.0f;
+        for (std::size_t p = 0; p < spatial; ++p) acc += dyrow[p] * crow[p];
+        gwr[r] += acc;
+      }
+    }
+    dcols.reshape(ckk, spatial);
+    tensor::zero(dcols.flat());
+    for (std::size_t o = 0; o < out_ch; ++o) {
+      const float* dyrow = dys + o * spatial;
+      const float* wr = w.data() + o * ckk;
+      for (std::size_t r = 0; r < ckk; ++r) {
+        const float wv = wr[r];
+        if (wv == 0.0f) continue;
+        float* drow = dcols.row(r);
+        for (std::size_t p = 0; p < spatial; ++p) drow[p] += wv * dyrow[p];
+      }
+    }
+    tensor::col2im(dcols, g, dx.row(s));
+  }
+}
+
+void bench_conv2d(std::vector<KernelResult>& out) {
+  const std::size_t batch = 32, ch = 1, h = 28, wdt = 28, out_ch = 8, ks = 5;
+  util::Rng rng(13);
+  nn::Conv2d layer(ch, h, wdt, out_ch, ks);
+  std::vector<float> weights(layer.param_count()), grads(layer.param_count(), 0.0f);
+  layer.bind({weights.data(), weights.size()}, {grads.data(), grads.size()});
+  layer.init_params(rng);
+  const tensor::ConvGeometry& g = layer.geometry();
+  const std::size_t spatial = g.col_cols(), ckk = g.col_rows();
+  tensor::Matrix x(batch, ch * h * wdt), dy(batch, out_ch * spatial), y, dx, cols, dcols;
+  for (auto& v : x.flat()) v = static_cast<float>(rng.normal());
+  for (auto& v : dy.flat()) v = static_cast<float>(rng.normal());
+  // fwd + bwd dW + bwd dcols GEMM-equivalent multiply-adds per sample.
+  const double flops = 3.0 * 2.0 * static_cast<double>(batch) * out_ch * ckk * spatial;
+  const std::span<float> gw{grads.data(), out_ch * ckk};
+  const std::span<float> gb{grads.data() + out_ch * ckk, out_ch};
+  out.push_back(measure("conv2d_fwd_bwd_scalar", "", flops, [&] {
+    std::fill(grads.begin(), grads.end(), 0.0f);
+    conv2d_fwd_bwd_scalar(x, dy, g, out_ch, {weights.data(), out_ch * ckk},
+                          {weights.data() + out_ch * ckk, out_ch}, gw, gb, y, dx, cols, dcols);
+    do_not_optimize(dx);
+  }));
+  out.push_back(measure("conv2d_fwd_bwd", "conv2d_fwd_bwd_scalar", flops, [&] {
+    std::fill(grads.begin(), grads.end(), 0.0f);
+    layer.forward(x, y);
+    layer.backward(dy, dx);
+    do_not_optimize(dx);
+  }));
+}
+
 void bench_accumulator(std::vector<KernelResult>& out) {
   const std::size_t d = 1u << 20;
   sparsify::GradientAccumulator acc(d);
@@ -186,6 +356,8 @@ int main(int argc, char** argv) {
   std::vector<KernelResult> results;
   bench_topk(results);
   bench_gemm(results);
+  bench_linear(results);
+  bench_conv2d(results);
   bench_accumulator(results);
   bench_fab_round(results);
   bench_parallel_for(results);

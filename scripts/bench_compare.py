@@ -1,15 +1,22 @@
 #!/usr/bin/env python3
 """Diff two BENCH_micro.json files (as written by bench/emit_json).
 
-Usage: bench_compare.py OLD.json NEW.json [--threshold PCT]
+Usage: bench_compare.py OLD.json NEW.json [--threshold PCT] [--metric ns|speedup]
 
-Prints a per-kernel table of ns/op deltas and exits nonzero when any kernel
-regressed by more than --threshold percent (default 10). Intended for CI once
-a baseline artifact is being archived; until then it is a manual tool:
+Prints a per-kernel table of deltas and exits nonzero when any kernel
+regressed by more than --threshold percent (default 25).
 
-    ./build/emit_json /tmp/before.json   # on the old commit
-    ./build/emit_json /tmp/after.json    # on the new commit
-    scripts/bench_compare.py /tmp/before.json /tmp/after.json
+Metrics:
+  ns       raw ns/op (default) — for two runs on the SAME machine, e.g.
+           before/after a local change:
+               ./build/emit_json /tmp/before.json   # on the old commit
+               ./build/emit_json /tmp/after.json    # on the new commit
+               scripts/bench_compare.py /tmp/before.json /tmp/after.json
+  speedup  each optimized kernel's speedup_vs_baseline ratio (new kernel vs
+           its retained seed kernel, measured within one run) — portable
+           across machines, so CI can gate a fresh run against the committed
+           BENCH_micro.json from the reference box. Kernels without a baseline
+           are skipped.
 """
 
 import argparse
@@ -27,8 +34,11 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("old")
     ap.add_argument("new")
-    ap.add_argument("--threshold", type=float, default=10.0,
-                    help="max tolerated regression in percent (default 10)")
+    ap.add_argument("--threshold", type=float, default=25.0,
+                    help="max tolerated regression in percent (default 25)")
+    ap.add_argument("--metric", choices=("ns", "speedup"), default="ns",
+                    help="ns: raw ns/op (same-machine runs); speedup: "
+                         "speedup_vs_baseline ratios (cross-machine safe)")
     args = ap.parse_args()
 
     try:
@@ -36,21 +46,31 @@ def main():
     except (OSError, json.JSONDecodeError) as e:
         print(f"error: {e}", file=sys.stderr)
         return 2
+    if args.metric == "speedup":
+        old = {n: k for n, k in old.items() if "speedup_vs_baseline" in k}
+        new = {n: k for n, k in new.items() if "speedup_vs_baseline" in k}
     shared = sorted(set(old) & set(new))
     if not shared:
         print("no kernels in common between the two files", file=sys.stderr)
         return 2
 
     regressions = []
-    print(f"{'kernel':<32} {'old ns/op':>14} {'new ns/op':>14} {'delta':>8}")
+    label = "ns/op" if args.metric == "ns" else "speedup"
+    print(f"{'kernel':<32} {'old ' + label:>14} {'new ' + label:>14} {'delta':>8}")
     for name in shared:
-        o, n = old[name]["ns_per_op"], new[name]["ns_per_op"]
-        delta = (n - o) / o * 100.0 if o else 0.0
+        if args.metric == "ns":
+            o, n = old[name]["ns_per_op"], new[name]["ns_per_op"]
+            # ns: larger is worse.
+            delta = (n - o) / o * 100.0 if o else 0.0
+        else:
+            o, n = old[name]["speedup_vs_baseline"], new[name]["speedup_vs_baseline"]
+            # speedup: smaller is worse.
+            delta = (o - n) / o * 100.0 if o else 0.0
         flag = ""
         if delta > args.threshold:
             regressions.append((name, delta))
             flag = "  <-- REGRESSION"
-        print(f"{name:<32} {o:>14.0f} {n:>14.0f} {delta:>+7.1f}%{flag}")
+        print(f"{name:<32} {o:>14.2f} {n:>14.2f} {delta:>+7.1f}%{flag}")
     for name in sorted(set(old) ^ set(new)):
         side = "old only" if name in old else "new only"
         print(f"{name:<32} ({side})")

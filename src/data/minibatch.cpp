@@ -15,7 +15,7 @@ Minibatch sample_minibatch(const Dataset& ds, std::size_t batch, util::Rng& rng)
     mb.indices.resize(batch);
     for (auto& idx : mb.indices) idx = rng.uniform_u64(ds.size());
   }
-  mb.x.resize(mb.indices.size(), ds.x.cols());
+  mb.x.reshape(mb.indices.size(), ds.x.cols());  // rows fully memcpy'd below
   mb.y.resize(mb.indices.size());
   for (std::size_t i = 0; i < mb.indices.size(); ++i) {
     std::memcpy(mb.x.row(i), ds.x.row(mb.indices[i]), ds.x.cols() * sizeof(float));

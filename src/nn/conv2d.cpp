@@ -47,21 +47,17 @@ void Conv2d::forward(const Matrix& x, Matrix& y) {
   const std::size_t spatial = geom_.col_cols();  // outH*outW
   const std::size_t ckk = geom_.col_rows();
   y.reshape(batch, out_channels_ * spatial);  // fully overwritten below
+  const tensor::ConstMatrixView w(w_, out_channels_, ckk);
   for (std::size_t s = 0; s < batch; ++s) {
     tensor::im2col(x.row(s), geom_, cols_);
-    float* ys = y.row(s);
-    // y_sample(o, p) = sum_r W(o, r) * cols(r, p) + b(o)
+    // y_sample = W · cols + b: the bias fill overwrites every element, then
+    // one blocked GEMM accumulates the (outC x ckk) · (ckk x spatial) product.
+    tensor::MatrixView ys(y.row(s), out_channels_, spatial);
     for (std::size_t o = 0; o < out_channels_; ++o) {
-      const float* wr = w_.data() + o * ckk;
-      float* yrow = ys + o * spatial;
+      float* yrow = ys.row(o);
       for (std::size_t p = 0; p < spatial; ++p) yrow[p] = b_[o];
-      for (std::size_t r = 0; r < ckk; ++r) {
-        const float wv = wr[r];
-        if (wv == 0.0f) continue;
-        const float* crow = cols_.row(r);
-        for (std::size_t p = 0; p < spatial; ++p) yrow[p] += wv * crow[p];
-      }
     }
+    tensor::gemm_nn(w, cols_, 1.0f, ys);
   }
 }
 
@@ -71,36 +67,24 @@ void Conv2d::backward(const Matrix& dy, Matrix& dx) {
   const std::size_t ckk = geom_.col_rows();
   dx.reshape(batch, geom_.image_size());
   tensor::zero(dx.flat());
+  const tensor::ConstMatrixView w(w_, out_channels_, ckk);
+  const tensor::MatrixView gw(gw_, out_channels_, ckk);
   for (std::size_t s = 0; s < batch; ++s) {
     tensor::im2col(x_cache_.row(s), geom_, cols_);  // recompute (saves memory)
-    const float* dys = dy.row(s);
-    // dW(o, r) += sum_p dy(o, p) * cols(r, p); db(o) += sum_p dy(o, p)
+    const tensor::ConstMatrixView dys(dy.row(s), out_channels_, spatial);
+    // db(o) += sum_p dy(o, p), accumulated in double as before.
     for (std::size_t o = 0; o < out_channels_; ++o) {
-      const float* dyrow = dys + o * spatial;
-      float* gwr = gw_.data() + o * ckk;
+      const float* dyrow = dys.row(o);
       double bsum = 0.0;
       for (std::size_t p = 0; p < spatial; ++p) bsum += dyrow[p];
       gb_[o] += static_cast<float>(bsum);
-      for (std::size_t r = 0; r < ckk; ++r) {
-        const float* crow = cols_.row(r);
-        float acc = 0.0f;
-        for (std::size_t p = 0; p < spatial; ++p) acc += dyrow[p] * crow[p];
-        gwr[r] += acc;
-      }
     }
-    // dcols(r, p) = sum_o W(o, r) * dy(o, p); then scatter back to image space.
+    // dW += dy · colsᵀ (rows-dot-rows over the shared spatial axis).
+    tensor::gemm_nt(dys, cols_, 1.0f, gw);
+    // dcols = Wᵀ · dy; then scatter back to image space.
     dcols_.reshape(ckk, spatial);
     tensor::zero(dcols_.flat());
-    for (std::size_t o = 0; o < out_channels_; ++o) {
-      const float* dyrow = dys + o * spatial;
-      const float* wr = w_.data() + o * ckk;
-      for (std::size_t r = 0; r < ckk; ++r) {
-        const float wv = wr[r];
-        if (wv == 0.0f) continue;
-        float* drow = dcols_.row(r);
-        for (std::size_t p = 0; p < spatial; ++p) drow[p] += wv * dyrow[p];
-      }
-    }
+    tensor::gemm_tn(w, dys, 1.0f, dcols_);
     tensor::col2im(dcols_, geom_, dx.row(s));
   }
 }

@@ -34,48 +34,29 @@ std::size_t Linear::out_features(std::size_t in_features) const {
 void Linear::forward(const Matrix& x, Matrix& y) {
   x_cache_ = x;
   const std::size_t batch = x.rows();
-  y.resize(batch, out_);
-  // y = x * W^T; view W as a Matrix without copying is not possible with the
-  // span, so multiply manually row by row via gemm on a thin wrapper.
-  // We instead compute per-row dot products: this is gemm_nt semantics.
+  // reshape, not resize: every element is written by the bias fill before the
+  // GEMM accumulates into it, so the O(batch*out) clear would be pure waste.
+  y.reshape(batch, out_);
   for (std::size_t r = 0; r < batch; ++r) {
-    const float* xr = x.row(r);
     float* yr = y.row(r);
-    for (std::size_t o = 0; o < out_; ++o) {
-      const float* wr = w_.data() + o * in_;
-      float acc = b_[o];
-      for (std::size_t i = 0; i < in_; ++i) acc += xr[i] * wr[i];
-      yr[o] = acc;
-    }
+    for (std::size_t o = 0; o < out_; ++o) yr[o] = b_[o];
   }
+  // y += x · Wᵀ through the blocked dot-product kernel; W viewed in place.
+  tensor::gemm_nt(x, tensor::ConstMatrixView(w_, out_, in_), 1.0f, y);
 }
 
 void Linear::backward(const Matrix& dy, Matrix& dx) {
   const std::size_t batch = dy.rows();
-  // dW += dy^T * x ; db += column sums of dy ; dx = dy * W
+  // dW += dyᵀ · x via the tiled kernel; db += column sums of dy.
+  tensor::gemm_tn(dy, x_cache_, 1.0f, tensor::MatrixView(gw_, out_, in_));
   for (std::size_t r = 0; r < batch; ++r) {
     const float* dyr = dy.row(r);
-    const float* xr = x_cache_.row(r);
-    for (std::size_t o = 0; o < out_; ++o) {
-      const float d = dyr[o];
-      if (d == 0.0f) continue;
-      float* gwr = gw_.data() + o * in_;
-      for (std::size_t i = 0; i < in_; ++i) gwr[i] += d * xr[i];
-      gb_[o] += d;
-    }
+    for (std::size_t o = 0; o < out_; ++o) gb_[o] += dyr[o];
   }
-  dx.resize(batch, in_);
-  for (std::size_t r = 0; r < batch; ++r) {
-    const float* dyr = dy.row(r);
-    float* dxr = dx.row(r);
-    for (std::size_t i = 0; i < in_; ++i) dxr[i] = 0.0f;
-    for (std::size_t o = 0; o < out_; ++o) {
-      const float d = dyr[o];
-      if (d == 0.0f) continue;
-      const float* wr = w_.data() + o * in_;
-      for (std::size_t i = 0; i < in_; ++i) dxr[i] += d * wr[i];
-    }
-  }
+  // dx = dy · W: the view API accumulates, so clear once after the reshape.
+  dx.reshape(batch, in_);
+  tensor::zero(dx.flat());
+  tensor::gemm_nn(dy, tensor::ConstMatrixView(w_, out_, in_), 1.0f, dx);
 }
 
 std::string Linear::name() const {

@@ -26,7 +26,9 @@ double SoftmaxCrossEntropy::loss_and_grad(const Matrix& logits, std::span<const 
                                           Matrix& dlogits) {
   const std::size_t batch = logits.rows(), classes = logits.cols();
   if (labels.size() != batch) throw std::invalid_argument("loss_and_grad: label count mismatch");
-  dlogits.resize(batch, classes);
+  // reshape, not resize: row_log_sum_exp writes the full softmax row before
+  // the in-place (softmax - onehot)/batch conversion, so no zero-fill needed.
+  dlogits.reshape(batch, classes);
   double total = 0.0;
   const float inv_batch = 1.0f / static_cast<float>(batch);
   for (std::size_t r = 0; r < batch; ++r) {

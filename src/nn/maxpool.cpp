@@ -23,7 +23,7 @@ std::size_t MaxPool2d::out_features(std::size_t in_features) const {
 void MaxPool2d::forward(const Matrix& x, Matrix& y) {
   const std::size_t batch = x.rows();
   const std::size_t oh = out_height(), ow = out_width();
-  y.resize(batch, channels_ * oh * ow);
+  y.reshape(batch, channels_ * oh * ow);  // every output is written below
   argmax_.assign(batch, {});
   for (std::size_t s = 0; s < batch; ++s) {
     const float* in = x.row(s);
@@ -59,7 +59,9 @@ void MaxPool2d::forward(const Matrix& x, Matrix& y) {
 
 void MaxPool2d::backward(const Matrix& dy, Matrix& dx) {
   const std::size_t batch = dy.rows();
-  dx.resize(batch, channels_ * height_ * width_);
+  // reshape + one explicit clear: resize() would zero-fill and then the
+  // tensor::zero below cleared a second time.
+  dx.reshape(batch, channels_ * height_ * width_);
   tensor::zero(dx.flat());
   for (std::size_t s = 0; s < batch; ++s) {
     const float* dyr = dy.row(s);

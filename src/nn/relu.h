@@ -10,8 +10,9 @@ class ReLU final : public Layer {
   std::size_t out_features(std::size_t in_features) const override { return in_features; }
 
   void forward(const Matrix& x, Matrix& y) override {
-    y.resize(x.rows(), x.cols());
-    mask_.assign(x.size(), 0);
+    // reshape, not resize: every element (and mask slot) is written below.
+    y.reshape(x.rows(), x.cols());
+    mask_.resize(x.size());
     const float* in = x.data();
     float* out = y.data();
     for (std::size_t i = 0; i < x.size(); ++i) {
@@ -22,7 +23,7 @@ class ReLU final : public Layer {
   }
 
   void backward(const Matrix& dy, Matrix& dx) override {
-    dx.resize(dy.rows(), dy.cols());
+    dx.reshape(dy.rows(), dy.cols());  // fully overwritten below
     const float* in = dy.data();
     float* out = dx.data();
     for (std::size_t i = 0; i < dy.size(); ++i) out[i] = mask_[i] ? in[i] : 0.0f;

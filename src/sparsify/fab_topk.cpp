@@ -65,13 +65,10 @@ RoundOutcome FabTopK::round(const RoundInput& in, std::size_t k) {
   const std::size_t n = in.client_vectors.size();
   k = std::clamp<std::size_t>(k, 1, dim_);
 
-  // Client side: top-k of the accumulated gradient, strongest first.
-  // uploads_ / topk_ws_ keep their capacity across rounds — no allocations
-  // here once warm.
-  uploads_.resize(n);  // shrink-to-n keeps find_kappa_stamped's view exact
-  for (std::size_t i = 0; i < n; ++i) {
-    top_k_entries(in.client_vectors[i], k, topk_ws_, uploads_[i]);
-  }
+  // Client side: top-k of the accumulated gradient, strongest first — the N
+  // independent selections thread across the registered pool. uploads_ /
+  // topk_ws_ keep their capacity across rounds — no allocations once warm.
+  top_k_uploads(in.client_vectors, k, topk_ws_, uploads_);
 
   // Server side: fairness-aware selection.
   const std::size_t kappa = find_kappa_stamped(k);
@@ -145,7 +142,12 @@ RoundOutcome FabTopK::round(const RoundInput& in, std::size_t k) {
   }
   sort_by_index(out.update);
 
-  out.uplink_values = 2.0 * static_cast<double>(k);  // k index/value pairs
+  // Clients transmit in parallel, so the synchronous round waits on the
+  // largest actual per-client payload — not a flat 2k, which overcharges
+  // whenever a client uploaded fewer than k entries.
+  std::size_t max_upload = 0;
+  for (const auto& up : uploads_) max_upload = std::max(max_upload, up.size());
+  out.uplink_values = 2.0 * static_cast<double>(max_upload);  // index/value pairs
   out.downlink_values = 2.0 * static_cast<double>(out.update.size());
   return out;
 }

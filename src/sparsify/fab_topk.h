@@ -46,8 +46,9 @@ class FabTopK final : public Method {
   std::vector<std::uint32_t> stamp_;
   std::uint32_t stamp_token_ = 0;
   // Per-round scratch, reused so steady-state rounds allocate nothing in the
-  // selection path.
-  TopKWorkspace topk_ws_;
+  // selection path. One workspace per client: the N selections are
+  // independent, so top_k_uploads threads them across the registered pool.
+  std::vector<TopKWorkspace> topk_ws_;
   std::vector<SparseVector> uploads_;
   std::vector<std::int32_t> selected_;
   SparseVector fill_candidates_;

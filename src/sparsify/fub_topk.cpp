@@ -14,10 +14,9 @@ RoundOutcome FubTopK::round(const RoundInput& in, std::size_t k) {
   const std::size_t n = in.client_vectors.size();
   k = std::clamp<std::size_t>(k, 1, dim_);
 
-  uploads_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    top_k_entries(in.client_vectors[i], k, topk_ws_, uploads_[i]);
-  }
+  // Per-client selections threaded across the registered pool (deterministic:
+  // each client owns its workspace and output slot).
+  top_k_uploads(in.client_vectors, k, topk_ws_, uploads_);
 
   // Aggregate everything uploaded, then keep the top-k by |aggregate|.
   ++stamp_token_;
@@ -69,7 +68,11 @@ RoundOutcome FubTopK::round(const RoundInput& in, std::size_t k) {
       }
     }
   }
-  out.uplink_values = 2.0 * static_cast<double>(k);
+  // Parallel uplinks: charge the largest actual per-client payload (matches
+  // FabTopK's accounting) rather than assuming every client sent k pairs.
+  std::size_t max_upload = 0;
+  for (const auto& up : uploads_) max_upload = std::max(max_upload, up.size());
+  out.uplink_values = 2.0 * static_cast<double>(max_upload);
   out.downlink_values = 2.0 * static_cast<double>(out.update.size());
   return out;
 }

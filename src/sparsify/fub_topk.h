@@ -23,8 +23,9 @@ class FubTopK final : public Method {
   std::vector<float> agg_;
   std::vector<std::uint32_t> stamp_;
   std::uint32_t stamp_token_ = 0;
-  // Per-round scratch reused across rounds (zero steady-state allocations).
-  TopKWorkspace topk_ws_;
+  // Per-round scratch reused across rounds (zero steady-state allocations);
+  // one top-k workspace per client so the selections can run in parallel.
+  std::vector<TopKWorkspace> topk_ws_;
   std::vector<SparseVector> uploads_;
   std::vector<std::int32_t> touched_list_;
 };

@@ -52,8 +52,14 @@ struct RoundOutcome {
   /// Per-client number of elements that made it into the downlink gradient.
   std::vector<std::size_t> contributed;
 
-  /// Payload sizes in "values" for the timing model. Uplink is per client
-  /// (clients transmit in parallel); downlink is the broadcast payload.
+  /// Payload sizes in "values" for the timing model. Uplink is per client:
+  /// clients transmit in parallel, so a synchronous round waits on the
+  /// largest per-client payload, and the top-k methods charge
+  /// 2 · max_i |J_i| — the *actual* biggest upload (an index/value pair
+  /// counts as 2 values), which can be below 2k when a client had fewer than
+  /// k entries to send. Downlink is the broadcast payload. Keeping these
+  /// honest matters: the online controller optimizes round time directly
+  /// against them.
   double uplink_values = 0.0;
   double downlink_values = 0.0;
 };

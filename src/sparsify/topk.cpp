@@ -4,6 +4,9 @@
 #include <cmath>
 #include <functional>
 
+#include "tensor/matrix.h"
+#include "util/thread_pool.h"
+
 namespace fedsparse::sparsify {
 
 namespace {
@@ -37,6 +40,11 @@ bool prefilter(std::span<const float> v, std::size_t k, SparseVector& cand) {
       kSampleSize - 1, static_cast<std::size_t>(frac * static_cast<double>(kSampleSize)));
   std::nth_element(sample, sample + rank, sample + kSampleSize, std::greater<float>());
   const float threshold = sample[rank];
+  // A zero threshold admits every entry (|v| >= 0 always holds) — e.g. a
+  // post-reset accumulator that is mostly exact zeros — silently turning the
+  // "prefilter" into a full copy plus a wasted sampling pass. Bail out to the
+  // dense path instead.
+  if (threshold <= 0.0f) return false;
 
   cand.clear();
   for (std::size_t i = 0; i < v.size(); ++i) {
@@ -81,6 +89,26 @@ void top_k_indices(std::span<const float> v, std::size_t k, TopKWorkspace& ws,
   select(v, k, ws);
   out.clear();
   for (const auto& e : ws.candidates) out.push_back(e.index);
+}
+
+void top_k_uploads(const std::vector<std::span<const float>>& vecs, std::size_t k,
+                   std::vector<TopKWorkspace>& workspaces, std::vector<SparseVector>& uploads) {
+  const std::size_t n = vecs.size();
+  uploads.resize(n);  // shrink-to-n keeps callers' per-client views exact
+  if (workspaces.size() < n) workspaces.resize(n);
+  std::size_t total = 0;
+  for (const auto& v : vecs) total += v.size();
+  // Below ~64k total elements the pool dispatch costs more than the
+  // selections; the FAB round this threads (N=10, D=128k) is far above it.
+  constexpr std::size_t kParallelElemThreshold = 1u << 16;
+  util::ThreadPool* pool = tensor::parallel_pool();
+  if (pool != nullptr && pool->size() > 1 && n > 1 && total >= kParallelElemThreshold) {
+    pool->parallel_for(
+        n, [&](std::size_t i) { top_k_entries(vecs[i], k, workspaces[i], uploads[i]); },
+        /*grain=*/1);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) top_k_entries(vecs[i], k, workspaces[i], uploads[i]);
+  }
 }
 
 std::vector<std::int32_t> top_k_indices(std::span<const float> v, std::size_t k) {

@@ -41,6 +41,16 @@ void top_k_entries(std::span<const float> v, std::size_t k, TopKWorkspace& ws, S
 void top_k_indices(std::span<const float> v, std::size_t k, TopKWorkspace& ws,
                    std::vector<std::int32_t>& out);
 
+/// Computes every client's top-k upload in one call: uploads[i] receives
+/// top_k_entries(vecs[i], k) using workspaces[i] (both vectors are grown to
+/// vecs.size() and keep their capacity across rounds). When a thread pool is
+/// registered via tensor::set_parallel_pool and the total work is large
+/// enough, the N independent selections run across the pool — each client has
+/// its own workspace and output slot, so the result is byte-identical to the
+/// serial loop regardless of scheduling.
+void top_k_uploads(const std::vector<std::span<const float>>& vecs, std::size_t k,
+                   std::vector<TopKWorkspace>& workspaces, std::vector<SparseVector>& uploads);
+
 /// Allocating conveniences over the scratch API (cold paths and tests).
 std::vector<std::int32_t> top_k_indices(std::span<const float> v, std::size_t k);
 SparseVector top_k_entries(std::span<const float> v, std::size_t k);

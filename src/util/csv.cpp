@@ -9,7 +9,7 @@
 namespace fedsparse::util {
 
 CsvWriter::CsvWriter(std::string path, bool echo_stdout, std::string tag)
-    : echo_stdout_(echo_stdout), tag_(std::move(tag)) {
+    : echo_stdout_(echo_stdout), tag_(quote(tag)) {
   if (!path.empty()) {
     const std::filesystem::path p(path);
     if (p.has_parent_path()) ensure_directory(p.parent_path().string());
@@ -34,9 +34,22 @@ void CsvWriter::row_text(const std::vector<std::string>& cells) {
   std::string line;
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (i) line += ',';
-    line += cells[i];
+    line += quote(cells[i]);
   }
   emit(line);
+}
+
+std::string CsvWriter::quote(const std::string& cell) {
+  if (cell.find_first_of(",\"\r\n") == std::string::npos) return cell;
+  std::string quoted;
+  quoted.reserve(cell.size() + 2);
+  quoted += '"';
+  for (const char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
 }
 
 std::string CsvWriter::format(double v) {

@@ -29,11 +29,18 @@ class CsvWriter {
 
   void header(const std::vector<std::string>& names);
   void row(const std::vector<double>& values);
-  /// Mixed row: any cell can be text.
+  /// Mixed row: any cell can be text. Cells are RFC-4180 quoted as needed.
   void row_text(const std::vector<std::string>& cells);
 
   /// Formats a double compactly but losslessly.
   static std::string format(double v);
+
+  /// RFC-4180 escaping: a cell containing a comma, double quote, CR or LF is
+  /// wrapped in double quotes with embedded quotes doubled; anything else
+  /// passes through verbatim. Applied by header()/row_text() and to the
+  /// echo tag (once, at construction) so method names or tags with commas
+  /// cannot corrupt the column structure.
+  static std::string quote(const std::string& cell);
 
  private:
   void emit(const std::string& line);

@@ -194,7 +194,90 @@ TEST(GradientCheck, InputSmoothness) {
   check_input_gradients(*model, x, random_labels(4, 3, rng), 1e-3);
 }
 
-// ----------------------------------------------------------- layers --------
+// ------------------------------------- GEMM-routed layer equivalence -------
+//
+// The layers now run their math through the tiled gemm_nt/gemm_tn/gemm_nn
+// kernels; these tests pin them against the seed scalar loops (per-row dot
+// products / per-channel column sweeps) at atol 1e-4 — the kernels only
+// differ in float summation order.
+
+TEST(LinearLayer, GemmPathMatchesScalarReference) {
+  util::Rng rng(41);
+  const std::size_t batch = 7, in = 33, out = 9;
+  Linear layer(in, out);
+  std::vector<float> weights(layer.param_count()), grads(layer.param_count(), 0.0f);
+  layer.bind({weights.data(), weights.size()}, {grads.data(), grads.size()});
+  layer.init_params(rng);
+  const Matrix x = random_batch(batch, in, rng);
+  Matrix dy = random_batch(batch, out, rng);
+
+  Matrix y, dx;
+  layer.forward(x, y);
+  layer.backward(dy, dx);
+
+  // Scalar reference: y = xWᵀ + b; dW += dyᵀx; db += colsum dy; dx = dyW.
+  const float* w = weights.data();
+  const float* b = weights.data() + in * out;
+  std::vector<float> gw_ref(in * out, 0.0f), gb_ref(out, 0.0f);
+  for (std::size_t r = 0; r < batch; ++r) {
+    for (std::size_t o = 0; o < out; ++o) {
+      double acc = b[o];
+      for (std::size_t i = 0; i < in; ++i) acc += double(x.at(r, i)) * w[o * in + i];
+      EXPECT_NEAR(y.at(r, o), acc, 1e-4) << "y(" << r << "," << o << ")";
+      const float d = dy.at(r, o);
+      gb_ref[o] += d;
+      for (std::size_t i = 0; i < in; ++i) gw_ref[o * in + i] += d * x.at(r, i);
+    }
+    for (std::size_t i = 0; i < in; ++i) {
+      double acc = 0.0;
+      for (std::size_t o = 0; o < out; ++o) acc += double(dy.at(r, o)) * w[o * in + i];
+      EXPECT_NEAR(dx.at(r, i), acc, 1e-4) << "dx(" << r << "," << i << ")";
+    }
+  }
+  for (std::size_t j = 0; j < in * out; ++j) EXPECT_NEAR(grads[j], gw_ref[j], 1e-4) << "gw " << j;
+  for (std::size_t o = 0; o < out; ++o) EXPECT_NEAR(grads[in * out + o], gb_ref[o], 1e-4);
+}
+
+TEST(Conv2dLayer, GemmPathMatchesDirectConvolution) {
+  util::Rng rng(43);
+  const std::size_t ch = 2, h = 9, wd = 9, out_ch = 3, ks = 3, stride = 1, pad = 1;
+  const std::size_t batch = 3;
+  Conv2d layer(ch, h, wd, out_ch, ks, stride, pad);
+  std::vector<float> weights(layer.param_count()), grads(layer.param_count(), 0.0f);
+  layer.bind({weights.data(), weights.size()}, {grads.data(), grads.size()});
+  layer.init_params(rng);
+  const auto& g = layer.geometry();
+  const std::size_t oh = g.out_height(), ow = g.out_width();
+  const Matrix x = random_batch(batch, ch * h * wd, rng);
+  Matrix y;
+  layer.forward(x, y);
+
+  // Direct (non-im2col, non-GEMM) convolution as the ground truth.
+  const float* w = weights.data();
+  const float* bias = weights.data() + out_ch * g.col_rows();
+  for (std::size_t s = 0; s < batch; ++s) {
+    for (std::size_t o = 0; o < out_ch; ++o) {
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          double acc = bias[o];
+          for (std::size_t c = 0; c < ch; ++c) {
+            for (std::size_t ky = 0; ky < ks; ++ky) {
+              for (std::size_t kx = 0; kx < ks; ++kx) {
+                const long iy = long(oy * stride + ky) - long(pad);
+                const long ix = long(ox * stride + kx) - long(pad);
+                if (iy < 0 || iy >= long(h) || ix < 0 || ix >= long(wd)) continue;
+                acc += double(x.at(s, (c * h + std::size_t(iy)) * wd + std::size_t(ix))) *
+                       w[((o * ch + c) * ks + ky) * ks + kx];
+              }
+            }
+          }
+          EXPECT_NEAR(y.at(s, (o * oh + oy) * ow + ox), acc, 1e-4)
+              << "sample " << s << " chan " << o << " at (" << oy << "," << ox << ")";
+        }
+      }
+    }
+  }
+}
 
 TEST(ReLULayer, ForwardBackwardMask) {
   ReLU relu;

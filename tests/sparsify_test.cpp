@@ -10,11 +10,15 @@
 #include "sparsify/accumulator.h"
 #include "sparsify/fab_topk.h"
 #include "sparsify/fedavg.h"
+#include "sparsify/fub_topk.h"
 #include "sparsify/method.h"
 #include "sparsify/periodic_k.h"
 #include "sparsify/sparse_vector.h"
 #include "sparsify/topk.h"
+#include "sparsify/unidirectional_topk.h"
+#include "tensor/matrix.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace fedsparse::sparsify {
 namespace {
@@ -110,6 +114,50 @@ TEST(TopK, QuickselectMatchesHeapUnderTies) {
       EXPECT_EQ(top_k_entries(vs, k), top_k_entries_heap(vs, k)) << "D=" << d << " k=" << k;
     }
   }
+}
+
+// Regression: a mostly-zero vector (the post-reset accumulator shape) makes
+// the prefilter's sampled threshold 0.0, which used to admit every entry
+// (|v| >= 0 always) — the selection stayed exact but the "prefilter" was a
+// silent full copy. It must now bail to the dense path and, above all, still
+// match the heap reference exactly, including index-ordered zero ties.
+TEST(TopK, MostlyZeroVectorMatchesHeapReference) {
+  util::Rng rng(109);
+  const std::size_t d = 8192;  // >= the prefilter's minimum dimension
+  std::vector<float> v(d, 0.0f);
+  for (std::size_t i = 0; i < d / 100; ++i) {  // 99% zeros
+    v[rng.uniform_u64(d)] = static_cast<float>(rng.normal());
+  }
+  const std::span<const float> vs{v.data(), v.size()};
+  for (const std::size_t k : {std::size_t{10}, d / 100, std::size_t{500}, d / 2}) {
+    EXPECT_EQ(top_k_entries(vs, k), top_k_entries_heap(vs, k)) << "k=" << k;
+  }
+  // All-zero vector: pure tie-break territory.
+  std::fill(v.begin(), v.end(), 0.0f);
+  EXPECT_EQ(top_k_entries(vs, 64), top_k_entries_heap(vs, 64));
+}
+
+// top_k_uploads with a registered pool must reproduce the serial loop byte
+// for byte: each client owns its workspace and output slot.
+TEST(TopK, PooledUploadsMatchSerial) {
+  util::Rng rng(111);
+  const std::size_t n = 8, d = 32768, k = 100;
+  std::vector<std::vector<float>> vecs;
+  for (std::size_t i = 0; i < n; ++i) vecs.push_back(random_vector(d, rng));
+  std::vector<std::span<const float>> views;
+  for (const auto& v : vecs) views.push_back({v.data(), v.size()});
+
+  std::vector<TopKWorkspace> ws_serial, ws_pooled;
+  std::vector<SparseVector> serial, pooled;
+  top_k_uploads(views, k, ws_serial, serial);
+
+  util::ThreadPool pool(4);
+  tensor::set_parallel_pool(&pool);
+  top_k_uploads(views, k, ws_pooled, pooled);
+  tensor::set_parallel_pool(nullptr);
+
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(serial[i], pooled[i]) << "client " << i;
 }
 
 TEST(TopK, ScratchApiStopsAllocatingAfterWarmup) {
@@ -385,6 +433,35 @@ TEST(UnidirectionalTopK, DownlinkIsUnionAndResetsEverything) {
     EXPECT_EQ(out.contributed[i], k);
   }
   EXPECT_EQ(out.downlink_values, 2.0 * static_cast<double>(out.update.size()));
+}
+
+// Every top-k method's round must be bitwise-reproducible when the per-client
+// selections run across a thread pool: identical update/reset/contributed
+// payloads and identical timing charges.
+TEST(TopKMethods, PooledRoundMatchesSerialByteForByte) {
+  util::Rng rng(23);
+  const std::size_t dim = 16384, n = 6, k = 150;
+  std::vector<std::vector<float>> vecs;
+  for (std::size_t i = 0; i < n; ++i) vecs.push_back(random_vector(dim, rng, i == 0 ? 50.0 : 1.0));
+  const auto weights = equal_weights(n);
+
+  for (const char* name : {"fab_topk", "fub_topk", "unidirectional_topk"}) {
+    auto serial_method = make_method(name, dim);
+    const auto serial = serial_method->round(make_input(vecs, weights), k);
+
+    util::ThreadPool pool(4);
+    tensor::set_parallel_pool(&pool);
+    auto pooled_method = make_method(name, dim);
+    const auto pooled = pooled_method->round(make_input(vecs, weights), k);
+    tensor::set_parallel_pool(nullptr);
+
+    EXPECT_EQ(pooled.update, serial.update) << name;
+    ASSERT_EQ(pooled.reset.size(), serial.reset.size()) << name;
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(pooled.reset[i], serial.reset[i]) << name;
+    EXPECT_EQ(pooled.contributed, serial.contributed) << name;
+    EXPECT_EQ(pooled.uplink_values, serial.uplink_values) << name;
+    EXPECT_EQ(pooled.downlink_values, serial.downlink_values) << name;
+  }
 }
 
 TEST(PeriodicK, CoversAllCoordinatesWithinOnePass) {

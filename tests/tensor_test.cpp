@@ -164,6 +164,127 @@ TEST(Gemm, ThreadedMatchesSerialBitwise) {
   }
 }
 
+// ------------------------------------------------ view GEMM entry points ---
+
+TEST(MatrixView, SpanConstructorValidatesSize) {
+  std::vector<float> buf(6, 0.0f);
+  EXPECT_NO_THROW(MatrixView(std::span<float>{buf.data(), buf.size()}, 2, 3));
+  EXPECT_THROW(MatrixView(std::span<float>{buf.data(), buf.size()}, 2, 2),
+               std::invalid_argument);
+  EXPECT_NO_THROW(ConstMatrixView(std::span<const float>{buf.data(), buf.size()}, 3, 2));
+  EXPECT_THROW(ConstMatrixView(std::span<const float>{buf.data(), buf.size()}, 4, 2),
+               std::invalid_argument);
+}
+
+TEST(GemmViews, RejectShapeMismatches) {
+  Matrix a(3, 4), b(4, 5), c(3, 5), bad(2, 5);
+  EXPECT_NO_THROW(gemm_nn(a, b, 1.0f, c));
+  EXPECT_THROW(gemm_nn(a, b, 1.0f, bad), std::invalid_argument);
+  EXPECT_THROW(gemm_nn(a, a, 1.0f, c), std::invalid_argument);
+  Matrix bt(5, 4);
+  EXPECT_NO_THROW(gemm_nt(a, bt, 1.0f, c));
+  EXPECT_THROW(gemm_nt(a, b, 1.0f, c), std::invalid_argument);
+  Matrix at(4, 3);
+  EXPECT_NO_THROW(gemm_tn(at, b, 1.0f, c));
+  EXPECT_THROW(gemm_tn(a, b, 1.0f, c), std::invalid_argument);
+}
+
+// Property sweep for the register-tiled nt/tn kernels: random shapes crossing
+// the micro-kernel edges (2-row pairing and 4-wide B groups for nt, 4x16
+// tiles for tn) plus degenerate 1xN / Nx1 cases.
+TEST(GemmViews, NtTnMatchNaiveReferenceAcrossShapes) {
+  struct Shape {
+    std::size_t m, k, n;
+  };
+  util::Rng rng(555);
+  for (const auto& s :
+       {Shape{1, 1, 1}, Shape{1, 37, 1}, Shape{1, 8, 19}, Shape{19, 8, 1}, Shape{2, 16, 4},
+        Shape{5, 23, 7}, Shape{32, 784, 128}, Shape{66, 1030, 65}, Shape{3, 5, 513},
+        Shape{8, 576, 25}, Shape{25, 8, 576}}) {
+    // gemm_nt: A (m x k) · Bᵀ with B stored (n x k).
+    const Matrix a = random_matrix(s.m, s.k, rng);
+    const Matrix bt = random_matrix(s.n, s.k, rng);
+    Matrix c(s.m, s.n);
+    gemm_nt(a, bt, 1.5f, c);
+    const Matrix want_nt = naive_gemm(a, false, bt, true, 1.5f);
+    for (std::size_t i = 0; i < s.m; ++i) {
+      for (std::size_t j = 0; j < s.n; ++j) {
+        const float tol = 1e-4f * std::max(1.0f, std::fabs(want_nt.at(i, j)));
+        EXPECT_NEAR(c.at(i, j), want_nt.at(i, j), tol)
+            << "nt " << s.m << "x" << s.k << "x" << s.n << " at (" << i << "," << j << ")";
+      }
+    }
+    // gemm_tn: Aᵀ · B with A stored (k x m).
+    const Matrix at = random_matrix(s.k, s.m, rng);
+    const Matrix b = random_matrix(s.k, s.n, rng);
+    Matrix d(s.m, s.n);
+    gemm_tn(at, b, 1.5f, d);
+    const Matrix want_tn = naive_gemm(at, true, b, false, 1.5f);
+    for (std::size_t i = 0; i < s.m; ++i) {
+      for (std::size_t j = 0; j < s.n; ++j) {
+        const float tol = 1e-4f * std::max(1.0f, std::fabs(want_tn.at(i, j)));
+        EXPECT_NEAR(d.at(i, j), want_tn.at(i, j), tol)
+            << "tn " << s.m << "x" << s.k << "x" << s.n << " at (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(GemmViews, AccumulateIntoExistingC) {
+  // The view entry points are C += alpha·op(A)·op(B): preloaded C survives.
+  util::Rng rng(556);
+  const Matrix a = random_matrix(4, 9, rng);
+  const Matrix bt = random_matrix(6, 9, rng);
+  Matrix c(4, 6, 2.0f);
+  gemm_nt(a, bt, 1.0f, c);
+  const Matrix prod = naive_gemm(a, false, bt, true, 1.0f);
+  for (std::size_t i = 0; i < c.rows(); ++i) {
+    for (std::size_t j = 0; j < c.cols(); ++j) {
+      EXPECT_NEAR(c.at(i, j), 2.0f + prod.at(i, j), 1e-4f);
+    }
+  }
+}
+
+TEST(GemmViews, ViewsOverSpansNeedNoCopy) {
+  // Weights-as-flat-span is exactly how the layers call these entry points.
+  std::vector<float> w = {1, 2, 3, 4, 5, 6};  // 2x3 row-major
+  const ConstMatrixView wv(std::span<const float>{w.data(), w.size()}, 2, 3);
+  Matrix x(1, 3);
+  x.at(0, 0) = 1.0f;
+  x.at(0, 1) = 1.0f;
+  x.at(0, 2) = 1.0f;
+  Matrix y(1, 2);
+  gemm_nt(x, wv, 1.0f, y);  // y = x · wᵀ
+  EXPECT_FLOAT_EQ(y.at(0, 0), 6.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 15.0f);
+}
+
+TEST(GemmViews, NtTnThreadedMatchesSerialBitwise) {
+  // nt: each C row's dot chains accumulate in a split-invariant order; tn:
+  // thread blocks are 4-aligned like nn. Either way a threaded run must
+  // reproduce the serial result bit for bit.
+  util::Rng rng(557);
+  const Matrix a = random_matrix(150, 200, rng);
+  const Matrix bt = random_matrix(170, 200, rng);
+  const Matrix at = random_matrix(200, 150, rng);
+  const Matrix b = random_matrix(200, 170, rng);
+  Matrix serial_nt(150, 170), serial_tn(150, 170);
+  gemm_nt(a, bt, 1.5f, serial_nt);
+  gemm_tn(at, b, 1.5f, serial_tn);
+
+  util::ThreadPool pool(4);
+  set_parallel_pool(&pool);
+  Matrix threaded_nt(150, 170), threaded_tn(150, 170);
+  gemm_nt(a, bt, 1.5f, threaded_nt);
+  gemm_tn(at, b, 1.5f, threaded_tn);
+  set_parallel_pool(nullptr);
+
+  for (std::size_t i = 0; i < serial_nt.size(); ++i) {
+    EXPECT_EQ(threaded_nt.data()[i], serial_nt.data()[i]) << "nt flat " << i;
+    EXPECT_EQ(threaded_tn.data()[i], serial_tn.data()[i]) << "tn flat " << i;
+  }
+}
+
 TEST(Matrix, ReshapeKeepsCapacityAndSkipsZeroFill) {
   Matrix m(8, 8, 3.0f);
   const float* before = m.data();

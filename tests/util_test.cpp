@@ -210,6 +210,37 @@ TEST(Csv, WritesFile) {
   std::filesystem::remove_all("/tmp/fedsparse_csv_test");
 }
 
+TEST(Csv, QuoteEscapesPerRfc4180) {
+  // Plain cells pass through verbatim.
+  EXPECT_EQ(CsvWriter::quote("plain"), "plain");
+  EXPECT_EQ(CsvWriter::quote(""), "");
+  EXPECT_EQ(CsvWriter::quote("spaces are fine"), "spaces are fine");
+  // Commas, quotes, CR and LF force quoting; embedded quotes are doubled.
+  EXPECT_EQ(CsvWriter::quote("fab,topk"), "\"fab,topk\"");
+  EXPECT_EQ(CsvWriter::quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::quote("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(CsvWriter::quote("cr\rcell"), "\"cr\rcell\"");
+  EXPECT_EQ(CsvWriter::quote("\""), "\"\"\"\"");
+}
+
+TEST(Csv, RowTextQuotesCellsWithCommas) {
+  // A method name containing a comma must not corrupt the column structure.
+  const std::string path = "/tmp/fedsparse_csv_quote_test/out.csv";
+  {
+    CsvWriter w(path, /*echo_stdout=*/false);
+    w.header({"method", "note"});
+    w.row_text({"topk,adaptive", "said \"go\""});
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "method,note");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"topk,adaptive\",\"said \"\"go\"\"\"");
+  std::filesystem::remove_all("/tmp/fedsparse_csv_quote_test");
+}
+
 TEST(ThreadPool, RunsAllIndices) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(100);
