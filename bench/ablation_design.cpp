@@ -25,19 +25,18 @@ namespace {
 // dropped (reset covers the full coordinate range).
 class FabNoAccumulation final : public sparsify::Method {
  public:
-  explicit FabNoAccumulation(std::size_t dim) : inner_(dim), dim_(dim) {}
+  explicit FabNoAccumulation(std::size_t dim) : inner_(dim) {}
   std::string name() const override { return "fab_topk_noacc"; }
   sparsify::RoundOutcome round(const sparsify::RoundInput& in, std::size_t k) override {
     auto out = inner_.round(in, k);
-    std::vector<std::int32_t> all(dim_);
-    for (std::size_t j = 0; j < dim_; ++j) all[j] = static_cast<std::int32_t>(j);
-    out.reset.assign(in.client_vectors.size(), all);
+    out.reset_kind = sparsify::RoundOutcome::ResetKind::kAll;
+    out.reset_indices.clear();
+    out.reset_offsets.clear();
     return out;
   }
 
  private:
   sparsify::FabTopK inner_;
-  std::size_t dim_;
 };
 
 void report(const char* arm, const fl::SimulationResult& res) {

@@ -19,11 +19,17 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#define FEDSPARSE_HAVE_RUSAGE 1
+#endif
+
 #include "nn/conv2d.h"
 #include "nn/linear.h"
 #include "sparsify/accumulator.h"
 #include "sparsify/fab_topk.h"
 #include "sparsify/method.h"
+#include "sparsify/sparse_vector.h"
 #include "sparsify/topk.h"
 #include "tensor/im2col.h"
 #include "tensor/matrix.h"
@@ -48,7 +54,25 @@ struct KernelResult {
   double ns_per_op = 0.0;
   double items_per_s = 0.0;
   std::size_t iterations = 0;
+  double peak_rss_mb = 0.0;  // process peak RSS after this kernel (0 = untracked)
 };
+
+/// Process peak resident set size in MB (0 when the platform lacks rusage).
+/// Monotone over the process lifetime, so sweeps that care about it order
+/// their cheap configurations first.
+double peak_rss_mb() {
+#if FEDSPARSE_HAVE_RUSAGE
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+#if defined(__APPLE__)
+  return static_cast<double>(ru.ru_maxrss) / (1024.0 * 1024.0);  // macOS: bytes
+#else
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // Linux: KB
+#endif
+#else
+  return 0.0;
+#endif
+}
 
 /// Runs fn repeatedly until the time budget is spent (at least 3 iterations)
 /// and reports mean ns/op. `items` is the per-op work amount for items/s.
@@ -112,6 +136,27 @@ void bench_gemm(std::vector<KernelResult>& out) {
   }));
   out.push_back(measure("gemm_blocked_256", "gemm_reference_256", flops, [&] {
     tensor::gemm(a, false, b, false, 1.0f, 0.0f, c);
+    do_not_optimize(c);
+  }));
+
+  // A·Bᵀ at the same scale: the packed-transpose path (B repacked once, then
+  // the 4x16 nn micro-kernel) against a scalar rows-dot-rows reference.
+  out.push_back(measure("gemm_nt_reference_256", "", flops, [&] {
+    for (std::size_t mi = 0; mi < n; ++mi) {
+      const float* arow = a.row(mi);
+      float* crow = c.row(mi);
+      for (std::size_t ni = 0; ni < n; ++ni) {
+        const float* brow = b.row(ni);
+        float acc = 0.0f;
+        for (std::size_t ki = 0; ki < n; ++ki) acc += arow[ki] * brow[ki];
+        crow[ni] = acc;
+      }
+    }
+    do_not_optimize(c);
+  }));
+  out.push_back(measure("gemm_nt_packed_256", "gemm_nt_reference_256", flops, [&] {
+    tensor::zero(c.flat());
+    tensor::gemm_nt(a, b, 1.0f, c);
     do_not_optimize(c);
   }));
 }
@@ -307,6 +352,84 @@ void bench_fab_round(std::vector<KernelResult>& out) {
   }));
 }
 
+// --- shared-replica round engine: server round + apply-path scaling ---------
+//
+// The synchronized methods hold one global weight vector, so the broadcast
+// update is applied ONCE in O(k); the per-replica reference engine applies
+// the identical update to n separate vectors. The sweep pins the claim that
+// round time stops scaling with n on the apply path (speedup vs per-replica
+// ~ n, which is machine-portable and CI-gateable), and the printed peak-RSS
+// trail shows the per-replica side paying O(n·D) weight memory the shared
+// store never allocates.
+
+void bench_round_engine(std::vector<KernelResult>& out) {
+  const std::size_t d = 1u << 17;   // 128k
+  const std::size_t k = d / 100 + 1;
+  const float lr = 0.05f;
+
+  // Apply-path scaling sweep, N ∈ {10, 100, 1000}. ru_maxrss is monotone
+  // over the process lifetime, so the sweep runs before the ~52 MB
+  // server_round block below, ALL shared points run before ANY per-replica
+  // point (shared readings never include a freed reference-engine
+  // allocation), and the per-replica points run in ascending n (each point's
+  // peak is dominated by its own replicas).
+  sparsify::SparseVector update;
+  update.reserve(k);
+  util::Rng urng(99);
+  const std::size_t stride = d / k;
+  for (std::size_t j = 0; j < k; ++j) {
+    update.push_back(sparsify::SparseEntry{static_cast<std::int32_t>(j * stride),
+                                           static_cast<float>(urng.normal())});
+  }
+  const std::size_t sweep[] = {10, 100, 1000};
+  for (const std::size_t n : sweep) {
+    const std::string shared_name = "round_apply_shared_N" + std::to_string(n) + "_D128k";
+    auto w = random_vec(d, 301);
+    const std::span<float> ws{w.data(), w.size()};
+    out.push_back(measure(shared_name,
+                          "round_apply_perreplica_N" + std::to_string(n) + "_D128k",
+                          static_cast<double>(k), [&] {
+                            sparsify::axpy_sparse(-lr, update, ws);
+                            do_not_optimize(w.data());
+                          }));
+    out.back().peak_rss_mb = peak_rss_mb();
+    std::printf("    peak RSS after %-34s %8.1f MB\n", shared_name.c_str(), peak_rss_mb());
+  }
+  for (const std::size_t n : sweep) {
+    const std::string replica_name = "round_apply_perreplica_N" + std::to_string(n) + "_D128k";
+    std::vector<std::vector<float>> replicas;
+    replicas.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) replicas.push_back(random_vec(d, 400 + i));
+    out.push_back(measure(replica_name, "", static_cast<double>(n * k), [&] {
+      for (auto& r : replicas) sparsify::axpy_sparse(-lr, update, {r.data(), r.size()});
+      do_not_optimize(replicas.data());
+    }));
+    out.back().peak_rss_mb = peak_rss_mb();
+    std::printf("    peak RSS after %-34s %8.1f MB\n", replica_name.c_str(), peak_rss_mb());
+  }
+
+  // End-to-end server round (selection + aggregation) at N=100 — ten times
+  // the client count of fab_server_round_N10_D128k. Runs after the sweep so
+  // its 100 x D client vectors cannot pollute the sweep's RSS trail (its own
+  // peak_rss_mb would read the sweep's 500 MB high-water mark, so none is
+  // recorded).
+  {
+    const std::size_t n = 100;
+    std::vector<std::vector<float>> vecs;
+    for (std::size_t i = 0; i < n; ++i) vecs.push_back(random_vec(d, i + 1));
+    std::vector<double> weights(n, 1.0 / static_cast<double>(n));
+    sparsify::RoundInput in;
+    in.dim = d;
+    in.round = 1;
+    in.data_weights = {weights.data(), weights.size()};
+    for (const auto& v : vecs) in.client_vectors.push_back({v.data(), v.size()});
+    sparsify::FabTopK method(d);
+    out.push_back(measure("server_round_N100_D128k", "", static_cast<double>(n * d), [&] {
+      do_not_optimize(method.round(in, k));
+    }));
+  }
+}
+
 void bench_parallel_for(std::vector<KernelResult>& out) {
   util::ThreadPool pool;
   const std::size_t n = 1u << 20;
@@ -331,6 +454,7 @@ void write_json(const std::vector<KernelResult>& rs, const std::string& path) {
     const auto& r = rs[i];
     f << "    {\"name\": \"" << r.name << "\", \"ns_per_op\": " << r.ns_per_op
       << ", \"items_per_s\": " << r.items_per_s << ", \"iterations\": " << r.iterations;
+    if (r.peak_rss_mb > 0.0) f << ", \"peak_rss_mb\": " << r.peak_rss_mb;
     if (!r.baseline.empty()) {
       const double base = find_ns(rs, r.baseline);
       f << ", \"baseline\": \"" << r.baseline
@@ -360,6 +484,7 @@ int main(int argc, char** argv) {
   bench_conv2d(results);
   bench_accumulator(results);
   bench_fab_round(results);
+  bench_round_engine(results);
   bench_parallel_for(results);
   write_json(results, path);
   std::printf("wrote %s\n", path.c_str());

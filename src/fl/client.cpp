@@ -6,25 +6,38 @@
 
 namespace fedsparse::fl {
 
-Client::Client(std::size_t id, data::Dataset dataset, const nn::ModelFactory& factory,
-               std::uint64_t seed)
+Client::Client(std::size_t id, data::Dataset dataset, std::size_t dim, std::uint64_t seed)
     : id_(id),
       dataset_(std::move(dataset)),
-      model_(nullptr),
-      accumulator_(0),
+      accumulator_(dim),
       rng_(seed),
       probe_x_(1, 1) {
   if (dataset_.empty()) {
     throw std::invalid_argument("Client " + std::to_string(id) + ": empty dataset");
   }
-  util::Rng init_rng = rng_.split(0xF00D);
-  model_ = factory(init_rng);
-  accumulator_ = sparsify::GradientAccumulator(model_->dim());
+  if (dim == 0) {
+    throw std::invalid_argument("Client " + std::to_string(id) + ": zero model dimension");
+  }
   probe_x_.resize(1, dataset_.feature_dim());
   probe_y_.assign(1, 0);
 }
 
-double Client::compute_round_gradient(std::size_t round, std::size_t batch) {
+void Client::allocate_weights(std::span<const float> init) {
+  if (init.size() != dim()) {
+    throw std::invalid_argument("allocate_weights: dimension mismatch");
+  }
+  weights_.assign(init.begin(), init.end());
+}
+
+void Client::set_weights(std::span<const float> w) {
+  if (w.size() != weights_.size()) {
+    throw std::invalid_argument("set_weights: dimension mismatch");
+  }
+  std::copy(w.begin(), w.end(), weights_.begin());
+}
+
+double Client::compute_round_gradient(nn::Sequential& model, std::size_t round,
+                                      std::size_t batch) {
   util::Rng round_rng = rng_.split(0x1000 + round);
   const auto mb = data::sample_minibatch(dataset_, batch, round_rng);
 
@@ -32,32 +45,30 @@ double Client::compute_round_gradient(std::size_t round, std::size_t batch) {
   const std::size_t h = round_rng.uniform_u64(mb.indices.size());
   std::memcpy(probe_x_.row(0), mb.x.row(h), mb.x.cols() * sizeof(float));
   probe_y_[0] = mb.y[h];
-  probe_loss_prev_ = model_->forward_loss(probe_x_, probe_y_);  // f_{i,h}(w(m−1))
+  probe_loss_prev_ = model.forward_loss(probe_x_, probe_y_);  // f_{i,h}(w(m−1))
 
-  model_->zero_grad();
-  const double loss = model_->forward_loss_grad(mb.x, mb.y);
-  accumulator_.add(model_->grad());
+  model.zero_grad();
+  const double loss = model.forward_loss_grad(mb.x, mb.y);
+  accumulator_.add(model.grad());
   return loss;
 }
 
-double Client::local_update(std::size_t round, std::size_t batch, float lr) {
+double Client::local_update(nn::Sequential& model, std::size_t round, std::size_t batch,
+                            float lr) {
   util::Rng round_rng = rng_.split(0x1000 + round);
   const auto mb = data::sample_minibatch(dataset_, batch, round_rng);
-  model_->zero_grad();
-  const double loss = model_->forward_loss_grad(mb.x, mb.y);
-  model_->sgd_step(lr);
+  model.zero_grad();
+  const double loss = model.forward_loss_grad(mb.x, mb.y);
+  model.sgd_step(lr);
   return loss;
 }
 
 void Client::apply_sparse_update(const sparsify::SparseVector& update, float lr) {
-  auto w = model_->weights();
-  for (const auto& e : update) {
-    w[static_cast<std::size_t>(e.index)] -= lr * e.value;
-  }
+  sparsify::axpy_sparse(-lr, update, weights());
 }
 
 void Client::apply_dense_update(std::span<const float> update, float lr) {
-  auto w = model_->weights();
+  auto w = weights();
   if (update.size() != w.size()) {
     throw std::invalid_argument("apply_dense_update: dimension mismatch");
   }
@@ -68,10 +79,13 @@ void Client::reset_accumulated(std::span<const std::int32_t> indices) {
   accumulator_.reset_indices(indices);
 }
 
-double Client::probe_loss_now() { return model_->forward_loss(probe_x_, probe_y_); }
+double Client::probe_loss_now(nn::Sequential& model) {
+  return model.forward_loss(probe_x_, probe_y_);
+}
 
-double Client::probe_loss_shifted(const sparsify::SparseVector& diff, float lr) {
-  auto w = model_->weights();
+double Client::probe_loss_shifted(nn::Sequential& model, const sparsify::SparseVector& diff,
+                                  float lr) {
+  auto w = model.weights();
   // w'(m) differs from w(m) by lr * diff on a few coordinates: apply, eval,
   // restore exactly (floating-point add/sub of the same quantity is not
   // perfectly reversible, so save the original values instead).
@@ -81,21 +95,21 @@ double Client::probe_loss_shifted(const sparsify::SparseVector& diff, float lr) 
     saved[i] = w[idx];
     w[idx] += lr * diff[i].value;
   }
-  const double loss = model_->forward_loss(probe_x_, probe_y_);
+  const double loss = model.forward_loss(probe_x_, probe_y_);
   for (std::size_t i = 0; i < diff.size(); ++i) {
     w[static_cast<std::size_t>(diff[i].index)] = saved[i];
   }
   return loss;
 }
 
-double Client::full_local_loss(std::size_t max_samples, util::Rng& rng) {
+double Client::full_local_loss(nn::Sequential& model, std::size_t max_samples, util::Rng& rng) {
   if (max_samples == 0 || dataset_.size() <= max_samples) {
-    return model_->forward_loss(dataset_.x, dataset_.y);
+    return model.forward_loss(dataset_.x, dataset_.y);
   }
   std::vector<std::size_t> idx(max_samples);
   for (auto& v : idx) v = rng.uniform_u64(dataset_.size());
   const data::Dataset sub = dataset_.subset(idx);
-  return model_->forward_loss(sub.x, sub.y);
+  return model.forward_loss(sub.x, sub.y);
 }
 
 }  // namespace fedsparse::fl

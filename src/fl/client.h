@@ -1,9 +1,19 @@
-// Federated client: local dataset, model replica, accumulated gradient, and
-// the one-sample probe losses of the derivative-sign estimator (Sec. IV-E).
+// Federated client state: local dataset, accumulated gradient, optional local
+// weights, and the one-sample probe losses of the derivative-sign estimator
+// (Sec. IV-E).
+//
+// A client does NOT own a model replica. In the paper's synchronized top-k
+// methods every client holds the same global weights w(m) by construction, so
+// the simulation keeps ONE shared weight vector and a small pool of
+// per-thread model workspaces (nn::Sequential instances whose weight chain is
+// rebound via bind_weights). Every compute entry point below borrows such a
+// workspace, already bound to the weights this client should see: the shared
+// store for synchronized methods, or this client's own `local weights` for
+// FedAvg-style methods and the per-replica reference engine.
 #pragma once
 
 #include <cstdint>
-#include <memory>
+#include <vector>
 
 #include "data/dataset.h"
 #include "data/minibatch.h"
@@ -16,61 +26,71 @@ namespace fedsparse::fl {
 
 class Client {
  public:
-  /// The model is built from `factory` and then overwritten with the server's
-  /// initial weights, so all clients start synchronized.
-  Client(std::size_t id, data::Dataset dataset, const nn::ModelFactory& factory,
-         std::uint64_t seed);
+  Client(std::size_t id, data::Dataset dataset, std::size_t dim, std::uint64_t seed);
 
   std::size_t id() const noexcept { return id_; }
   std::size_t num_samples() const noexcept { return dataset_.size(); }
   const data::Dataset& dataset() const noexcept { return dataset_; }
+  std::size_t dim() const noexcept { return accumulator_.dim(); }
 
-  std::size_t dim() const noexcept { return model_->dim(); }
-  std::span<const float> weights() const noexcept { return model_->weights(); }
-  void set_weights(std::span<const float> w) { model_->set_weights(w); }
+  // --- local weight ownership ----------------------------------------------
+
+  /// Gives this client its own copy of the weights (FedAvg-style methods,
+  /// per-replica reference engine). Shared-store clients never call this and
+  /// hold no weight memory at all.
+  void allocate_weights(std::span<const float> init);
+  bool owns_weights() const noexcept { return !weights_.empty(); }
+  std::span<float> weights() noexcept { return {weights_.data(), weights_.size()}; }
+  std::span<const float> weights() const noexcept { return {weights_.data(), weights_.size()}; }
+  void set_weights(std::span<const float> w);
+
+  /// Applies the broadcast update to the client-owned weights:
+  /// w -= lr * dense(update). Only meaningful when owns_weights().
+  void apply_sparse_update(const sparsify::SparseVector& update, float lr);
+  void apply_dense_update(std::span<const float> update, float lr);
+
+  // --- accumulated gradient ------------------------------------------------
 
   std::span<const float> accumulated() const noexcept { return accumulator_.value(); }
+
+  /// Zeroes the accumulated entries the server consumed (Line 17, Alg. 1).
+  void reset_accumulated(std::span<const std::int32_t> indices);
+  void reset_all_accumulated() noexcept { accumulator_.reset_all(); }
+
+  // --- round computation (all take a borrowed, already-bound workspace) ----
 
   /// One local round (Line 4 of Algorithm 1): sample a minibatch at the
   /// current weights w(m−1), compute the gradient, add it to the accumulated
   /// gradient a_i, pick the probe sample h and record f_{i,h}(w(m−1)).
   /// Returns the minibatch training loss.
-  double compute_round_gradient(std::size_t round, std::size_t batch);
+  double compute_round_gradient(nn::Sequential& model, std::size_t round, std::size_t batch);
 
-  /// FedAvg-style round: compute the minibatch gradient at the local weights
-  /// and immediately apply it locally (no accumulator involved).
-  double local_update(std::size_t round, std::size_t batch, float lr);
-
-  /// Applies the broadcast sparse update: w -= lr * dense(update).
-  void apply_sparse_update(const sparsify::SparseVector& update, float lr);
-  /// Dense variant (send-all).
-  void apply_dense_update(std::span<const float> update, float lr);
-
-  /// Zeroes the accumulated entries the server consumed (Line 17, Alg. 1).
-  void reset_accumulated(std::span<const std::int32_t> indices);
-  void reset_all_accumulated() noexcept { accumulator_.reset_all(); }
+  /// FedAvg-style round: compute the minibatch gradient and immediately apply
+  /// it to the bound weights (the client's own vector; no accumulator).
+  double local_update(nn::Sequential& model, std::size_t round, std::size_t batch, float lr);
 
   // --- probe losses (Section IV-E) -----------------------------------------
 
   /// f_{i,h}(w(m−1)), recorded during compute_round_gradient.
   double probe_loss_prev() const noexcept { return probe_loss_prev_; }
 
-  /// f_{i,h}(current weights) — call after applying the k_m update for
-  /// f_{i,h}(w(m)).
-  double probe_loss_now();
+  /// f_{i,h} at the weights the workspace is currently bound to.
+  double probe_loss_now(nn::Sequential& model);
 
-  /// f_{i,h}(w'(m)) where w' = current weights + lr*dense(diff): applies the
-  /// delta temporarily, evaluates, and restores the weights exactly.
-  double probe_loss_shifted(const sparsify::SparseVector& diff, float lr);
+  /// f_{i,h}(w'(m)) where w' = bound weights + lr*dense(diff): applies the
+  /// delta to the bound weights temporarily, evaluates, and restores them
+  /// exactly. Only safe when this client owns the bound weights (the shared
+  /// engine shifts its store once centrally instead).
+  double probe_loss_shifted(nn::Sequential& model, const sparsify::SparseVector& diff, float lr);
 
-  /// Local loss over (a subsample of) the client's full dataset at the
-  /// current weights; `max_samples == 0` means all samples.
-  double full_local_loss(std::size_t max_samples, util::Rng& rng);
+  /// Local loss over (a subsample of) the client's full dataset at the bound
+  /// weights; `max_samples == 0` means all samples.
+  double full_local_loss(nn::Sequential& model, std::size_t max_samples, util::Rng& rng);
 
  private:
   std::size_t id_;
   data::Dataset dataset_;
-  std::unique_ptr<nn::Sequential> model_;
+  std::vector<float> weights_;  // empty unless this client owns its weights
   sparsify::GradientAccumulator accumulator_;
   util::Rng rng_;
 

@@ -33,13 +33,19 @@ Simulation::Simulation(SimulationConfig cfg, data::FederatedDataset dataset,
     throw std::invalid_argument("Simulation: participation must be in (0, 1]");
   }
   data_weights_ = dataset.data_weights();
+
+  // Master initialization: the one weight vector everything starts from. Its
+  // dimension sizes every client's accumulator.
+  util::Rng master_rng(cfg.seed ^ 0x5EEDULL);
+  const auto master = factory_(master_rng);
+  dim_ = master->dim();
+
   clients_.reserve(dataset.clients.size());
   std::uint64_t seed_state = cfg.seed ^ 0xC11E27ULL;
   for (std::size_t i = 0; i < dataset.clients.size(); ++i) {
-    clients_.push_back(std::make_unique<Client>(i, std::move(dataset.clients[i]), factory_,
+    clients_.push_back(std::make_unique<Client>(i, std::move(dataset.clients[i]), dim_,
                                                 util::splitmix64(seed_state)));
   }
-  dim_ = clients_[0]->dim();
   timing_ = TimingModel{cfg.comm_time, cfg.compute_time, dim_};
   resource_.timing = timing_;
   resource_.energy_per_compute = cfg.energy_per_compute;
@@ -58,20 +64,39 @@ Simulation::Simulation(SimulationConfig cfg, data::FederatedDataset dataset,
     }
   }
 
-  // Master initialization: every replica starts from the same weights.
-  util::Rng master_rng(cfg.seed ^ 0x5EEDULL);
-  const auto master = factory_(master_rng);
-  if (master->dim() != dim_) throw std::logic_error("Simulation: factory dim mismatch");
-  for (auto& c : clients_) c->set_weights(master->weights());
+  // Weight layout: the shared store always holds w(m) for synchronized
+  // methods; FedAvg-style methods (diverging local weights) and the
+  // per-replica reference engine give every client its own vector.
+  fedavg_style_ = method_->local_update_style();
+  per_client_weights_ = fedavg_style_ || cfg.replica_mode == ReplicaMode::kPerReplica;
+  shared_weights_.assign(master->weights().begin(), master->weights().end());
+  if (per_client_weights_) {
+    for (auto& c : clients_) c->allocate_weights(master->weights());
+  }
   evaluator_.set_weights(master->weights());
+
+  // Per-thread model workspaces: pool workers plus the calling thread. Each
+  // keeps only gradients + activations once its weight chain is rebound.
+  workspaces_.reserve(pool_.slot_count());
+  for (std::size_t t = 0; t < pool_.slot_count(); ++t) {
+    util::Rng ws_rng(cfg.seed ^ (0x3A7E0000ULL + t));
+    workspaces_.push_back(factory_(ws_rng));
+    if (workspaces_.back()->dim() != dim_) {
+      throw std::logic_error("Simulation: factory dim mismatch");
+    }
+    workspaces_.back()->bind_weights({shared_weights_.data(), shared_weights_.size()});
+  }
 
   util::log_info() << "Simulation: " << clients_.size() << " clients, D=" << dim_
                    << ", method=" << method_->name() << ", controller=" << controller_->name()
-                   << ", beta=" << cfg.comm_time;
+                   << ", beta=" << cfg.comm_time << ", engine="
+                   << (per_client_weights_ ? "per-replica" : "shared") << " ("
+                   << workspaces_.size() << " workspaces)";
 
-  // Let large GEMMs inside client forward/backward split their M loop across
-  // this pool. Nested parallel_for calls are safe: the caller always drains
-  // chunks itself, so a busy pool just means the inner call runs serially.
+  // Let large GEMMs inside workspace forward/backward split their M loop
+  // across this pool. Nested parallel_for calls are safe: the caller always
+  // drains chunks itself, so a busy pool just means the inner call runs
+  // serially.
   tensor::set_parallel_pool(&pool_);
 }
 
@@ -81,57 +106,100 @@ Simulation::~Simulation() {
   if (tensor::parallel_pool() == &pool_) tensor::set_parallel_pool(nullptr);
 }
 
-std::vector<std::size_t> Simulation::sample_participants() {
+std::span<const float> Simulation::client_weights(std::size_t i) const {
+  const Client& c = *clients_.at(i);
+  if (c.owns_weights()) return c.weights();
+  return {shared_weights_.data(), shared_weights_.size()};
+}
+
+nn::Sequential& Simulation::bound_workspace(std::size_t i) {
+  nn::Sequential& ws = *workspaces_[pool_.current_slot()];
+  if (per_client_weights_) {
+    ws.bind_weights(clients_[i]->weights());
+  } else {
+    ws.bind_weights({shared_weights_.data(), shared_weights_.size()});
+  }
+  return ws;
+}
+
+const std::vector<std::size_t>& Simulation::sample_participants() {
   const std::size_t n = clients_.size();
   if (cfg_.participation >= 1.0) {
-    std::vector<std::size_t> all(n);
-    for (std::size_t i = 0; i < n; ++i) all[i] = i;
-    return all;
+    if (part_ids_.size() != n) {
+      part_ids_.resize(n);
+      for (std::size_t i = 0; i < n; ++i) part_ids_[i] = i;
+    }
+    return part_ids_;
   }
   const auto take = std::max<std::size_t>(
       1, static_cast<std::size_t>(std::ceil(cfg_.participation * static_cast<double>(n))));
-  std::vector<std::size_t> ids(n);
-  for (std::size_t i = 0; i < n; ++i) ids[i] = i;
+  id_scratch_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) id_scratch_[i] = i;
   // Partial Fisher–Yates: the first `take` entries are a uniform sample.
   for (std::size_t i = 0; i < take; ++i) {
     const std::size_t j = i + rng_.uniform_u64(n - i);
-    std::swap(ids[i], ids[j]);
+    std::swap(id_scratch_[i], id_scratch_[j]);
   }
-  ids.resize(take);
-  std::sort(ids.begin(), ids.end());
-  return ids;
+  part_ids_.assign(id_scratch_.begin(), id_scratch_.begin() + static_cast<std::ptrdiff_t>(take));
+  std::sort(part_ids_.begin(), part_ids_.end());
+  return part_ids_;
 }
 
-sparsify::RoundInput Simulation::make_round_input(std::size_t round,
-                                                  const std::vector<std::size_t>& selected,
-                                                  std::vector<double>& weight_storage) const {
-  sparsify::RoundInput in;
-  in.dim = dim_;
-  in.round = round;
-  const bool fedavg_style = method_->local_update_style();
-  weight_storage.clear();
+const sparsify::RoundInput& Simulation::make_round_input(
+    std::size_t round, const std::vector<std::size_t>& selected) {
+  round_input_.dim = dim_;
+  round_input_.round = round;
+  round_input_.client_vectors.clear();
+  weight_storage_.clear();
   double total = 0.0;
   for (const std::size_t i : selected) total += data_weights_[i];
   for (const std::size_t i : selected) {
-    weight_storage.push_back(total > 0.0 ? data_weights_[i] / total
-                                         : 1.0 / static_cast<double>(selected.size()));
-    in.client_vectors.push_back(fedavg_style ? clients_[i]->weights()
-                                             : clients_[i]->accumulated());
+    weight_storage_.push_back(total > 0.0 ? data_weights_[i] / total
+                                          : 1.0 / static_cast<double>(selected.size()));
+    round_input_.client_vectors.push_back(fedavg_style_
+                                              ? std::span<const float>(clients_[i]->weights())
+                                              : clients_[i]->accumulated());
   }
-  in.data_weights = {weight_storage.data(), weight_storage.size()};
-  return in;
+  round_input_.data_weights = {weight_storage_.data(), weight_storage_.size()};
+  return round_input_;
+}
+
+void Simulation::apply_reset(const sparsify::RoundOutcome& outcome, std::size_t i,
+                             std::size_t s) {
+  using ResetKind = sparsify::RoundOutcome::ResetKind;
+  switch (outcome.reset_kind) {
+    case ResetKind::kNone:
+      break;
+    case ResetKind::kAll:
+      clients_[i]->reset_all_accumulated();
+      break;
+    case ResetKind::kPerClient:
+    case ResetKind::kUniform:
+      clients_[i]->reset_accumulated(outcome.reset_for(s));
+      break;
+  }
 }
 
 std::span<const float> Simulation::global_weights() {
-  if (!method_->local_update_style()) return clients_[0]->weights();
-  // FedAvg between synchronizations: the virtual global model is the
-  // data-weighted average of the local weights.
-  fedavg_weights_.assign(dim_, 0.0f);
-  for (std::size_t i = 0; i < clients_.size(); ++i) {
-    const auto w = clients_[i]->weights();
-    const auto dw = static_cast<float>(data_weights_[i]);
-    for (std::size_t j = 0; j < dim_; ++j) fedavg_weights_[j] += dw * w[j];
+  if (!fedavg_style_) {
+    if (!per_client_weights_) return {shared_weights_.data(), shared_weights_.size()};
+    return clients_[0]->weights();
   }
+  // FedAvg between synchronizations: the virtual global model is the
+  // data-weighted average of the local weights, computed over disjoint index
+  // ranges across the pool. Per coordinate the clients accumulate in
+  // ascending order exactly as in the serial loop, so the threaded result is
+  // bitwise-identical.
+  fedavg_weights_.resize(dim_);
+  float* fw = fedavg_weights_.data();
+  pool_.parallel_for_ranges(dim_, [&](std::size_t begin, std::size_t end) {
+    std::fill(fw + begin, fw + end, 0.0f);
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+      const auto w = clients_[i]->weights();
+      const auto dw = static_cast<float>(data_weights_[i]);
+      for (std::size_t j = begin; j < end; ++j) fw[j] += dw * w[j];
+    }
+  });
   return {fedavg_weights_.data(), fedavg_weights_.size()};
 }
 
@@ -151,28 +219,28 @@ SimulationResult Simulation::run() {
   SimulationResult res;
   res.contributed_totals.assign(n, 0);
 
-  std::vector<double> mb_losses(n, 0.0);
+  mb_losses_.assign(n, 0.0);
   double time = 0.0;
 
-  std::vector<double> weight_storage;
   for (std::size_t m = 1; m <= cfg_.max_rounds; ++m) {
-    const bool fedavg_style = method_->local_update_style();
     const double k_cont = controller_->current_k();
     const double probe_k_cont = controller_->probe_k();
     const std::size_t k_int = cfg_.stochastic_rounding
                                   ? online::stochastic_round_k(k_cont, dim_, rng_)
                                   : online::deterministic_round_k(k_cont, dim_);
 
-    // (A) Local computation at w(m−1), participating clients in parallel. A
-    // synchronous round waits for the slowest participant.
-    const std::vector<std::size_t> part = sample_participants();
+    // (A) Local computation at w(m−1), participating clients in parallel over
+    // the per-thread workspaces. A synchronous round waits for the slowest
+    // participant.
+    const std::vector<std::size_t>& part = sample_participants();
     pool_.parallel_for(
         part.size(),
         [&](std::size_t s) {
           const std::size_t i = part[s];
-          mb_losses[i] = fedavg_style
-                             ? clients_[i]->local_update(m, cfg_.batch, cfg_.lr)
-                             : clients_[i]->compute_round_gradient(m, cfg_.batch);
+          nn::Sequential& ws = bound_workspace(i);
+          mb_losses_[i] = fedavg_style_
+                              ? clients_[i]->local_update(ws, m, cfg_.batch, cfg_.lr)
+                              : clients_[i]->compute_round_gradient(ws, m, cfg_.batch);
         },
         /*grain=*/1);
     double compute_multiplier = 0.0;
@@ -184,11 +252,11 @@ SimulationResult Simulation::run() {
     round_resource.energy_per_compute = resource_.energy_per_compute * compute_multiplier;
 
     // (1)–(2) Server round: selection + aggregation over the participants.
-    const sparsify::RoundInput input = make_round_input(m, part, weight_storage);
+    const sparsify::RoundInput& input = make_round_input(m, part);
     sparsify::RoundOutcome outcome = method_->round(input, k_int);
 
     // (3) Probe selection k'_m (derived before resets touch the accumulators).
-    bool want_probe = probe_k_cont > 0.0 && !fedavg_style &&
+    bool want_probe = probe_k_cont > 0.0 && !fedavg_style_ &&
                       outcome.kind == sparsify::RoundOutcome::Kind::kSparseUpdate;
     sparsify::SparseVector probe_diff;
     if (want_probe) {
@@ -205,39 +273,68 @@ SimulationResult Simulation::run() {
     }
 
     // (B)/(C) Apply the global update and consume transmitted accumulator
-    // entries in ONE fused parallel pass: each client is touched exactly once
-    // per round instead of once per sub-step, halving the fork/join barriers.
-    part_slot_.assign(n, -1);
-    for (std::size_t s = 0; s < part.size(); ++s) {
-      part_slot_[part[s]] = static_cast<std::int32_t>(s);
-    }
-    // kLocalOnly with a local-update method means no apply AND no resets —
-    // skip the barrier entirely instead of forking n no-op tasks.
-    const bool round_touches_clients =
-        outcome.kind != sparsify::RoundOutcome::Kind::kLocalOnly || !fedavg_style;
-    if (round_touches_clients) {
+    // entries.
+    if (per_client_weights_) {
+      // FedAvg / per-replica reference engine: every client's own vector is
+      // touched in one fused parallel pass (apply + reset per client).
+      part_slot_.assign(n, -1);
+      for (std::size_t s = 0; s < part.size(); ++s) {
+        part_slot_[part[s]] = static_cast<std::int32_t>(s);
+      }
+      // kLocalOnly with a local-update method means no apply AND no resets —
+      // skip the barrier entirely instead of forking n no-op tasks.
+      const bool round_touches_clients =
+          outcome.kind != sparsify::RoundOutcome::Kind::kLocalOnly || !fedavg_style_;
+      if (round_touches_clients) {
+        pool_.parallel_for(
+            n,
+            [&](std::size_t i) {
+              switch (outcome.kind) {
+                case sparsify::RoundOutcome::Kind::kSparseUpdate:
+                  clients_[i]->apply_sparse_update(outcome.update, cfg_.lr);
+                  break;
+                case sparsify::RoundOutcome::Kind::kDenseUpdate:
+                  clients_[i]->apply_dense_update(outcome.dense, cfg_.lr);
+                  break;
+                case sparsify::RoundOutcome::Kind::kWeightAverage:
+                  clients_[i]->set_weights({outcome.dense.data(), outcome.dense.size()});
+                  break;
+                case sparsify::RoundOutcome::Kind::kLocalOnly:
+                  break;
+              }
+              const std::int32_t s = part_slot_[i];
+              if (!fedavg_style_ && s >= 0) {
+                apply_reset(outcome, i, static_cast<std::size_t>(s));
+              }
+            },
+            /*grain=*/1);
+      }
+    } else {
+      // Shared store: the synchronized update is applied ONCE — O(k) sparse,
+      // O(D) dense — independent of the client count. Only the participants'
+      // accumulators need per-client work.
+      const std::span<float> sw{shared_weights_.data(), shared_weights_.size()};
+      switch (outcome.kind) {
+        case sparsify::RoundOutcome::Kind::kSparseUpdate:
+          sparsify::axpy_sparse(-cfg_.lr, outcome.update, sw);
+          break;
+        case sparsify::RoundOutcome::Kind::kDenseUpdate:
+          if (outcome.dense.size() != sw.size()) {
+            throw std::invalid_argument("Simulation: dense update dimension mismatch");
+          }
+          for (std::size_t j = 0; j < sw.size(); ++j) sw[j] -= cfg_.lr * outcome.dense[j];
+          break;
+        case sparsify::RoundOutcome::Kind::kWeightAverage:
+          if (outcome.dense.size() != sw.size()) {
+            throw std::invalid_argument("Simulation: weight average dimension mismatch");
+          }
+          std::copy(outcome.dense.begin(), outcome.dense.end(), sw.begin());
+          break;
+        case sparsify::RoundOutcome::Kind::kLocalOnly:
+          break;
+      }
       pool_.parallel_for(
-          n,
-          [&](std::size_t i) {
-            switch (outcome.kind) {
-              case sparsify::RoundOutcome::Kind::kSparseUpdate:
-                clients_[i]->apply_sparse_update(outcome.update, cfg_.lr);
-                break;
-              case sparsify::RoundOutcome::Kind::kDenseUpdate:
-                clients_[i]->apply_dense_update(outcome.dense, cfg_.lr);
-                break;
-              case sparsify::RoundOutcome::Kind::kWeightAverage:
-                clients_[i]->set_weights({outcome.dense.data(), outcome.dense.size()});
-                break;
-              case sparsify::RoundOutcome::Kind::kLocalOnly:
-                break;
-            }
-            const std::int32_t s = part_slot_[i];
-            if (!fedavg_style && s >= 0) {
-              clients_[i]->reset_accumulated({outcome.reset[static_cast<std::size_t>(s)].data(),
-                                              outcome.reset[static_cast<std::size_t>(s)].size()});
-            }
-          },
+          part.size(), [&](std::size_t s) { apply_reset(outcome, part[s], s); },
           /*grain=*/1);
     }
     for (std::size_t s = 0; s < part.size(); ++s) {
@@ -250,21 +347,57 @@ SimulationResult Simulation::run() {
     online::RoundFeedback fb;
     fb.round_time = round_resource.round_cost(outcome.uplink_values, outcome.downlink_values);
     double wall_time = fb.round_time;
-    if (!fedavg_style) {
-      std::vector<double> pv(part.size()), cv(part.size()), sv(part.size());
-      pool_.parallel_for(
-          part.size(),
-          [&](std::size_t s) {
-            Client& c = *clients_[part[s]];
-            pv[s] = c.probe_loss_prev();
-            cv[s] = c.probe_loss_now();
-            if (want_probe) sv[s] = c.probe_loss_shifted(probe_diff, cfg_.lr);
-          },
-          /*grain=*/1);
-      fb.loss_prev = util::mean_of(pv);
-      fb.loss_cur = util::mean_of(cv);
+    if (!fedavg_style_) {
+      probe_prev_.resize(part.size());
+      probe_cur_.resize(part.size());
+      probe_shift_.resize(part.size());
+      if (per_client_weights_) {
+        pool_.parallel_for(
+            part.size(),
+            [&](std::size_t s) {
+              Client& c = *clients_[part[s]];
+              nn::Sequential& ws = bound_workspace(part[s]);
+              probe_prev_[s] = c.probe_loss_prev();
+              probe_cur_[s] = c.probe_loss_now(ws);
+              if (want_probe) probe_shift_[s] = c.probe_loss_shifted(ws, probe_diff, cfg_.lr);
+            },
+            /*grain=*/1);
+      } else {
+        pool_.parallel_for(
+            part.size(),
+            [&](std::size_t s) {
+              Client& c = *clients_[part[s]];
+              probe_prev_[s] = c.probe_loss_prev();
+              probe_cur_[s] = c.probe_loss_now(bound_workspace(part[s]));
+            },
+            /*grain=*/1);
+        if (want_probe) {
+          // Shift the shared store to w'(m) once, let every participant read
+          // it concurrently, then restore the saved values exactly — the
+          // same save/evaluate/restore a per-replica client performs, done
+          // once instead of n times.
+          const std::span<float> sw{shared_weights_.data(), shared_weights_.size()};
+          shift_saved_.resize(probe_diff.size());
+          for (std::size_t i = 0; i < probe_diff.size(); ++i) {
+            const auto idx = static_cast<std::size_t>(probe_diff[i].index);
+            shift_saved_[i] = sw[idx];
+            sw[idx] += cfg_.lr * probe_diff[i].value;
+          }
+          pool_.parallel_for(
+              part.size(),
+              [&](std::size_t s) {
+                probe_shift_[s] = clients_[part[s]]->probe_loss_now(bound_workspace(part[s]));
+              },
+              /*grain=*/1);
+          for (std::size_t i = 0; i < probe_diff.size(); ++i) {
+            sw[static_cast<std::size_t>(probe_diff[i].index)] = shift_saved_[i];
+          }
+        }
+      }
+      fb.loss_prev = util::mean_of(probe_prev_);
+      fb.loss_cur = util::mean_of(probe_cur_);
       if (want_probe) {
-        fb.loss_probe = util::mean_of(sv);
+        fb.loss_probe = util::mean_of(probe_shift_);
         fb.probe_available = true;
         fb.theta_probe = round_resource.theta_cost(probe_k_cont);
         if (cfg_.charge_probe_overhead) {
@@ -289,7 +422,7 @@ SimulationResult Simulation::run() {
     rec.uplink_values = outcome.uplink_values;
     rec.downlink_values = outcome.downlink_values;
     double tl = 0.0;
-    for (std::size_t s = 0; s < part.size(); ++s) tl += weight_storage[s] * mb_losses[part[s]];
+    for (std::size_t s = 0; s < part.size(); ++s) tl += weight_storage_[s] * mb_losses_[part[s]];
     rec.train_loss = tl;
     const bool out_of_time = time >= cfg_.max_time;
     const bool eval_round =

@@ -1,10 +1,22 @@
 // The federated-learning simulation loop (Algorithm 1 + Fig. 3 of the paper).
 //
-// One Simulation wires together: N clients (each with a model replica,
-// local non-i.i.d. data and an accumulated gradient), a sparsification
-// Method (FAB-top-k or a baseline), a KController (fixed k, Algorithm 2/3,
-// or a baseline), the normalized TimingModel, and the derivative-sign probe
-// protocol of Section IV-E. It records everything the paper's figures plot.
+// One Simulation wires together: N clients (local non-i.i.d. data and an
+// accumulated gradient each), a sparsification Method (FAB-top-k or a
+// baseline), a KController (fixed k, Algorithm 2/3, or a baseline), the
+// normalized TimingModel, and the derivative-sign probe protocol of
+// Section IV-E. It records everything the paper's figures plot.
+//
+// Round engine: the paper's synchronized methods keep every client at the
+// same global weights w(m) by construction, so the engine stores ONE shared
+// weight vector plus a pool of per-thread model workspaces (activations +
+// gradient scratch; see nn::Sequential::bind_weights) that round tasks
+// borrow by thread slot. The broadcast update is applied once in O(k)
+// instead of once per client, and resident memory is O(D + n·D_accum) — no
+// per-client model replicas. FedAvg-style methods, whose local weights
+// genuinely diverge between aggregations, give each client its own weight
+// vector consumed through the same workspace API; ReplicaMode::kPerReplica
+// forces that layout for synchronized methods too, as the bitwise-equivalent
+// reference engine used by tests and benchmarks.
 #pragma once
 
 #include <limits>
@@ -24,6 +36,16 @@
 #include "util/thread_pool.h"
 
 namespace fedsparse::fl {
+
+/// Weight layout for synchronized (non-FedAvg) methods.
+enum class ReplicaMode {
+  /// One shared global weight vector; the update is applied once. Default.
+  kShared,
+  /// Every client owns a full weight vector and the identical update is
+  /// applied n times — the reference engine, byte-identical to kShared,
+  /// retained for equivalence tests and the round-scaling benchmark.
+  kPerReplica,
+};
 
 struct SimulationConfig {
   float lr = 0.01f;          // η (paper's setting)
@@ -70,6 +92,9 @@ struct SimulationConfig {
   /// update so weights remain synchronized.
   double participation = 1.0;
 
+  /// Shared-store engine (default) or per-replica reference engine.
+  ReplicaMode replica_mode = ReplicaMode::kShared;
+
   std::size_t threads = 0;   // 0 = hardware concurrency
   std::uint64_t seed = 1;
 };
@@ -105,8 +130,8 @@ struct SimulationResult {
 class Simulation {
  public:
   /// Takes ownership of the dataset, method and controller. The model
-  /// factory is invoked once per client plus once for evaluation; all
-  /// replicas start from identical weights.
+  /// factory is invoked once per *workspace* (pool threads + caller) plus
+  /// once for the master weights and once for evaluation — never per client.
   Simulation(SimulationConfig cfg, data::FederatedDataset dataset, nn::ModelFactory factory,
              std::unique_ptr<sparsify::Method> method,
              std::unique_ptr<online::KController> controller);
@@ -119,24 +144,27 @@ class Simulation {
   const TimingModel& timing() const noexcept { return timing_; }
 
   /// Client i's current weights — for post-run invariant checks (all clients
-  /// must be identical after any GS round; Algorithm 1 Lines 13–15).
-  std::span<const float> client_weights(std::size_t i) const { return clients_.at(i)->weights(); }
+  /// must be identical after any GS round; Algorithm 1 Lines 13–15). Under
+  /// the shared engine every client resolves to the shared store.
+  std::span<const float> client_weights(std::size_t i) const;
 
  private:
-  struct ProbeAverages {
-    double prev = 0.0, cur = 0.0, probe = 0.0;
-    bool has_probe = false;
-  };
-
   void evaluate(RoundRecord& rec);
   std::span<const float> global_weights();
+  /// The executing thread's model workspace, rebound to the weights client
+  /// `i` should compute against (shared store, or the client's own vector).
+  nn::Sequential& bound_workspace(std::size_t i);
   /// Builds the server's view over the participating clients only, with data
   /// weights renormalized over the sample (`selected` indexes clients_).
-  sparsify::RoundInput make_round_input(std::size_t round,
-                                        const std::vector<std::size_t>& selected,
-                                        std::vector<double>& weight_storage) const;
-  /// Uniformly samples the participating client subset for one round.
-  std::vector<std::size_t> sample_participants();
+  /// Returns a reference to member scratch reused across rounds.
+  const sparsify::RoundInput& make_round_input(std::size_t round,
+                                               const std::vector<std::size_t>& selected);
+  /// Uniformly samples the participating client subset for one round into
+  /// member scratch (no per-round allocation once warm).
+  const std::vector<std::size_t>& sample_participants();
+  /// Zeroes the consumed accumulator entries of client `i` (participant slot
+  /// `s`) according to the outcome's reset encoding.
+  void apply_reset(const sparsify::RoundOutcome& outcome, std::size_t i, std::size_t s);
 
   SimulationConfig cfg_;
   nn::ModelFactory factory_;
@@ -152,8 +180,25 @@ class Simulation {
   util::ThreadPool pool_;
   util::Rng rng_;
   std::size_t dim_ = 0;
-  std::vector<float> fedavg_weights_;  // scratch for weight averaging
+  bool fedavg_style_ = false;       // method lets clients run local SGD
+  bool per_client_weights_ = false; // clients own weight vectors (FedAvg or reference engine)
+
+  // The shared global weight store w(m) (synchronized methods, kShared).
+  std::vector<float> shared_weights_;
+  // Per-thread model workspaces: slot_count() Sequentials whose weight chain
+  // is rebound per task; each owns only gradients + activations.
+  std::vector<std::unique_ptr<nn::Sequential>> workspaces_;
+
+  // Round scratch, reused across rounds (no steady-state allocation).
+  std::vector<float> fedavg_weights_;    // FedAvg weighted-average output
   std::vector<std::int32_t> part_slot_;  // client id -> participant slot (-1 = absent)
+  std::vector<std::size_t> part_ids_;    // sampled participant ids
+  std::vector<std::size_t> id_scratch_;  // Fisher–Yates buffer
+  std::vector<double> weight_storage_;   // renormalized data weights
+  sparsify::RoundInput round_input_;
+  std::vector<double> mb_losses_;
+  std::vector<double> probe_prev_, probe_cur_, probe_shift_;
+  std::vector<float> shift_saved_;       // shared-store probe shift undo buffer
   bool switched_ = false;
 };
 

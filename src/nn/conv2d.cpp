@@ -42,14 +42,18 @@ std::size_t Conv2d::out_features(std::size_t in_features) const {
 }
 
 void Conv2d::forward(const Matrix& x, Matrix& y) {
-  x_cache_ = x;
   const std::size_t batch = x.rows();
   const std::size_t spatial = geom_.col_cols();  // outH*outW
   const std::size_t ckk = geom_.col_rows();
-  y.reshape(batch, out_channels_ * spatial);  // fully overwritten below
+  y.reshape(batch, out_channels_ * spatial);        // fully overwritten below
+  // Grad-enabled: one cache row-region per sample, read back by backward.
+  // Inference: a single scratch region, so eval-sized batches never pay
+  // batch x ckk x spatial memory for columns nobody will read again.
+  cols_cache_.reshape(grad_enabled_ ? batch : 1, ckk * spatial);
   const tensor::ConstMatrixView w(w_, out_channels_, ckk);
   for (std::size_t s = 0; s < batch; ++s) {
-    tensor::im2col(x.row(s), geom_, cols_);
+    const tensor::MatrixView cols(cols_cache_.row(grad_enabled_ ? s : 0), ckk, spatial);
+    tensor::im2col(x.row(s), geom_, cols);
     // y_sample = W · cols + b: the bias fill overwrites every element, then
     // one blocked GEMM accumulates the (outC x ckk) · (ckk x spatial) product.
     tensor::MatrixView ys(y.row(s), out_channels_, spatial);
@@ -57,7 +61,7 @@ void Conv2d::forward(const Matrix& x, Matrix& y) {
       float* yrow = ys.row(o);
       for (std::size_t p = 0; p < spatial; ++p) yrow[p] = b_[o];
     }
-    tensor::gemm_nn(w, cols_, 1.0f, ys);
+    tensor::gemm_nn(w, cols, 1.0f, ys);
   }
 }
 
@@ -65,12 +69,15 @@ void Conv2d::backward(const Matrix& dy, Matrix& dx) {
   const std::size_t batch = dy.rows();
   const std::size_t spatial = geom_.col_cols();
   const std::size_t ckk = geom_.col_rows();
+  if (cols_cache_.rows() != batch || cols_cache_.cols() != ckk * spatial) {
+    throw std::logic_error("Conv2d::backward: no cached forward for this batch");
+  }
   dx.reshape(batch, geom_.image_size());
   tensor::zero(dx.flat());
   const tensor::ConstMatrixView w(w_, out_channels_, ckk);
   const tensor::MatrixView gw(gw_, out_channels_, ckk);
   for (std::size_t s = 0; s < batch; ++s) {
-    tensor::im2col(x_cache_.row(s), geom_, cols_);  // recompute (saves memory)
+    const tensor::ConstMatrixView cols(cols_cache_.row(s), ckk, spatial);
     const tensor::ConstMatrixView dys(dy.row(s), out_channels_, spatial);
     // db(o) += sum_p dy(o, p), accumulated in double as before.
     for (std::size_t o = 0; o < out_channels_; ++o) {
@@ -80,7 +87,7 @@ void Conv2d::backward(const Matrix& dy, Matrix& dx) {
       gb_[o] += static_cast<float>(bsum);
     }
     // dW += dy · colsᵀ (rows-dot-rows over the shared spatial axis).
-    tensor::gemm_nt(dys, cols_, 1.0f, gw);
+    tensor::gemm_nt(dys, cols, 1.0f, gw);
     // dcols = Wᵀ · dy; then scatter back to image space.
     dcols_.reshape(ckk, spatial);
     tensor::zero(dcols_.flat());

@@ -20,6 +20,7 @@ class Conv2d final : public Layer {
   void bind(std::span<float> weights, std::span<float> grads) override;
   void init_params(util::Rng& rng) override;
   std::size_t out_features(std::size_t in_features) const override;
+  void set_grad_enabled(bool enabled) override { grad_enabled_ = enabled; }
   void forward(const Matrix& x, Matrix& y) override;
   void backward(const Matrix& dy, Matrix& dx) override;
   std::string name() const override;
@@ -34,8 +35,14 @@ class Conv2d final : public Layer {
   std::span<float> b_;   // (out_channels)
   std::span<float> gw_;
   std::span<float> gb_;
-  Matrix x_cache_;
-  Matrix cols_;      // scratch, reused across samples
+  // Batched im2col cache (batch x ckk*spatial): a grad-enabled forward
+  // lowers every sample once and backward reads the same columns instead of
+  // re-running the im2col scatter per sample — the classic memory-for-time
+  // trade. Also replaces the former full input-batch copy (x_cache_).
+  // Inference-only forwards (grad_enabled_ false) reuse row 0 as a
+  // single-sample scratch so evaluation batches never materialize the cache.
+  Matrix cols_cache_;
+  bool grad_enabled_ = true;
   Matrix dcols_;     // scratch
 };
 

@@ -26,7 +26,11 @@ class Layer {
   virtual std::size_t param_count() const noexcept { return 0; }
 
   /// Receives this layer's slices of the model-wide weight/grad vectors.
-  /// Called exactly once (after which the underlying buffers never move).
+  /// Called at finalize() and again on every Sequential::bind_weights() —
+  /// implementations must treat it as pure span assignment (no allocation,
+  /// no one-shot initialization) so the owning model can rebind its weight
+  /// chain to external storage (the shared-replica engine does this per
+  /// round task).
   virtual void bind(std::span<float> weights, std::span<float> grads) {
     (void)weights;
     (void)grads;
@@ -38,6 +42,13 @@ class Layer {
   /// Output feature count given the input feature count; also validates the
   /// input dimension (throws std::invalid_argument on mismatch).
   virtual std::size_t out_features(std::size_t in_features) const = 0;
+
+  /// Hint from the owning model: when false, the next forward() will never
+  /// be followed by backward(), so layers may skip caching backward-only
+  /// state (Conv2d's batched im2col columns, Linear's input copy).
+  /// Inference-heavy paths (evaluation, probe losses) pass false. Default
+  /// no-op for layers whose backward state is cheap.
+  virtual void set_grad_enabled(bool enabled) { (void)enabled; }
 
   /// Forward pass: x is (batch x in), y is resized to (batch x out).
   /// Layers cache whatever they need for backward.

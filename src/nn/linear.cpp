@@ -32,7 +32,7 @@ std::size_t Linear::out_features(std::size_t in_features) const {
 }
 
 void Linear::forward(const Matrix& x, Matrix& y) {
-  x_cache_ = x;
+  if (grad_enabled_) x_cache_ = x;
   const std::size_t batch = x.rows();
   // reshape, not resize: every element is written by the bias fill before the
   // GEMM accumulates into it, so the O(batch*out) clear would be pure waste.
@@ -47,6 +47,9 @@ void Linear::forward(const Matrix& x, Matrix& y) {
 
 void Linear::backward(const Matrix& dy, Matrix& dx) {
   const std::size_t batch = dy.rows();
+  if (x_cache_.rows() != batch) {
+    throw std::logic_error("Linear::backward: no cached forward for this batch");
+  }
   // dW += dyᵀ · x via the tiled kernel; db += column sums of dy.
   tensor::gemm_tn(dy, x_cache_, 1.0f, tensor::MatrixView(gw_, out_, in_));
   for (std::size_t r = 0; r < batch; ++r) {

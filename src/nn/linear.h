@@ -13,6 +13,7 @@ class Linear final : public Layer {
   void bind(std::span<float> weights, std::span<float> grads) override;
   void init_params(util::Rng& rng) override;
   std::size_t out_features(std::size_t in_features) const override;
+  void set_grad_enabled(bool enabled) override { grad_enabled_ = enabled; }
   void forward(const Matrix& x, Matrix& y) override;
   void backward(const Matrix& dy, Matrix& dx) override;
   std::string name() const override;
@@ -25,7 +26,8 @@ class Linear final : public Layer {
   std::span<float> b_;
   std::span<float> gw_;
   std::span<float> gb_;
-  Matrix x_cache_;
+  Matrix x_cache_;  // input copy for dW; skipped on inference-only forwards
+  bool grad_enabled_ = true;
 };
 
 }  // namespace fedsparse::nn

@@ -20,13 +20,14 @@ void Sequential::finalize(util::Rng& rng) {
     total += layer->param_count();
   }
   out_features_ = features;
+  dim_ = total;
   weights_.assign(total, 0.0f);
   grads_.assign(total, 0.0f);
+  wspan_ = {weights_.data(), weights_.size()};
   std::size_t offset = 0;
   for (const auto& layer : layers_) {
     const std::size_t n = layer->param_count();
-    layer->bind(std::span<float>(weights_.data() + offset, n),
-                std::span<float>(grads_.data() + offset, n));
+    layer->bind(wspan_.subspan(offset, n), std::span<float>(grads_.data() + offset, n));
     layer->init_params(rng);
     offset += n;
   }
@@ -34,16 +35,33 @@ void Sequential::finalize(util::Rng& rng) {
   finalized_ = true;
 }
 
+void Sequential::bind_weights(std::span<float> w) {
+  if (!finalized_) throw std::logic_error("Sequential::bind_weights before finalize");
+  if (w.size() != dim_) throw std::invalid_argument("bind_weights: dimension mismatch");
+  if (w.data() == wspan_.data()) return;  // already bound here
+  wspan_ = w;
+  std::size_t offset = 0;
+  for (const auto& layer : layers_) {
+    const std::size_t n = layer->param_count();
+    layer->bind(wspan_.subspan(offset, n), std::span<float>(grads_.data() + offset, n));
+    offset += n;
+  }
+  // The owned vector is dead weight from now on; a per-thread workspace keeps
+  // only grads + activations resident.
+  weights_.clear();
+  weights_.shrink_to_fit();
+}
+
 void Sequential::set_weights(std::span<const float> w) {
-  if (w.size() != weights_.size()) {
+  if (w.size() != wspan_.size()) {
     throw std::invalid_argument("set_weights: dimension mismatch");
   }
-  std::copy(w.begin(), w.end(), weights_.begin());
+  std::copy(w.begin(), w.end(), wspan_.begin());
 }
 
 void Sequential::zero_grad() noexcept { tensor::zero({grads_.data(), grads_.size()}); }
 
-Matrix Sequential::run_forward(const Matrix& x) {
+Matrix Sequential::run_forward(const Matrix& x, bool for_grad) {
   if (!finalized_) throw std::logic_error("Sequential: forward before finalize");
   if (x.cols() != in_features_) {
     throw std::invalid_argument("Sequential: input has " + std::to_string(x.cols()) +
@@ -51,13 +69,14 @@ Matrix Sequential::run_forward(const Matrix& x) {
   }
   activations_[0] = x;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->set_grad_enabled(for_grad);
     layers_[i]->forward(activations_[i], activations_[i + 1]);
   }
   return activations_.back();
 }
 
 double Sequential::forward_loss_grad(const Matrix& x, std::span<const int> labels) {
-  const Matrix logits = run_forward(x);
+  const Matrix logits = run_forward(x, /*for_grad=*/true);
   Matrix grad_flow;
   const double loss = SoftmaxCrossEntropy::loss_and_grad(logits, labels, grad_flow);
   Matrix next;
@@ -69,14 +88,14 @@ double Sequential::forward_loss_grad(const Matrix& x, std::span<const int> label
 }
 
 double Sequential::forward_loss(const Matrix& x, std::span<const int> labels) {
-  const Matrix logits = run_forward(x);
+  const Matrix logits = run_forward(x, /*for_grad=*/false);
   return SoftmaxCrossEntropy::loss_only(logits, labels);
 }
 
-Matrix Sequential::predict(const Matrix& x) { return run_forward(x); }
+Matrix Sequential::predict(const Matrix& x) { return run_forward(x, /*for_grad=*/false); }
 
 double Sequential::accuracy(const Matrix& x, std::span<const int> labels) {
-  const Matrix logits = run_forward(x);
+  const Matrix logits = run_forward(x, /*for_grad=*/false);
   std::size_t correct = 0;
   for (std::size_t r = 0; r < logits.rows(); ++r) {
     const float* row = logits.row(r);
@@ -90,7 +109,7 @@ double Sequential::accuracy(const Matrix& x, std::span<const int> labels) {
 }
 
 void Sequential::sgd_step(float lr) noexcept {
-  for (std::size_t i = 0; i < weights_.size(); ++i) weights_[i] -= lr * grads_[i];
+  for (std::size_t i = 0; i < wspan_.size(); ++i) wspan_[i] -= lr * grads_[i];
 }
 
 std::string Sequential::describe() const {

@@ -1,8 +1,15 @@
 // Sequential model with a flat D-dimensional parameter vector.
 //
-// This is the object federated clients replicate. The flat `weights()` /
-// `grad()` views are the contract with the sparsification code: the paper's
-// gradient vector ∇L(w, i) is exactly `grad()` after `forward_loss_grad`.
+// The flat `weights()` / `grad()` views are the contract with the
+// sparsification code: the paper's gradient vector ∇L(w, i) is exactly
+// `grad()` after `forward_loss_grad`.
+//
+// Weight storage is *rebindable*: after finalize() the model owns its weight
+// vector, but bind_weights() can point the whole parameter chain at external
+// storage instead (the federated engine's shared global weight store, or one
+// client's local vector). Gradients and activations always stay owned by the
+// instance, which is what makes one Sequential per *thread* — rather than one
+// per client — sufficient for the synchronized round engine.
 #pragma once
 
 #include <memory>
@@ -33,13 +40,25 @@ class Sequential {
   void finalize(util::Rng& rng);
 
   bool finalized() const noexcept { return finalized_; }
-  std::size_t dim() const noexcept { return weights_.size(); }
+  std::size_t dim() const noexcept { return dim_; }
   std::size_t in_features() const noexcept { return in_features_; }
   std::size_t num_classes() const noexcept { return out_features_; }
 
-  std::span<float> weights() noexcept { return {weights_.data(), weights_.size()}; }
-  std::span<const float> weights() const noexcept { return {weights_.data(), weights_.size()}; }
+  std::span<float> weights() noexcept { return wspan_; }
+  std::span<const float> weights() const noexcept { return wspan_; }
   std::span<const float> grad() const noexcept { return {grads_.data(), grads_.size()}; }
+
+  /// Points the parameter chain at external storage of exactly dim() floats:
+  /// every layer's weight span is re-derived from `w` while its grad span is
+  /// untouched. The previously owned weight vector (if any) is released, so a
+  /// workspace bound to a shared store holds no weight memory of its own.
+  /// Cheap (O(#layers)) and idempotent — the round engine rebinds per task.
+  void bind_weights(std::span<float> w);
+
+  /// True when weights() aliases storage this instance does not own.
+  bool weights_bound_externally() const noexcept {
+    return finalized_ && wspan_.data() != weights_.data();
+  }
 
   void set_weights(std::span<const float> w);
   void zero_grad() noexcept;
@@ -64,13 +83,17 @@ class Sequential {
   std::string describe() const;
 
  private:
-  Matrix run_forward(const Matrix& x);
+  /// `for_grad` tells layers whether backward() will follow, so inference
+  /// paths (evaluation, probe losses, predict) skip backward-only caches.
+  Matrix run_forward(const Matrix& x, bool for_grad);
 
   std::size_t in_features_;
   std::size_t out_features_ = 0;
+  std::size_t dim_ = 0;
   bool finalized_ = false;
   std::vector<std::unique_ptr<Layer>> layers_;
-  std::vector<float> weights_;
+  std::vector<float> weights_;       // owned storage; empty once bound externally
+  std::span<float> wspan_;           // active weight storage (owned or external)
   std::vector<float> grads_;
   std::vector<Matrix> activations_;  // scratch, reused across calls
 };

@@ -122,7 +122,10 @@ RoundOutcome FabTopK::round(const RoundInput& in, std::size_t k) {
 
   RoundOutcome out;
   out.kind = RoundOutcome::Kind::kSparseUpdate;
-  out.reset.resize(n);
+  out.reset_kind = RoundOutcome::ResetKind::kPerClient;
+  out.reset_indices.reserve(selected_.size());
+  out.reset_offsets.reserve(n + 1);
+  out.reset_offsets.push_back(0);
   out.contributed.assign(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
     const auto w = static_cast<float>(in.data_weights[i]);
@@ -130,10 +133,11 @@ RoundOutcome FabTopK::round(const RoundInput& in, std::size_t k) {
       const auto idx = static_cast<std::size_t>(e.index);
       if (stamp_[idx] == in_j) {  // j ∈ J and j ∈ J_i
         agg_[idx] += w * e.value;
-        out.reset[i].push_back(e.index);
+        out.reset_indices.push_back(e.index);
         ++out.contributed[i];
       }
     }
+    out.reset_offsets.push_back(out.reset_indices.size());
   }
 
   out.update.reserve(selected_.size());

@@ -12,8 +12,7 @@ std::size_t FedAvg::period(std::size_t k) const {
 RoundOutcome FedAvg::round(const RoundInput& in, std::size_t k) {
   validate_round_input(in);
   const std::size_t n = in.client_vectors.size();
-  RoundOutcome out;
-  out.reset.resize(n);          // FedAvg holds no accumulators to reset
+  RoundOutcome out;             // reset_kind stays kNone: no accumulators
   out.contributed.assign(n, 0);
 
   if (in.round % period(k) != 0) {

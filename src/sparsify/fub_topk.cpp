@@ -58,15 +58,18 @@ RoundOutcome FubTopK::round(const RoundInput& in, std::size_t k) {
   out.kind = RoundOutcome::Kind::kSparseUpdate;
   out.update = std::move(aggregated);
   sort_by_index(out.update);
-  out.reset.resize(n);
+  out.reset_kind = RoundOutcome::ResetKind::kPerClient;
+  out.reset_offsets.reserve(n + 1);
+  out.reset_offsets.push_back(0);
   out.contributed.assign(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
     for (const auto& e : uploads_[i]) {
       if (stamp_[static_cast<std::size_t>(e.index)] == in_j) {
-        out.reset[i].push_back(e.index);
+        out.reset_indices.push_back(e.index);
         ++out.contributed[i];
       }
     }
+    out.reset_offsets.push_back(out.reset_indices.size());
   }
   // Parallel uplinks: charge the largest actual per-client payload (matches
   // FabTopK's accounting) rather than assuming every client sent k pairs.

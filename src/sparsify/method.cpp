@@ -12,6 +12,25 @@
 
 namespace fedsparse::sparsify {
 
+std::span<const std::int32_t> RoundOutcome::reset_for(std::size_t s) const {
+  switch (reset_kind) {
+    case ResetKind::kNone:
+      return {};
+    case ResetKind::kUniform:
+      return {uniform_reset.data(), uniform_reset.size()};
+    case ResetKind::kPerClient: {
+      if (s + 1 >= reset_offsets.size()) {
+        throw std::out_of_range("RoundOutcome::reset_for: client slot out of range");
+      }
+      const std::size_t begin = reset_offsets[s], end = reset_offsets[s + 1];
+      return {reset_indices.data() + begin, end - begin};
+    }
+    case ResetKind::kAll:
+      break;
+  }
+  throw std::logic_error("RoundOutcome::reset_for: kAll has no index list");
+}
+
 void validate_round_input(const RoundInput& in) {
   if (in.dim == 0) throw std::invalid_argument("RoundInput: dim == 0");
   if (in.client_vectors.empty()) throw std::invalid_argument("RoundInput: no clients");

@@ -7,7 +7,9 @@
 // FedAvg, the per-client local weights) and produces:
 //
 //  * the downlink payload (sparse or dense update, or averaged weights),
-//  * which accumulator indices each client must reset (it transmitted them),
+//  * which accumulator indices each client must reset (it transmitted them) —
+//    encoded flat (CSR / uniform / all) so a round never allocates one vector
+//    per client,
 //  * per-client "contributed element" counts feeding the fairness CDF of
 //    Fig. 4 (right),
 //  * uplink/downlink payload sizes in "values" for the timing model
@@ -37,7 +39,7 @@ struct RoundInput {
 
 struct RoundOutcome {
   enum class Kind {
-    kSparseUpdate,    // apply w -= eta * update to every client
+    kSparseUpdate,    // apply w -= eta * update to the global weights
     kDenseUpdate,     // same but dense payload (send-all)
     kWeightAverage,   // replace every client's weights (FedAvg aggregation)
     kLocalOnly,       // no communication this round (FedAvg between syncs)
@@ -47,8 +49,27 @@ struct RoundOutcome {
   SparseVector update;                 // kSparseUpdate: the (j, b_j) pairs
   std::vector<float> dense;            // kDenseUpdate / kWeightAverage payloads
 
-  /// Per-client indices to zero in the accumulator (J ∩ J_i).
-  std::vector<std::vector<std::int32_t>> reset;
+  /// Which accumulated entries each participant consumed (Line 17, Alg. 1).
+  /// Three encodings replace the former per-client vector-of-vectors — two
+  /// flat arrays cost two allocations per round instead of n, and the uniform
+  /// encodings avoid materializing n identical lists at all:
+  ///  * kPerClient — CSR: client slot s resets
+  ///    reset_indices[reset_offsets[s] .. reset_offsets[s+1]) (top-k methods);
+  ///  * kUniform   — every participant resets `uniform_reset` (periodic-k);
+  ///  * kAll       — every participant zeroes its whole accumulator
+  ///    (send-all), with no index list at all;
+  ///  * kNone      — nothing to reset (FedAvg-style local-update methods).
+  enum class ResetKind { kNone, kPerClient, kUniform, kAll };
+  ResetKind reset_kind = ResetKind::kNone;
+  std::vector<std::int32_t> reset_indices;  // kPerClient payload, client-major
+  std::vector<std::size_t> reset_offsets;   // kPerClient: n+1 CSR offsets
+  std::vector<std::int32_t> uniform_reset;  // kUniform payload
+
+  /// Client slot s's reset list under kPerClient / kUniform (kNone: empty).
+  /// kAll has no list — callers must check reset_kind first and use
+  /// GradientAccumulator::reset_all (throws std::logic_error here).
+  std::span<const std::int32_t> reset_for(std::size_t s) const;
+
   /// Per-client number of elements that made it into the downlink gradient.
   std::vector<std::size_t> contributed;
 

@@ -58,9 +58,11 @@ RoundOutcome PeriodicK::round(const RoundInput& in, std::size_t k) {
   }
   sort_by_index(out.update);
 
-  // Every client's value for every selected coordinate was aggregated.
-  out.reset.assign(n, selected);
-  out.contributed.assign(n, selected.size());
+  // Every client's value for every selected coordinate was aggregated: one
+  // shared list serves all n participants instead of n copies of it.
+  out.reset_kind = RoundOutcome::ResetKind::kUniform;
+  out.uniform_reset = std::move(selected);
+  out.contributed.assign(n, out.uniform_reset.size());
   out.uplink_values = 2.0 * static_cast<double>(k);
   out.downlink_values = 2.0 * static_cast<double>(k);
   return out;

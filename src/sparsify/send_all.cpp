@@ -16,10 +16,9 @@ RoundOutcome SendAll::round(const RoundInput& in, std::size_t k) {
     for (std::size_t j = 0; j < dim_; ++j) out.dense[j] += w * v[j];
   }
 
-  // All accumulated mass is consumed every round.
-  std::vector<std::int32_t> all(dim_);
-  for (std::size_t j = 0; j < dim_; ++j) all[j] = static_cast<std::int32_t>(j);
-  out.reset.assign(n, all);
+  // All accumulated mass is consumed every round — expressed as a flag, not
+  // n materialized lists of D indices each.
+  out.reset_kind = RoundOutcome::ResetKind::kAll;
   out.contributed.assign(n, dim_);
   out.uplink_values = static_cast<double>(dim_);    // dense: no index overhead
   out.downlink_values = static_cast<double>(dim_);

@@ -45,11 +45,14 @@ RoundOutcome UnidirectionalTopK::round(const RoundInput& in, std::size_t k) {
   sort_by_index(out.update);
 
   // Every uploaded element is used, so clients reset their full top-k sets.
-  out.reset.resize(n);
+  out.reset_kind = RoundOutcome::ResetKind::kPerClient;
+  out.reset_indices.reserve(union_indices_.size());
+  out.reset_offsets.reserve(n + 1);
+  out.reset_offsets.push_back(0);
   out.contributed.assign(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
-    out.reset[i].reserve(uploads_[i].size());
-    for (const auto& e : uploads_[i]) out.reset[i].push_back(e.index);
+    for (const auto& e : uploads_[i]) out.reset_indices.push_back(e.index);
+    out.reset_offsets.push_back(out.reset_indices.size());
     out.contributed[i] = uploads_[i].size();
   }
   // Parallel uplinks: charge the largest actual per-client payload (matches

@@ -1,12 +1,22 @@
 #include "tensor/im2col.h"
 
+#include <stdexcept>
+
 namespace fedsparse::tensor {
 
 void im2col(const float* image, const ConvGeometry& g, Matrix& cols) {
-  const std::size_t oh = g.out_height(), ow = g.out_width();
-  // Every element is written below, so skip resize()'s zero-fill — the caller
-  // reuses one scratch Matrix across samples/rounds with no allocation.
+  // Every element is written by the view variant, so skip resize()'s
+  // zero-fill — the caller reuses one scratch Matrix across samples/rounds
+  // with no allocation.
   cols.reshape(g.col_rows(), g.col_cols());
+  im2col(image, g, MatrixView(cols));
+}
+
+void im2col(const float* image, const ConvGeometry& g, MatrixView cols) {
+  const std::size_t oh = g.out_height(), ow = g.out_width();
+  if (cols.rows() != g.col_rows() || cols.cols() != g.col_cols()) {
+    throw std::invalid_argument("im2col: view shape does not match geometry");
+  }
   std::size_t row = 0;
   for (std::size_t c = 0; c < g.channels; ++c) {
     const float* chan = image + c * g.height * g.width;

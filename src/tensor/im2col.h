@@ -31,6 +31,11 @@ struct ConvGeometry {
 /// (resized to col_rows x col_cols).
 void im2col(const float* image, const ConvGeometry& g, Matrix& cols);
 
+/// View variant: writes into pre-shaped external storage of exactly
+/// col_rows() x col_cols() (throws std::invalid_argument otherwise). Used by
+/// Conv2d to fill one row-region of its batched column cache in place.
+void im2col(const float* image, const ConvGeometry& g, MatrixView cols);
+
 /// Inverse scatter-add: accumulates `cols` back into `image` (which must hold
 /// image_size() floats and should be zeroed by the caller beforehand).
 void col2im(const Matrix& cols, const ConvGeometry& g, float* image);

@@ -184,6 +184,18 @@ void thread_m_loop(std::size_t m, std::size_t k, std::size_t n,
 // The stripes recombine in a fixed pairwise order — results are deterministic
 // (and, per C row, independent of the threading split).
 constexpr std::size_t kStripe = 8;
+// gemm_nt packing crossover. The packed path runs the 4x16 nn micro-kernel
+// (~70–88 GF/s on the reference box vs ~42 for the dot kernels) but pays a
+// Bᵀ transpose of k·n elements per call, worth ~15/m of the product time,
+// plus the L2 pollution of the k·n scratch it leaves behind for whatever
+// runs next. Standalone break-even lands near m ≈ 24, but inside a full
+// layer fwd+bwd the pollution pushes it higher: batch-32 Linear measured
+// net-slower packed, m=128 measured +76%. m ≥ 64 keeps both findings happy.
+// Narrow C tiles (n < 32) spend half the nn kernel in its column tail and
+// lose outright (8x576x25: 14 vs 47 GF/s), so they always take the dot
+// kernels.
+constexpr std::size_t kNtPackMinRows = 64;
+constexpr std::size_t kNtPackMinCols = 32;
 // B rows resident per block: kNtNB * kNtKC floats (~256 KB, L2-sized) stay
 // hot across the whole [m0, m1) sweep. The k block is wider than the nn
 // kernel's kKC because every block boundary costs a horizontal stripe
@@ -460,8 +472,37 @@ void gemm_tn(ConstMatrixView a, ConstMatrixView b, float alpha, MatrixView c) {
 
 void gemm_nt(ConstMatrixView a, ConstMatrixView b, float alpha, MatrixView c) {
   check_product_shape("gemm_nt", a.rows(), a.cols(), b.cols(), b.rows(), c);
-  thread_m_loop(a.rows(), a.cols(), b.rows(), [&](std::size_t m0, std::size_t m1) {
-    gemm_nt_rows(a, b, alpha, c, m0, m1);
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  // Few A rows (single-sample probe forwards) or narrow C (tiny conv dW
+  // shapes): the transpose pack would cost a meaningful fraction of the
+  // product itself, so the striped dot kernels stay.
+  if (m < kNtPackMinRows || n < kNtPackMinCols) {
+    thread_m_loop(m, k, n, [&](std::size_t m0, std::size_t m1) {
+      gemm_nt_rows(a, b, alpha, c, m0, m1);
+    });
+    return;
+  }
+  // Pack Bᵀ once (k x n row-major, blocked transpose) on the calling thread,
+  // then run the exact nn row kernels over it — the same 4x16 register tile
+  // that puts nn/tn around twice the dot kernels' FLOP rate. The packed
+  // content is independent of the M split, and thread_m_loop's blocks stay
+  // 4-aligned, so threaded results remain bitwise-identical to serial.
+  thread_local std::vector<float> packed;
+  packed.resize(k * n);
+  constexpr std::size_t kTB = 32;  // transpose tile: both streams stay in L1
+  for (std::size_t k0 = 0; k0 < k; k0 += kTB) {
+    const std::size_t k1 = std::min(k, k0 + kTB);
+    for (std::size_t n0 = 0; n0 < n; n0 += kTB) {
+      const std::size_t n1 = std::min(n, n0 + kTB);
+      for (std::size_t ki = k0; ki < k1; ++ki) {
+        float* prow = packed.data() + ki * n;
+        for (std::size_t ni = n0; ni < n1; ++ni) prow[ni] = b.at(ni, ki);
+      }
+    }
+  }
+  const ConstMatrixView packed_view(packed.data(), k, n);
+  thread_m_loop(m, k, n, [&](std::size_t m0, std::size_t m1) {
+    gemm_nx_rows<false>(a, packed_view, alpha, c, m0, m1);
   });
 }
 

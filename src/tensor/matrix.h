@@ -142,10 +142,13 @@ void gemm(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b, float al
 void gemm_nn(ConstMatrixView a, ConstMatrixView b, float alpha, MatrixView c);
 
 /// C (m x n) += alpha * A (m x k) * Bᵀ (B is n x k) — rows-dot-rows, the shape
-/// of Linear::forward (x · Wᵀ) and conv dW (dy · colsᵀ). Each dot product is
-/// striped across 8 independent partial sums (fixed recombination order, so
-/// results are deterministic) which the compiler lifts to SIMD; four B rows
-/// share every loaded A stripe.
+/// of Linear::forward (x · Wᵀ) and conv dW (dy · colsᵀ). With enough A rows
+/// the kernel packs Bᵀ once (blocked transpose into thread-local scratch) and
+/// reuses the 4x16 nn micro-kernel, which roughly doubles the achieved FLOP
+/// rate; small-m products (single-sample probe forwards) keep the original
+/// dot kernels, each dot striped across 8 independent partial sums (fixed
+/// recombination order, so results are deterministic) which the compiler
+/// lifts to SIMD.
 void gemm_nt(ConstMatrixView a, ConstMatrixView b, float alpha, MatrixView c);
 
 /// C (m x n) += alpha * Aᵀ (A is k x m) * B (k x n) — the shape of Linear

@@ -7,6 +7,13 @@
 
 namespace fedsparse::util {
 
+namespace {
+// Which pool (if any) owns the current thread, and its 1-based slot therein.
+// Plain thread_locals: a worker belongs to exactly one pool for its lifetime.
+thread_local const ThreadPool* tl_owner = nullptr;
+thread_local std::size_t tl_slot = 0;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
@@ -14,8 +21,12 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
+}
+
+std::size_t ThreadPool::current_slot() const noexcept {
+  return tl_owner == this ? tl_slot : 0;
 }
 
 ThreadPool::~ThreadPool() {
@@ -27,7 +38,9 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  tl_owner = this;
+  tl_slot = worker_index + 1;  // slot 0 is reserved for non-worker threads
   for (;;) {
     std::function<void()> task;
     {

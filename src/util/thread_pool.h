@@ -32,6 +32,17 @@ class ThreadPool {
 
   std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Workspace slot of the executing thread in [0, size()]: this pool's
+  /// workers occupy slots 1..size(), every other thread — including the
+  /// parallel_for caller, which drains chunks itself — shares slot 0. A
+  /// thread runs one task to completion before taking another (nested
+  /// parallel_for calls drain their own chunks inline), so per-slot scratch
+  /// such as the simulation's model workspaces is never used concurrently.
+  std::size_t current_slot() const noexcept;
+
+  /// Number of distinct slots current_slot() can return (size() + 1).
+  std::size_t slot_count() const noexcept { return workers_.size() + 1; }
+
   /// Runs fn(i) for i in [0, n) across the pool and blocks until all
   /// invocations complete. Exceptions thrown by fn propagate (first one wins).
   ///
@@ -51,7 +62,7 @@ class ThreadPool {
                            std::size_t grain = 0);
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
   std::size_t auto_grain(std::size_t n) const noexcept;
 
   std::vector<std::thread> workers_;

@@ -99,9 +99,12 @@ TEST(TimingModel, ThetaIsMonotoneInK) {
 // ------------------------------------------------------------ client -------
 
 TEST(Client, GradientAccumulatesAndResets) {
+  // Clients borrow a workspace model rather than owning a replica.
   auto fed = data::make_synthetic(tiny_dataset());
-  Client client(0, std::move(fed.clients[0]), tiny_model(), 42);
-  const double loss = client.compute_round_gradient(1, 8);
+  util::Rng mrng(1);
+  auto model = tiny_model()(mrng);
+  Client client(0, std::move(fed.clients[0]), model->dim(), 42);
+  const double loss = client.compute_round_gradient(*model, 1, 8);
   EXPECT_TRUE(std::isfinite(loss));
   double mass = 0.0;
   for (const float v : client.accumulated()) mass += std::fabs(v);
@@ -116,12 +119,14 @@ TEST(Client, GradientAccumulatesAndResets) {
 
 TEST(Client, ProbeLossShiftRestoresWeightsExactly) {
   auto fed = data::make_synthetic(tiny_dataset());
-  Client client(0, std::move(fed.clients[0]), tiny_model(), 7);
-  client.compute_round_gradient(1, 8);
-  std::vector<float> before(client.weights().begin(), client.weights().end());
+  util::Rng mrng(2);
+  auto model = tiny_model()(mrng);
+  Client client(0, std::move(fed.clients[0]), model->dim(), 7);
+  client.compute_round_gradient(*model, 1, 8);
+  std::vector<float> before(model->weights().begin(), model->weights().end());
   sparsify::SparseVector diff{{0, 0.5f}, {5, -1.0f}};
-  (void)client.probe_loss_shifted(diff, 0.1f);
-  const auto after = client.weights();
+  (void)client.probe_loss_shifted(*model, diff, 0.1f);
+  const auto after = model->weights();
   for (std::size_t i = 0; i < before.size(); ++i) {
     EXPECT_EQ(before[i], after[i]) << "weight " << i << " not restored";
   }
@@ -129,7 +134,10 @@ TEST(Client, ProbeLossShiftRestoresWeightsExactly) {
 
 TEST(Client, SparseUpdateTouchesOnlyListedCoords) {
   auto fed = data::make_synthetic(tiny_dataset());
-  Client client(0, std::move(fed.clients[0]), tiny_model(), 9);
+  util::Rng mrng(3);
+  auto model = tiny_model()(mrng);
+  Client client(0, std::move(fed.clients[0]), model->dim(), 9);
+  client.allocate_weights(model->weights());  // FedAvg / per-replica layout
   std::vector<float> before(client.weights().begin(), client.weights().end());
   client.apply_sparse_update({{2, 2.0f}, {7, -4.0f}}, 0.5f);
   const auto after = client.weights();
@@ -138,6 +146,18 @@ TEST(Client, SparseUpdateTouchesOnlyListedCoords) {
   for (std::size_t i = 0; i < before.size(); ++i) {
     if (i != 2 && i != 7) EXPECT_EQ(after[i], before[i]);
   }
+}
+
+TEST(Client, SharedStoreClientOwnsNoWeights) {
+  auto fed = data::make_synthetic(tiny_dataset());
+  util::Rng mrng(4);
+  auto model = tiny_model()(mrng);
+  Client client(0, std::move(fed.clients[0]), model->dim(), 11);
+  EXPECT_FALSE(client.owns_weights());
+  EXPECT_TRUE(client.weights().empty());
+  client.allocate_weights(model->weights());
+  EXPECT_TRUE(client.owns_weights());
+  EXPECT_EQ(client.weights().size(), model->dim());
 }
 
 // --------------------------------------------------------- simulation ------

@@ -139,9 +139,10 @@ TEST(FabTopKReference, OptimizedMatchesBruteForceAcrossRandomInstances) {
       ASSERT_NE(it, ref.downlink.end()) << "trial " << trial << " index " << e.index;
       EXPECT_NEAR(e.value, it->second, 1e-5) << "trial " << trial;
     }
-    // Same per-client reset sets.
+    // Same per-client reset sets (the production side stores them CSR-flat).
     for (std::size_t i = 0; i < n; ++i) {
-      std::set<std::int32_t> got(out.reset[i].begin(), out.reset[i].end());
+      const auto got_span = out.reset_for(i);
+      std::set<std::int32_t> got(got_span.begin(), got_span.end());
       EXPECT_EQ(got, ref.reset[i]) << "trial " << trial << " client " << i;
     }
   }

@@ -279,6 +279,47 @@ TEST(Conv2dLayer, GemmPathMatchesDirectConvolution) {
   }
 }
 
+TEST(Conv2dLayer, InferenceForwardSkipsColumnCacheButMatchesTraining) {
+  // set_grad_enabled(false) must produce identical outputs while refusing a
+  // subsequent multi-sample backward (no per-sample columns were kept).
+  util::Rng rng(44);
+  const std::size_t batch = 4;
+  Conv2d layer(1, 6, 6, 2, 3);
+  std::vector<float> weights(layer.param_count()), grads(layer.param_count(), 0.0f);
+  layer.bind({weights.data(), weights.size()}, {grads.data(), grads.size()});
+  layer.init_params(rng);
+  const Matrix x = random_batch(batch, 36, rng);
+  Matrix y_train, y_eval;
+  layer.forward(x, y_train);
+  layer.set_grad_enabled(false);
+  layer.forward(x, y_eval);
+  for (std::size_t i = 0; i < y_train.size(); ++i) {
+    EXPECT_EQ(y_train.data()[i], y_eval.data()[i]) << "flat " << i;
+  }
+  Matrix dy(batch, y_train.cols(), 1.0f), dx;
+  EXPECT_THROW(layer.backward(dy, dx), std::logic_error);
+  layer.set_grad_enabled(true);
+  layer.forward(x, y_train);
+  EXPECT_NO_THROW(layer.backward(dy, dx));
+}
+
+TEST(LinearLayer, InferenceForwardSkipsInputCache) {
+  util::Rng rng(45);
+  Linear layer(5, 3);
+  std::vector<float> weights(layer.param_count()), grads(layer.param_count(), 0.0f);
+  layer.bind({weights.data(), weights.size()}, {grads.data(), grads.size()});
+  layer.init_params(rng);
+  const Matrix x = random_batch(2, 5, rng);
+  Matrix y;
+  layer.set_grad_enabled(false);
+  layer.forward(x, y);
+  Matrix dy(2, 3, 1.0f), dx;
+  EXPECT_THROW(layer.backward(dy, dx), std::logic_error);
+  layer.set_grad_enabled(true);
+  layer.forward(x, y);
+  EXPECT_NO_THROW(layer.backward(dy, dx));
+}
+
 TEST(ReLULayer, ForwardBackwardMask) {
   ReLU relu;
   Matrix x(1, 4);
@@ -432,6 +473,60 @@ TEST(Models, SameSeedSameInit) {
   for (std::size_t i = 0; i < m1->dim(); ++i) {
     EXPECT_FLOAT_EQ(m1->weights()[i], m2->weights()[i]);
   }
+}
+
+// ------------------------------------------------- external weight binding --
+
+TEST(Sequential, BindWeightsRebindsTheWholeParameterChain) {
+  // Two models, same init; one is rebound to an external copy of the other's
+  // weights. Every forward/backward result must be bitwise identical — the
+  // contract the shared-replica round engine relies on.
+  util::Rng a(21), b(21);
+  auto owned = mlp(6, {5}, 3)(a);
+  auto bound = mlp(6, {5}, 3)(b);
+  std::vector<float> store(owned->weights().begin(), owned->weights().end());
+  bound->bind_weights({store.data(), store.size()});
+  EXPECT_TRUE(bound->weights_bound_externally());
+  EXPECT_FALSE(owned->weights_bound_externally());
+  EXPECT_EQ(bound->weights().data(), store.data());
+
+  util::Rng data_rng(22);
+  Matrix x(4, 6);
+  for (auto& v : x.flat()) v = static_cast<float>(data_rng.normal());
+  std::vector<int> y{0, 1, 2, 1};
+  owned->zero_grad();
+  bound->zero_grad();
+  const double l1 = owned->forward_loss_grad(x, y);
+  const double l2 = bound->forward_loss_grad(x, y);
+  EXPECT_EQ(l1, l2);
+  for (std::size_t i = 0; i < owned->dim(); ++i) {
+    EXPECT_EQ(owned->grad()[i], bound->grad()[i]) << "grad " << i;
+  }
+  // sgd_step writes through to the external store, not a private copy.
+  bound->sgd_step(0.1f);
+  bool moved = false;
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    if (store[i] != owned->weights()[i]) moved = true;
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(Sequential, BindWeightsValidatesAndRebindsCheaply) {
+  util::Rng rng(23);
+  auto model = mlp(4, {3}, 2)(rng);
+  std::vector<float> small(model->dim() - 1, 0.0f);
+  EXPECT_THROW(model->bind_weights({small.data(), small.size()}), std::invalid_argument);
+  // Rebinding between two stores (the per-client path) keeps working.
+  std::vector<float> s1(model->dim(), 0.5f), s2(model->dim(), -0.25f);
+  model->bind_weights({s1.data(), s1.size()});
+  EXPECT_EQ(model->weights().data(), s1.data());
+  model->bind_weights({s2.data(), s2.size()});
+  EXPECT_EQ(model->weights().data(), s2.data());
+  model->bind_weights({s2.data(), s2.size()});  // idempotent
+  EXPECT_EQ(model->weights().data(), s2.data());
+  Sequential unfinalized(4);
+  std::vector<float> any(1, 0.0f);
+  EXPECT_THROW(unfinalized.bind_weights({any.data(), any.size()}), std::logic_error);
 }
 
 }  // namespace

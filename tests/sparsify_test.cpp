@@ -334,7 +334,7 @@ TEST_P(FabTopKProperty, FairnessAndSizeInvariants) {
   const std::size_t guaranteed = std::min(k, dim) / n;
   for (std::size_t i = 0; i < n; ++i) {
     EXPECT_GE(out.contributed[i], guaranteed) << "client " << i;
-    EXPECT_EQ(out.contributed[i], out.reset[i].size());
+    EXPECT_EQ(out.contributed[i], out.reset_for(i).size());
   }
   EXPECT_EQ(out.uplink_values, 2.0 * static_cast<double>(std::min(k, dim)));
   EXPECT_EQ(out.downlink_values, 2.0 * static_cast<double>(out.update.size()));
@@ -429,7 +429,7 @@ TEST(UnidirectionalTopK, DownlinkIsUnionAndResetsEverything) {
   EXPECT_GE(out.update.size(), k);
   EXPECT_LE(out.update.size(), k * n);
   for (std::size_t i = 0; i < n; ++i) {
-    EXPECT_EQ(out.reset[i].size(), k);
+    EXPECT_EQ(out.reset_for(i).size(), k);
     EXPECT_EQ(out.contributed[i], k);
   }
   EXPECT_EQ(out.downlink_values, 2.0 * static_cast<double>(out.update.size()));
@@ -456,8 +456,9 @@ TEST(TopKMethods, PooledRoundMatchesSerialByteForByte) {
     tensor::set_parallel_pool(nullptr);
 
     EXPECT_EQ(pooled.update, serial.update) << name;
-    ASSERT_EQ(pooled.reset.size(), serial.reset.size()) << name;
-    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(pooled.reset[i], serial.reset[i]) << name;
+    EXPECT_EQ(pooled.reset_kind, serial.reset_kind) << name;
+    EXPECT_EQ(pooled.reset_indices, serial.reset_indices) << name;
+    EXPECT_EQ(pooled.reset_offsets, serial.reset_offsets) << name;
     EXPECT_EQ(pooled.contributed, serial.contributed) << name;
     EXPECT_EQ(pooled.uplink_values, serial.uplink_values) << name;
     EXPECT_EQ(pooled.downlink_values, serial.downlink_values) << name;
@@ -586,7 +587,7 @@ TEST(AllGsMethods, GradientMassConservation) {
     // Resets are a subset of the downlink set (an element is only consumed if
     // it was aggregated into the global sparse gradient).
     for (std::size_t i = 0; i < n; ++i) {
-      for (const auto idx : out.reset[i]) {
+      for (const auto idx : out.reset_for(i)) {
         EXPECT_TRUE(downlink.count(idx)) << name << " client " << i;
       }
     }
