@@ -46,9 +46,23 @@ def main():
     except (OSError, json.JSONDecodeError) as e:
         print(f"error: {e}", file=sys.stderr)
         return 2
-    if args.metric == "speedup":
-        old = {n: k for n, k in old.items() if "speedup_vs_baseline" in k}
-        new = {n: k for n, k in new.items() if "speedup_vs_baseline" in k}
+    metric_key = "speedup_vs_baseline" if args.metric == "speedup" else "ns_per_op"
+    raw_old, raw_new = old, new
+    old = {n: k for n, k in old.items() if metric_key in k}
+    new = {n: k for n, k in new.items() if metric_key in k}
+    # Kernels present on only one side (a bench added or retired in this
+    # change) are expected when a PR lands new benches together with a fresh
+    # baseline: warn and skip them instead of failing the comparison. A
+    # kernel present in both files but missing the metric on one side is a
+    # malformed entry, not an added/retired bench — say so.
+    for name in sorted(set(old) ^ set(new)):
+        if name in raw_old and name in raw_new:
+            side = "baseline" if name not in old else "fresh run"
+            print(f"warning: kernel '{name}' lacks {metric_key} in {side} — skipped",
+                  file=sys.stderr)
+        else:
+            side = "baseline" if name in old else "fresh run"
+            print(f"warning: kernel '{name}' only in {side} — skipped", file=sys.stderr)
     shared = sorted(set(old) & set(new))
     if not shared:
         print("no kernels in common between the two files", file=sys.stderr)
@@ -71,9 +85,6 @@ def main():
             regressions.append((name, delta))
             flag = "  <-- REGRESSION"
         print(f"{name:<32} {o:>14.2f} {n:>14.2f} {delta:>+7.1f}%{flag}")
-    for name in sorted(set(old) ^ set(new)):
-        side = "old only" if name in old else "new only"
-        print(f"{name:<32} ({side})")
 
     if regressions:
         print(f"\n{len(regressions)} kernel(s) regressed past {args.threshold}%",

@@ -17,6 +17,7 @@
 #include "data/synthetic.h"
 #include "fl/client.h"
 #include "fl/metrics.h"
+#include "fl/network.h"
 #include "fl/simulation.h"
 #include "fl/timing.h"
 #include "nn/models.h"

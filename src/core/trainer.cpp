@@ -45,6 +45,10 @@ FederatedTrainer::FederatedTrainer(TrainerConfig cfg) : cfg_(std::move(cfg)) {
 
 fl::SimulationResult FederatedTrainer::run() {
   data::FederatedDataset dataset = data::make_synthetic(data_cfg_);
+  if (!cfg_.scenario.empty()) {
+    fl::apply_scenario(fl::make_scenario(cfg_.scenario, dataset.clients.size(), cfg_.sim.seed),
+                       cfg_.sim);
+  }
   auto method = sparsify::make_method(cfg_.method, dim_, cfg_.sim.seed ^ 0x3E7ULL);
   auto controller = online::make_controller(cfg_.controller);
   fl::Simulation sim(cfg_.sim, std::move(dataset), factory_, std::move(method),

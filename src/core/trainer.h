@@ -46,6 +46,10 @@ struct TrainerConfig {
   ModelSpec model;
   /// Sparsification method (see sparsify::make_method).
   std::string method = "fab_topk";
+  /// Named network/device scenario from the fl::make_scenario registry
+  /// ("uniform" | "bimodal" | "longtail_mobile" | "metered_wan"); empty keeps
+  /// whatever `sim.network` already says (the homogeneous default).
+  std::string scenario;
   /// k controller; kmin/kmax of 0 are auto-filled as
   /// kmin = max(2, 0.002·D) and kmax = D (the paper's Fig. 5 setting).
   online::ControllerConfig controller;

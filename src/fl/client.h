@@ -87,6 +87,25 @@ class Client {
   /// weights; `max_samples == 0` means all samples.
   double full_local_loss(nn::Sequential& model, std::size_t max_samples, util::Rng& rng);
 
+  // --- realized traffic & participation (network-model bookkeeping) --------
+
+  /// Records one server round this client participated in: its own uplink
+  /// payload and the broadcast downlink it received, in timing-model values.
+  void note_round(double uplink_values, double downlink_values) noexcept {
+    ++rounds_participated_;
+    uplink_values_total_ += uplink_values;
+    downlink_values_total_ += downlink_values;
+  }
+
+  /// Records a broadcast this client received without participating (online
+  /// but unsampled clients still listen so their weights stay synchronized).
+  void note_broadcast(double downlink_values) noexcept {
+    downlink_values_total_ += downlink_values;
+  }
+  std::size_t rounds_participated() const noexcept { return rounds_participated_; }
+  double uplink_values_total() const noexcept { return uplink_values_total_; }
+  double downlink_values_total() const noexcept { return downlink_values_total_; }
+
  private:
   std::size_t id_;
   data::Dataset dataset_;
@@ -98,6 +117,11 @@ class Client {
   tensor::Matrix probe_x_;
   std::vector<int> probe_y_;
   double probe_loss_prev_ = 0.0;
+
+  // Realized traffic over the run (values; ×4 for bytes).
+  std::size_t rounds_participated_ = 0;
+  double uplink_values_total_ = 0.0;
+  double downlink_values_total_ = 0.0;
 };
 
 }  // namespace fedsparse::fl

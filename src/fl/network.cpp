@@ -1,0 +1,216 @@
+#include "fl/network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace fedsparse::fl {
+
+bool NetworkConfig::trivial() const noexcept {
+  if (rate_jitter_sigma != 0.0 || p_drop != 0.0) return false;
+  for (const auto& p : profiles) {
+    if (!p.is_default()) return false;
+  }
+  return true;
+}
+
+NetworkModel::NetworkModel(TimingModel nominal, NetworkConfig cfg, std::size_t num_clients,
+                           std::uint64_t seed)
+    : nominal_(nominal), cfg_(std::move(cfg)), n_(num_clients), rng_(seed ^ 0x4E7F10CULL) {
+  if (!cfg_.profiles.empty() && cfg_.profiles.size() != n_) {
+    throw std::invalid_argument("NetworkModel: profiles must be empty or one per client");
+  }
+  for (const auto& p : cfg_.profiles) {
+    if (p.uplink_rate <= 0.0 || p.downlink_rate <= 0.0 || p.compute_multiplier <= 0.0) {
+      throw std::invalid_argument("NetworkModel: profile rates must be positive");
+    }
+  }
+  if (cfg_.rate_jitter_sigma < 0.0) {
+    throw std::invalid_argument("NetworkModel: rate_jitter_sigma must be >= 0");
+  }
+  if (cfg_.p_drop < 0.0 || cfg_.p_drop > 1.0 || cfg_.p_recover < 0.0 || cfg_.p_recover > 1.0) {
+    throw std::invalid_argument("NetworkModel: Markov probabilities must be in [0, 1]");
+  }
+  if (cfg_.p_drop > 0.0 && cfg_.p_recover == 0.0) {
+    throw std::invalid_argument("NetworkModel: p_recover = 0 with churn strands every client");
+  }
+  heterogeneous_ = !cfg_.trivial();
+  if (cfg_.profiles.empty()) cfg_.profiles.assign(n_, ClientProfile{});
+  realized_ = cfg_.profiles;
+
+  // Initial availability from the stationary distribution, so the first
+  // rounds behave like the long-run chain instead of starting all-on.
+  on_.assign(n_, 1);
+  if (cfg_.p_drop > 0.0) {
+    const double pi_on = cfg_.p_recover / (cfg_.p_drop + cfg_.p_recover);
+    for (auto& s : on_) s = rng_.bernoulli(pi_on) ? 1 : 0;
+  }
+}
+
+void NetworkModel::begin_round(std::size_t round) {
+  (void)round;
+  if (!heterogeneous_) return;
+  // One sequential pass keeps the fluctuation stream independent of thread
+  // count and participant order. Draw order per client: jitter (up, down),
+  // then the availability transition.
+  const bool jitter = cfg_.rate_jitter_sigma > 0.0;
+  const bool churn = cfg_.p_drop > 0.0;
+  if (!jitter && !churn) return;
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (jitter) {
+      realized_[i].uplink_rate =
+          cfg_.profiles[i].uplink_rate * std::exp(rng_.normal(0.0, cfg_.rate_jitter_sigma));
+      realized_[i].downlink_rate =
+          cfg_.profiles[i].downlink_rate * std::exp(rng_.normal(0.0, cfg_.rate_jitter_sigma));
+    }
+    if (churn) {
+      on_[i] = on_[i] ? (rng_.bernoulli(cfg_.p_drop) ? 0 : 1)
+                      : (rng_.bernoulli(cfg_.p_recover) ? 1 : 0);
+    }
+  }
+}
+
+bool NetworkModel::available(std::size_t i) const { return on_.empty() || on_[i] != 0; }
+
+double NetworkModel::uplink_rate(std::size_t i) const { return realized_[i].uplink_rate; }
+
+double NetworkModel::downlink_rate(std::size_t i) const { return realized_[i].downlink_rate; }
+
+double NetworkModel::compute_time(std::size_t i) const {
+  return nominal_.compute_time * realized_[i].compute_multiplier;
+}
+
+double NetworkModel::uplink_time(std::size_t i, double values) const {
+  return nominal_.comm_part(values, 0.0) / realized_[i].uplink_rate;
+}
+
+double NetworkModel::downlink_time(std::size_t i, double values) const {
+  return nominal_.comm_part(0.0, values) / realized_[i].downlink_rate;
+}
+
+RoundTiming NetworkModel::round_time(std::span<const std::size_t> ids,
+                                     std::span<const double> uplink_values_per_slot,
+                                     double legacy_uplink_values,
+                                     double downlink_values) const {
+  RoundTiming out;
+  if (ids.empty()) {
+    // Nobody participated: the server idles for one nominal compute round.
+    out.time = nominal_.compute_time;
+    return out;
+  }
+  if (!heterogeneous_) {
+    // Homogeneous fast path — the exact legacy expression, so traces with
+    // all-default profiles stay byte-identical to the pre-subsystem engine.
+    // No straggler is reported: identical clients with (near-)identical
+    // payloads would tie, and naming the tie-break winner reads as a device
+    // problem that does not exist.
+    out.time = nominal_.round_time(legacy_uplink_values, downlink_values);
+    return out;
+  }
+  // Straggler-correct: the round ends when the last participant finishes its
+  // compute + its own upload over its own link, plus the broadcast reaching
+  // the slowest participating downlink.
+  double worst = -1.0, best = std::numeric_limits<double>::infinity();
+  double slowest_down = std::numeric_limits<double>::infinity();
+  for (std::size_t s = 0; s < ids.size(); ++s) {
+    const std::size_t i = ids[s];
+    const double t = compute_time(i) + uplink_time(i, uplink_values_per_slot[s]);
+    if (t > worst) {
+      worst = t;
+      out.slowest_client = static_cast<std::int64_t>(i);
+    }
+    best = std::min(best, t);
+    slowest_down = std::min(slowest_down, realized_[i].downlink_rate);
+  }
+  // When several participants all finished at the same instant nobody
+  // straggled (e.g. identical non-default profiles): report none rather
+  // than the tie-break winner. Ties only among the slowest group still name
+  // one of the binding clients, and a lone participant genuinely bound the
+  // round.
+  if (ids.size() > 1 && worst == best) out.slowest_client = -1;
+  out.time = worst + nominal_.comm_part(0.0, downlink_values) / slowest_down;
+  return out;
+}
+
+double NetworkModel::broadcast_time(std::span<const std::size_t> ids, double values) const {
+  if (!heterogeneous_ || ids.empty()) return nominal_.comm_part(0.0, values);
+  double slowest_down = std::numeric_limits<double>::infinity();
+  for (const std::size_t i : ids) {
+    slowest_down = std::min(slowest_down, realized_[i].downlink_rate);
+  }
+  return nominal_.comm_part(0.0, values) / slowest_down;
+}
+
+double NetworkModel::theta(double k, std::span<const std::size_t> ids) const {
+  if (!heterogeneous_ || ids.empty()) return nominal_.theta(k);
+  double worst = 0.0;
+  double slowest_down = std::numeric_limits<double>::infinity();
+  for (const std::size_t i : ids) {
+    worst = std::max(worst, compute_time(i) + uplink_time(i, 2.0 * k));
+    slowest_down = std::min(slowest_down, realized_[i].downlink_rate);
+  }
+  return worst + nominal_.comm_part(0.0, 2.0 * k) / slowest_down;
+}
+
+double NetworkModel::max_compute_multiplier(std::span<const std::size_t> ids) const {
+  double worst = 0.0;
+  for (const std::size_t i : ids) {
+    worst = std::max(worst, realized_[i].compute_multiplier);
+  }
+  return worst;
+}
+
+// ---------------------------------------------------------------- scenarios
+
+std::vector<std::string> scenario_names() {
+  return {"uniform", "bimodal", "longtail_mobile", "metered_wan"};
+}
+
+Scenario make_scenario(const std::string& name, std::size_t n, std::uint64_t seed) {
+  Scenario s;
+  s.name = name;
+  util::Rng rng(seed ^ 0x5CE7A210ULL);
+  if (name == "uniform") {
+    s.description = "homogeneous clients (the paper's Section V model)";
+    // Empty profiles: NetworkModel reduces to TimingModel bit-for-bit.
+  } else if (name == "bimodal") {
+    s.description = "3/4 fast fiber clients, 1/4 slow DSL stragglers";
+    s.network.profiles.assign(n, ClientProfile{});
+    // Deterministic slow-client placement: a seeded shuffle of client ids so
+    // the slow quarter is not correlated with the dataset's client order.
+    std::vector<std::size_t> ids(n);
+    for (std::size_t i = 0; i < n; ++i) ids[i] = i;
+    rng.shuffle(ids);
+    const std::size_t slow = std::max<std::size_t>(1, n / 4);
+    for (std::size_t j = 0; j < slow && j < n; ++j) {
+      auto& p = s.network.profiles[ids[j]];
+      p.uplink_rate = 0.1;       // 10x slower uplink dominates τ_m
+      p.downlink_rate = 0.5;
+      p.compute_multiplier = 2.0;
+    }
+  } else if (name == "longtail_mobile") {
+    s.description = "log-normal mobile links with jitter and on/off churn";
+    s.network.profiles.resize(n);
+    for (auto& p : s.network.profiles) {
+      // Heavy-tailed link quality: median ~0.5x nominal, occasional ~0.05x.
+      p.uplink_rate = 0.5 * std::exp(rng.normal(0.0, 0.8));
+      p.downlink_rate = 0.7 * std::exp(rng.normal(0.0, 0.5));
+      p.compute_multiplier = std::exp(rng.normal(0.0, 0.4));
+    }
+    s.network.rate_jitter_sigma = 0.3;
+    s.network.p_drop = 0.05;
+    s.network.p_recover = 0.5;
+  } else if (name == "metered_wan") {
+    s.description = "uniform half-rate WAN where every transmitted value costs money";
+    s.network.profiles.assign(n, ClientProfile{0.5, 0.5, 1.0});
+    s.money_per_value = 0.002;
+    s.weight_money = 1.0;
+  } else {
+    throw std::invalid_argument("make_scenario: unknown scenario '" + name +
+                                "' (expected uniform|bimodal|longtail_mobile|metered_wan)");
+  }
+  return s;
+}
+
+}  // namespace fedsparse::fl

@@ -1,0 +1,178 @@
+// Heterogeneous network & device model: per-client rate profiles, rate
+// fluctuation, and Markov on/off availability.
+//
+// The paper's Section V timing model is a single (β, compute) pair — every
+// client is identical and a round costs compute + β·(up+down)/(2D). Real
+// cross-device deployments are nothing like that: uplinks differ by orders of
+// magnitude, rates fluctuate round to round, and devices drop off the network
+// entirely. NetworkModel generalizes TimingModel to per-client profiles while
+// keeping the homogeneous case *byte-identical* to the legacy path:
+//
+//  * ClientProfile — uplink/downlink bandwidth multipliers (1 = the nominal β
+//    link; 0.1 = ten times slower) and a compute-time multiplier.
+//  * Fluctuation — per-round log-normal jitter on both link rates, and a
+//    two-state Markov availability chain (on→off with p_drop, off→on with
+//    p_recover). Both draw from a dedicated util::Rng stream, sequentially
+//    over clients inside begin_round(), so realizations are reproducible and
+//    independent of thread count.
+//  * Straggler-correct synchronized timing —
+//        τ_m = max_{i ∈ participants} (compute_i + uplink_i(2·|J_i|))
+//              + downlink_slowest(broadcast payload)
+//    replacing the homogeneous 2·max_i|J_i| shortcut: the client that binds
+//    the round is the one whose compute PLUS its own payload over its own
+//    link finishes last, not necessarily the one with the largest payload.
+//
+// When every profile is the default and fluctuation is off, round_time()
+// delegates to TimingModel::round_time on the method's legacy payload values
+// — the exact same floating-point expression as before this subsystem, so
+// homogeneous simulation traces stay bit-reproducible (pinned by
+// tests/network_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fl/timing.h"
+#include "util/rng.h"
+
+namespace fedsparse::fl {
+
+/// Static per-client device/link characteristics. Rates are bandwidth
+/// multipliers relative to the nominal β link: transmitting V values takes
+/// β·V/(2D) / rate. compute_multiplier scales the nominal compute time.
+struct ClientProfile {
+  double uplink_rate = 1.0;
+  double downlink_rate = 1.0;
+  double compute_multiplier = 1.0;
+
+  bool is_default() const noexcept {
+    return uplink_rate == 1.0 && downlink_rate == 1.0 && compute_multiplier == 1.0;
+  }
+};
+
+/// Full description of a heterogeneous client population. Default-constructed
+/// it describes the paper's homogeneous world (NetworkModel then reduces to
+/// TimingModel exactly).
+struct NetworkConfig {
+  /// One profile per client; empty means "every client is default".
+  std::vector<ClientProfile> profiles;
+
+  /// Log-normal per-round jitter on link rates: realized rate =
+  /// base · exp(N(0, σ)), redrawn per (client, round). 0 disables.
+  double rate_jitter_sigma = 0.0;
+
+  /// Markov availability chain, advanced once per round per client:
+  /// P(on→off) = p_drop, P(off→on) = p_recover. Initial states are drawn from
+  /// the stationary distribution π_on = p_recover / (p_drop + p_recover).
+  /// p_drop = 0 keeps every client always available.
+  double p_drop = 0.0;
+  double p_recover = 1.0;
+
+  /// True when nothing deviates from the homogeneous model.
+  bool trivial() const noexcept;
+};
+
+/// What one synchronized round cost and who bound it. slowest_client is -1
+/// when no one straggled: homogeneous rounds, rounds with no participants,
+/// and rounds where every participant finished at the same instant. Ties
+/// within the slowest group alone name its lowest-slot member.
+struct RoundTiming {
+  double time = 0.0;                 // τ_m
+  std::int64_t slowest_client = -1;  // client id of the binding straggler
+};
+
+class NetworkModel {
+ public:
+  /// Homogeneous model over `nominal` (identical to TimingModel semantics).
+  NetworkModel() = default;
+
+  /// `cfg.profiles` must be empty or have exactly `num_clients` entries.
+  /// `seed` feeds the fluctuation stream (jitter + availability chain).
+  NetworkModel(TimingModel nominal, NetworkConfig cfg, std::size_t num_clients,
+               std::uint64_t seed);
+
+  std::size_t num_clients() const noexcept { return n_; }
+  const TimingModel& nominal() const noexcept { return nominal_; }
+
+  /// False only when profiles/fluctuation all match the homogeneous model;
+  /// the false path reproduces TimingModel arithmetic bit-for-bit.
+  bool heterogeneous() const noexcept { return heterogeneous_; }
+  bool has_churn() const noexcept { return cfg_.p_drop > 0.0; }
+
+  /// Advances the fluctuation state to round m (1-based): redraws jitter
+  /// multipliers and steps the availability chain once per client. Rounds
+  /// must be visited in order; calling it twice for the same round re-draws.
+  void begin_round(std::size_t round);
+
+  /// Availability of client i in the current round.
+  bool available(std::size_t i) const;
+
+  /// Realized (jittered) rates and compute time of client i this round.
+  double uplink_rate(std::size_t i) const;
+  double downlink_rate(std::size_t i) const;
+  double compute_time(std::size_t i) const;
+
+  /// Time for client i to transmit `values` payload values up / down.
+  double uplink_time(std::size_t i, double values) const;
+  double downlink_time(std::size_t i, double values) const;
+
+  /// τ_m over the participating clients. `uplink_values_per_slot` is aligned
+  /// with `ids` (slot s belongs to client ids[s]); `legacy_uplink_values` is
+  /// the method's homogeneous accounting (2·max_i|J_i| or D) used verbatim on
+  /// the homogeneous fast path. The broadcast term waits on the slowest
+  /// participating downlink. Empty `ids` costs nothing (no round happened).
+  RoundTiming round_time(std::span<const std::size_t> ids,
+                         std::span<const double> uplink_values_per_slot,
+                         double legacy_uplink_values, double downlink_values) const;
+
+  /// Time for a broadcast of `values` to reach every participant (the
+  /// slowest participating downlink binds it). Homogeneous: the nominal
+  /// comm_part.
+  double broadcast_time(std::span<const std::size_t> ids, double values) const;
+
+  /// θ(k) analogue: hypothetical k-element bidirectional GS round (every
+  /// participant uploads 2k values) over the given participants at the
+  /// current realized rates. Matches TimingModel::theta exactly when
+  /// homogeneous.
+  double theta(double k, std::span<const std::size_t> ids) const;
+
+  /// Largest realized compute multiplier among `ids` (scales per-round
+  /// compute-bound resources such as energy_per_compute).
+  double max_compute_multiplier(std::span<const std::size_t> ids) const;
+
+ private:
+  TimingModel nominal_{};
+  NetworkConfig cfg_{};
+  std::size_t n_ = 0;
+  bool heterogeneous_ = false;
+  util::Rng rng_{1};
+  std::vector<ClientProfile> realized_;  // per-round jittered profiles
+  std::vector<std::uint8_t> on_;         // availability states
+};
+
+// ---------------------------------------------------------------- scenarios
+
+/// A named preset: network shape plus the composite-resource knobs that give
+/// the scenario its objective (e.g. metered WAN charges money per value).
+/// Apply to a SimulationConfig with fl::apply_scenario (simulation.h).
+struct Scenario {
+  std::string name;
+  std::string description;
+  NetworkConfig network;
+  /// Composite-objective overrides; 0 keeps the pure-time objective.
+  double money_per_value = 0.0;
+  double weight_money = 0.0;
+};
+
+/// Registry names: "uniform", "bimodal", "longtail_mobile", "metered_wan".
+std::vector<std::string> scenario_names();
+
+/// Builds the preset for an n-client population. `seed` shapes the sampled
+/// profiles (long-tail draws, bimodal assignment); the same (name, n, seed)
+/// always yields the same scenario. Throws std::invalid_argument for unknown
+/// names.
+Scenario make_scenario(const std::string& name, std::size_t n, std::uint64_t seed = 1);
+
+}  // namespace fedsparse::fl

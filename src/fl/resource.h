@@ -9,6 +9,12 @@
 //            per transmitted value (uplink + downlink),
 //   money  — money_per_value per transmitted value (e.g. metered WAN egress).
 //
+// The caller decides what one "value" of payload means. The federated
+// simulation prices value-based terms on FLEET totals — the sum of every
+// participant's uplink plus the broadcast each of them receives — while the
+// time term stays the synchronized max over parallel links (NetworkModel);
+// additive resources sum across devices, waiting does not.
+//
 // With the default weights (1, 0, 0) the model reduces exactly to the paper's
 // training-time objective; the adaptive-k machinery is agnostic to which
 // combination it minimizes because the cost stays additive over rounds.
@@ -29,16 +35,26 @@ struct ResourceModel {
   double weight_energy = 0.0;
   double weight_money = 0.0;
 
-  /// Composite cost of one round with the given payloads.
-  double round_cost(double uplink_values, double downlink_values) const {
-    const double time = timing.round_time(uplink_values, downlink_values);
+  /// Composite cost of one round whose wall-clock time was computed
+  /// externally (e.g. by the heterogeneous NetworkModel straggler formula).
+  /// The payloads still drive the energy/money terms.
+  double round_cost_given_time(double time, double uplink_values,
+                               double downlink_values) const {
     const double energy =
         energy_per_compute + energy_per_value * (uplink_values + downlink_values);
     const double money = money_per_value * (uplink_values + downlink_values);
     return weight_time * time + weight_energy * energy + weight_money * money;
   }
 
-  /// θ(k) analogue under the composite cost (continuous k).
+  /// Composite cost of one round with the given payloads (homogeneous time).
+  double round_cost(double uplink_values, double downlink_values) const {
+    return round_cost_given_time(timing.round_time(uplink_values, downlink_values),
+                                 uplink_values, downlink_values);
+  }
+
+  /// θ(k) analogue under the composite cost (continuous k). Heterogeneous
+  /// callers compose round_cost_given_time with NetworkModel::theta and
+  /// their own fleet payload totals instead.
   double theta_cost(double k) const { return round_cost(2.0 * k, 2.0 * k); }
 
   /// True when the model is pure training time (the paper's default).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <stdexcept>
 
 #include "online/estimator.h"
@@ -55,14 +56,18 @@ Simulation::Simulation(SimulationConfig cfg, data::FederatedDataset dataset,
   resource_.weight_energy = cfg.weight_energy;
   resource_.weight_money = cfg.weight_money;
 
-  // Heterogeneous clients: lognormal compute-time multipliers.
-  client_compute_.assign(clients_.size(), 1.0);
+  // Network & device model. The legacy compute_time_spread knob folds into
+  // the client profiles (same RNG stream as before), multiplying on top of
+  // any explicitly configured profile.
+  NetworkConfig net_cfg = cfg.network;
   if (cfg.compute_time_spread > 0.0) {
+    if (net_cfg.profiles.empty()) net_cfg.profiles.assign(clients_.size(), ClientProfile{});
     util::Rng het_rng(cfg.seed ^ 0x4E7E20ULL);
-    for (auto& multiplier : client_compute_) {
-      multiplier = std::exp(het_rng.normal(0.0, cfg.compute_time_spread));
+    for (auto& profile : net_cfg.profiles) {
+      profile.compute_multiplier *= std::exp(het_rng.normal(0.0, cfg.compute_time_spread));
     }
   }
+  network_ = NetworkModel(timing_, std::move(net_cfg), clients_.size(), cfg.seed);
 
   // Weight layout: the shared store always holds w(m) for synchronized
   // methods; FedAvg-style methods (diverging local weights) and the
@@ -124,20 +129,28 @@ nn::Sequential& Simulation::bound_workspace(std::size_t i) {
 
 const std::vector<std::size_t>& Simulation::sample_participants() {
   const std::size_t n = clients_.size();
-  if (cfg_.participation >= 1.0) {
-    if (part_ids_.size() != n) {
-      part_ids_.resize(n);
-      for (std::size_t i = 0; i < n; ++i) part_ids_[i] = i;
+  // Availability gates reachability: an offline client can be neither
+  // sampled nor waited on. Without churn every client is available and the
+  // sampling below consumes rng_ exactly as the pre-network engine did.
+  id_scratch_.clear();
+  if (network_.has_churn()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (network_.available(i)) id_scratch_.push_back(i);
     }
+  } else {
+    id_scratch_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) id_scratch_[i] = i;
+  }
+  const std::size_t avail = id_scratch_.size();
+  if (cfg_.participation >= 1.0 || avail <= 1) {
+    part_ids_.assign(id_scratch_.begin(), id_scratch_.end());
     return part_ids_;
   }
   const auto take = std::max<std::size_t>(
-      1, static_cast<std::size_t>(std::ceil(cfg_.participation * static_cast<double>(n))));
-  id_scratch_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) id_scratch_[i] = i;
+      1, static_cast<std::size_t>(std::ceil(cfg_.participation * static_cast<double>(avail))));
   // Partial Fisher–Yates: the first `take` entries are a uniform sample.
   for (std::size_t i = 0; i < take; ++i) {
-    const std::size_t j = i + rng_.uniform_u64(n - i);
+    const std::size_t j = i + rng_.uniform_u64(avail - i);
     std::swap(id_scratch_[i], id_scratch_[j]);
   }
   part_ids_.assign(id_scratch_.begin(), id_scratch_.begin() + static_cast<std::ptrdiff_t>(take));
@@ -149,6 +162,9 @@ const sparsify::RoundInput& Simulation::make_round_input(
     std::size_t round, const std::vector<std::size_t>& selected) {
   round_input_.dim = dim_;
   round_input_.round = round;
+  // Stable ids so methods key cross-round per-client state (e.g. top-k
+  // threshold hints) by client, not by participant slot.
+  round_input_.client_ids = {selected.data(), selected.size()};
   round_input_.client_vectors.clear();
   weight_storage_.clear();
   double total = 0.0;
@@ -229,34 +245,53 @@ SimulationResult Simulation::run() {
                                   ? online::stochastic_round_k(k_cont, dim_, rng_)
                                   : online::deterministic_round_k(k_cont, dim_);
 
-    // (A) Local computation at w(m−1), participating clients in parallel over
-    // the per-thread workspaces. A synchronous round waits for the slowest
-    // participant.
+    // Advance the network fluctuation state (rate jitter + availability
+    // chain) before anything reads it. A trivial network is a no-op.
+    network_.begin_round(m);
+
+    // (A) Local computation at w(m−1) in parallel over the per-thread
+    // workspaces. Participants feed the server round; offline clients keep
+    // training locally — their gradients pile up in the accumulator until
+    // they rejoin (the FAB/FUB catch-up dynamic) — but cannot upload, be
+    // waited on, or be sampled. Client RNG streams are keyed by (client,
+    // round), so who computes never perturbs anyone else's draw.
     const std::vector<std::size_t>& part = sample_participants();
+    compute_ids_.assign(part.begin(), part.end());
+    if (network_.has_churn()) {
+      for (std::size_t i = 0; i < clients_.size(); ++i) {
+        if (!network_.available(i)) compute_ids_.push_back(i);
+      }
+    }
     pool_.parallel_for(
-        part.size(),
+        compute_ids_.size(),
         [&](std::size_t s) {
-          const std::size_t i = part[s];
+          const std::size_t i = compute_ids_[s];
           nn::Sequential& ws = bound_workspace(i);
           mb_losses_[i] = fedavg_style_
                               ? clients_[i]->local_update(ws, m, cfg_.batch, cfg_.lr)
                               : clients_[i]->compute_round_gradient(ws, m, cfg_.batch);
         },
         /*grain=*/1);
-    double compute_multiplier = 0.0;
-    for (const std::size_t i : part) {
-      compute_multiplier = std::max(compute_multiplier, client_compute_[i]);
-    }
+
+    // Per-round compute-bound resources (e.g. energy per computation) scale
+    // with the slowest participant's realized device speed. An empty round
+    // (every client offline) skips the server exchange entirely and falls
+    // through the shared record/eval/stop tail as one idle compute round.
     ResourceModel round_resource = resource_;
-    round_resource.timing.compute_time = timing_.compute_time * compute_multiplier;
-    round_resource.energy_per_compute = resource_.energy_per_compute * compute_multiplier;
+    if (network_.heterogeneous() && !part.empty()) {
+      round_resource.energy_per_compute =
+          resource_.energy_per_compute * network_.max_compute_multiplier(part);
+    }
 
     // (1)–(2) Server round: selection + aggregation over the participants.
-    const sparsify::RoundInput& input = make_round_input(m, part);
-    sparsify::RoundOutcome outcome = method_->round(input, k_int);
+    // An empty round leaves the default outcome: zero payloads, no resets.
+    sparsify::RoundOutcome outcome;
+    if (!part.empty()) {
+      outcome = method_->round(make_round_input(m, part), k_int);
+    }
 
     // (3) Probe selection k'_m (derived before resets touch the accumulators).
-    bool want_probe = probe_k_cont > 0.0 && !fedavg_style_ &&
+    bool want_probe = !part.empty() && probe_k_cont > 0.0 && !fedavg_style_ &&
                       outcome.kind == sparsify::RoundOutcome::Kind::kSparseUpdate;
     sparsify::SparseVector probe_diff;
     if (want_probe) {
@@ -265,7 +300,10 @@ SimulationResult Simulation::run() {
                                     : online::deterministic_round_k(probe_k_cont, dim_);
       if (probe_k_int >= k_int) probe_k_int = k_int > 1 ? k_int - 1 : 0;
       if (probe_k_int >= 1) {
-        const sparsify::RoundOutcome probe_outcome = method_->probe_round(input, probe_k_int);
+        // round_input_ still holds this round's view (want_probe implies a
+        // non-empty participant set built it above).
+        const sparsify::RoundOutcome probe_outcome =
+            method_->probe_round(round_input_, probe_k_int);
         probe_diff = sparsify::sparse_subtract(outcome.update, probe_outcome.update);
       } else {
         want_probe = false;
@@ -273,8 +311,8 @@ SimulationResult Simulation::run() {
     }
 
     // (B)/(C) Apply the global update and consume transmitted accumulator
-    // entries.
-    if (per_client_weights_) {
+    // entries. An empty round exchanged nothing and touches nobody.
+    if (!part.empty() && per_client_weights_) {
       // FedAvg / per-replica reference engine: every client's own vector is
       // touched in one fused parallel pass (apply + reset per client).
       part_slot_.assign(n, -1);
@@ -297,7 +335,13 @@ SimulationResult Simulation::run() {
                   clients_[i]->apply_dense_update(outcome.dense, cfg_.lr);
                   break;
                 case sparsify::RoundOutcome::Kind::kWeightAverage:
-                  clients_[i]->set_weights({outcome.dense.data(), outcome.dense.size()});
+                  // An offline FedAvg client misses the synchronization and
+                  // keeps its diverging local weights until it rejoins.
+                  // (Synchronized methods never emit kWeightAverage; their
+                  // per-replica layout must mirror the shared store exactly.)
+                  if (!fedavg_style_ || network_.available(i)) {
+                    clients_[i]->set_weights({outcome.dense.data(), outcome.dense.size()});
+                  }
                   break;
                 case sparsify::RoundOutcome::Kind::kLocalOnly:
                   break;
@@ -309,7 +353,7 @@ SimulationResult Simulation::run() {
             },
             /*grain=*/1);
       }
-    } else {
+    } else if (!part.empty()) {
       // Shared store: the synchronized update is applied ONCE — O(k) sparse,
       // O(D) dense — independent of the client count. Only the participants'
       // accumulators need per-client work.
@@ -341,13 +385,63 @@ SimulationResult Simulation::run() {
       res.contributed_totals[part[s]] += outcome.contributed[s];
     }
 
+    // Straggler-correct synchronized timing: τ_m maxes each participant's
+    // compute + own-payload-over-own-link, then adds the broadcast over the
+    // slowest participating downlink. The homogeneous fast path inside
+    // round_time() reproduces the legacy TimingModel expression bit-for-bit.
+    uplink_slots_.resize(part.size());
+    for (std::size_t s = 0; s < part.size(); ++s) uplink_slots_[s] = outcome.client_uplink(s);
+    const RoundTiming round_timing = network_.round_time(
+        part, uplink_slots_, outcome.uplink_values, outcome.downlink_values);
+
+    // Composite-resource payload totals: synchronized *time* maxes over the
+    // parallel uplinks, but additive resources (energy, money) price the
+    // whole fleet — every participant's own uplink, plus the broadcast every
+    // ONLINE client receives (non-participants still listen so their weights
+    // stay synchronized). Pure-time objectives (the default) are untouched:
+    // the payload arguments only feed the zero-weighted terms.
+    double fleet_uplink = 0.0;
+    for (std::size_t s = 0; s < part.size(); ++s) fleet_uplink += uplink_slots_[s];
+    const double n_part = static_cast<double>(part.size());
+    std::size_t online = n;
+    if (network_.has_churn()) {
+      online = 0;
+      for (std::size_t i = 0; i < n; ++i) online += network_.available(i) ? 1 : 0;
+    }
+    const double n_online = static_cast<double>(online);
+    const double fleet_downlink = n_online * outcome.downlink_values;
+
+    // Realized per-client traffic: participants pay their own uplink payload
+    // and the broadcast downlink; online non-participants receive the
+    // broadcast too (they stay synchronized) but upload nothing; offline
+    // clients exchange nothing. FedAvg's kLocalOnly rounds exchange nothing —
+    // they are not server rounds and do not count as participation.
+    if (outcome.kind != sparsify::RoundOutcome::Kind::kLocalOnly) {
+      for (std::size_t s = 0; s < part.size(); ++s) {
+        clients_[part[s]]->note_round(uplink_slots_[s], outcome.downlink_values);
+      }
+      if (outcome.downlink_values > 0.0 && part.size() < online) {
+        std::size_t next = 0;  // part is sorted ascending
+        for (std::size_t i = 0; i < n; ++i) {
+          if (next < part.size() && part[next] == i) {
+            ++next;
+            continue;
+          }
+          if (!network_.has_churn() || network_.available(i)) {
+            clients_[i]->note_broadcast(outcome.downlink_values);
+          }
+        }
+      }
+    }
+
     // (B)–(D) One-sample probe losses over participants, averaged by the
     // server (Sec. IV-E). The controller minimizes the composite round cost
     // (pure time under the paper's defaults).
     online::RoundFeedback fb;
-    fb.round_time = round_resource.round_cost(outcome.uplink_values, outcome.downlink_values);
+    fb.round_time =
+        round_resource.round_cost_given_time(round_timing.time, fleet_uplink, fleet_downlink);
     double wall_time = fb.round_time;
-    if (!fedavg_style_) {
+    if (!fedavg_style_ && !part.empty()) {
       probe_prev_.resize(part.size());
       probe_cur_.resize(part.size());
       probe_shift_.resize(part.size());
@@ -399,11 +493,22 @@ SimulationResult Simulation::run() {
       if (want_probe) {
         fb.loss_probe = util::mean_of(probe_shift_);
         fb.probe_available = true;
-        fb.theta_probe = round_resource.theta_cost(probe_k_cont);
+        // θ_m(k') from the SAME heterogeneous model that produced τ_m, so
+        // Algorithms 2/3 compare like with like under stragglers; value-based
+        // resource terms price the same fleet totals as τ_m (n uplinks of 2k'
+        // values, the 2k'-value broadcast to n participants).
+        fb.theta_probe = round_resource.round_cost_given_time(
+            network_.theta(probe_k_cont, part), n_part * 2.0 * probe_k_cont,
+            n_online * 2.0 * probe_k_cont);
         if (cfg_.charge_probe_overhead) {
-          // Step ③ of Fig. 3: the k/k' difference entries on the downlink.
-          wall_time += round_resource.round_cost(
-                           0.0, 2.0 * static_cast<double>(probe_diff.size())) -
+          // Step ③ of Fig. 3: the k/k' difference entries on the downlink,
+          // carried by the slowest participating link.
+          const double extra = 2.0 * static_cast<double>(probe_diff.size());
+          const double t_full =
+              network_.heterogeneous()
+                  ? timing_.compute_time + network_.broadcast_time(part, extra)
+                  : timing_.round_time(0.0, extra);
+          wall_time += round_resource.round_cost_given_time(t_full, 0.0, n_online * extra) -
                        round_resource.round_cost(0.0, 0.0);
         }
         const auto est = online::estimate_derivative_sign(fb, k_cont, probe_k_cont);
@@ -411,7 +516,11 @@ SimulationResult Simulation::run() {
       }
     }
     time += wall_time;
-    controller_->observe(fb);
+    // An all-offline round exercised no choice of k: feeding its zero/NaN
+    // losses to a controller would punish whatever arm or perturbation it
+    // happened to be playing (EXP3, continuous bandit) for churn k cannot
+    // influence. The round still elapsed in time; k simply carries over.
+    if (!part.empty()) controller_->observe(fb);
 
     // Record + periodic evaluation.
     RoundRecord rec;
@@ -421,9 +530,15 @@ SimulationResult Simulation::run() {
     rec.k_used = k_int;
     rec.uplink_values = outcome.uplink_values;
     rec.downlink_values = outcome.downlink_values;
-    double tl = 0.0;
-    for (std::size_t s = 0; s < part.size(); ++s) tl += weight_storage_[s] * mb_losses_[part[s]];
-    rec.train_loss = tl;
+    rec.participants = part.size();
+    rec.slowest_client = round_timing.slowest_client;
+    if (part.empty()) {
+      rec.train_loss = std::numeric_limits<double>::quiet_NaN();  // no server round
+    } else {
+      double tl = 0.0;
+      for (std::size_t s = 0; s < part.size(); ++s) tl += weight_storage_[s] * mb_losses_[part[s]];
+      rec.train_loss = tl;
+    }
     const bool out_of_time = time >= cfg_.max_time;
     const bool eval_round =
         (cfg_.eval_every > 0 && m % cfg_.eval_every == 0) || m == cfg_.max_rounds || out_of_time;
@@ -458,7 +573,25 @@ SimulationResult Simulation::run() {
     res.final_loss = last.global_loss;
     res.final_accuracy = last.accuracy;
   }
+
+  // Realized per-client traffic and participation (fl/metrics columns).
+  res.client_uplink_values.resize(n);
+  res.client_downlink_values.resize(n);
+  res.client_rounds_participated.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    res.client_uplink_values[i] = clients_[i]->uplink_values_total();
+    res.client_downlink_values[i] = clients_[i]->downlink_values_total();
+    res.client_rounds_participated[i] = clients_[i]->rounds_participated();
+  }
   return res;
+}
+
+void apply_scenario(const Scenario& s, SimulationConfig& cfg) {
+  cfg.network = s.network;
+  if (s.weight_money != 0.0) {
+    cfg.weight_money = s.weight_money;
+    cfg.money_per_value = s.money_per_value;
+  }
 }
 
 std::vector<std::pair<double, double>> SimulationResult::loss_curve() const {
@@ -467,6 +600,26 @@ std::vector<std::pair<double, double>> SimulationResult::loss_curve() const {
     if (!std::isnan(r.global_loss)) out.emplace_back(r.time, r.global_loss);
   }
   return out;
+}
+
+double SimulationResult::tail_k_mean() const {
+  if (k_sequence.empty()) return 0.0;
+  double sum = 0.0;
+  const std::size_t begin = k_sequence.size() / 2;
+  for (std::size_t i = begin; i < k_sequence.size(); ++i) sum += k_sequence[i];
+  return sum / static_cast<double>(k_sequence.size() - begin);
+}
+
+std::pair<std::int64_t, std::size_t> SimulationResult::modal_straggler() const {
+  std::map<std::int64_t, std::size_t> counts;
+  for (const auto& r : records) {
+    if (r.slowest_client >= 0) ++counts[r.slowest_client];
+  }
+  std::pair<std::int64_t, std::size_t> modal{-1, 0};
+  for (const auto& [client, rounds] : counts) {
+    if (rounds > modal.second) modal = {client, rounds};
+  }
+  return modal;
 }
 
 std::vector<std::pair<double, double>> SimulationResult::accuracy_curve() const {

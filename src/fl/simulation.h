@@ -28,6 +28,7 @@
 #include "data/synthetic.h"
 #include "fl/client.h"
 #include "fl/metrics.h"
+#include "fl/network.h"
 #include "fl/resource.h"
 #include "fl/timing.h"
 #include "nn/models.h"
@@ -83,9 +84,19 @@ struct SimulationConfig {
   double weight_money = 0.0;
 
   /// Heterogeneous client resources (paper future work): per-client compute
-  /// time multipliers ~ exp(N(0, compute_time_spread)). A synchronous round
-  /// costs the *maximum* multiplier among participants. 0 = homogeneous.
+  /// time multipliers ~ exp(N(0, compute_time_spread)), folded into the
+  /// network model's client profiles. 0 = homogeneous.
   double compute_time_spread = 0.0;
+
+  /// Heterogeneous network & device model (fl/network.h): per-client
+  /// uplink/downlink/compute profiles, per-round rate jitter, and Markov
+  /// on/off availability. A trivial config (the default) reproduces the
+  /// homogeneous TimingModel path bit-for-bit; a non-trivial one routes
+  /// round timing through the straggler formula
+  /// τ_m = max_i(compute_i + uplink_i(2·|J_i|)) + downlink(broadcast) and
+  /// lets offline clients skip server rounds while they keep accumulating
+  /// local gradients. Use apply_scenario() for the named presets.
+  NetworkConfig network;
 
   /// Partial participation (paper future work): fraction of clients sampled
   /// uniformly each round. Non-participants still receive the broadcast
@@ -99,6 +110,11 @@ struct SimulationConfig {
   std::uint64_t seed = 1;
 };
 
+/// Installs a named network/device scenario (fl/network.h registry) into a
+/// simulation config: the network shape plus the scenario's composite-cost
+/// knobs (e.g. metered WAN money weights).
+void apply_scenario(const Scenario& s, SimulationConfig& cfg);
+
 struct RoundRecord {
   std::size_t round = 0;     // m (1-based)
   double time = 0.0;         // cumulative normalized time after this round
@@ -109,12 +125,21 @@ struct RoundRecord {
   double accuracy = std::numeric_limits<double>::quiet_NaN();     // eval rounds only
   double uplink_values = 0.0;
   double downlink_values = 0.0;
+  std::size_t participants = 0;      // clients in the server round (0: all offline)
+  std::int64_t slowest_client = -1;  // straggler that bound τ_m (-1: homogeneous/idle)
 };
 
 struct SimulationResult {
   std::vector<RoundRecord> records;
   std::vector<double> k_sequence;  // continuous k_m per round (Figs. 5–8)
   std::vector<std::size_t> contributed_totals;  // per client, summed over rounds
+  /// Realized per-client traffic over the whole run, in timing-model values
+  /// (×4 for bytes: one value is a 32-bit float — see fl::values_to_bytes),
+  /// plus how many server rounds each client actually joined. Offline or
+  /// unsampled rounds charge a client nothing.
+  std::vector<double> client_uplink_values;
+  std::vector<double> client_downlink_values;
+  std::vector<std::size_t> client_rounds_participated;
   std::size_t rounds_run = 0;
   double total_time = 0.0;   // cumulative composite cost (pure time by default)
   double final_loss = std::numeric_limits<double>::quiet_NaN();
@@ -125,6 +150,14 @@ struct SimulationResult {
   /// Loss/accuracy series at eval rounds as (time, value) pairs.
   std::vector<std::pair<double, double>> loss_curve() const;
   std::vector<std::pair<double, double>> accuracy_curve() const;
+
+  /// Mean of the second half of the k-sequence — "where the controller
+  /// settled", the number scenario comparisons report.
+  double tail_k_mean() const;
+
+  /// The client that bound τ_m most often, with the number of rounds it
+  /// bound; {-1, 0} when no round named a straggler (homogeneous network).
+  std::pair<std::int64_t, std::size_t> modal_straggler() const;
 };
 
 class Simulation {
@@ -142,6 +175,7 @@ class Simulation {
   std::size_t dim() const noexcept { return dim_; }
   std::size_t num_clients() const noexcept { return clients_.size(); }
   const TimingModel& timing() const noexcept { return timing_; }
+  const NetworkModel& network() const noexcept { return network_; }
 
   /// Client i's current weights — for post-run invariant checks (all clients
   /// must be identical after any GS round; Algorithm 1 Lines 13–15). Under
@@ -159,8 +193,10 @@ class Simulation {
   /// Returns a reference to member scratch reused across rounds.
   const sparsify::RoundInput& make_round_input(std::size_t round,
                                                const std::vector<std::size_t>& selected);
-  /// Uniformly samples the participating client subset for one round into
-  /// member scratch (no per-round allocation once warm).
+  /// Samples the participating client subset for one round into member
+  /// scratch (no per-round allocation once warm): availability filters
+  /// first (an offline client cannot be reached), then uniform
+  /// partial-participation sampling over the available clients.
   const std::vector<std::size_t>& sample_participants();
   /// Zeroes the consumed accumulator entries of client `i` (participant slot
   /// `s`) according to the outcome's reset encoding.
@@ -172,9 +208,9 @@ class Simulation {
   std::unique_ptr<online::KController> controller_;
   std::vector<std::unique_ptr<Client>> clients_;
   std::vector<double> data_weights_;
-  std::vector<double> client_compute_;  // per-client compute-time multipliers
   data::Dataset test_set_;
   TimingModel timing_;
+  NetworkModel network_;
   ResourceModel resource_;
   Evaluator evaluator_;
   util::ThreadPool pool_;
@@ -193,7 +229,9 @@ class Simulation {
   std::vector<float> fedavg_weights_;    // FedAvg weighted-average output
   std::vector<std::int32_t> part_slot_;  // client id -> participant slot (-1 = absent)
   std::vector<std::size_t> part_ids_;    // sampled participant ids
-  std::vector<std::size_t> id_scratch_;  // Fisher–Yates buffer
+  std::vector<std::size_t> id_scratch_;  // availability filter + Fisher–Yates buffer
+  std::vector<std::size_t> compute_ids_; // participants ∪ offline local trainers
+  std::vector<double> uplink_slots_;     // per-participant uplink payloads
   std::vector<double> weight_storage_;   // renormalized data weights
   sparsify::RoundInput round_input_;
   std::vector<double> mb_losses_;

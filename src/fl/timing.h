@@ -11,6 +11,11 @@
 // Consistency check built into the model: a k-element bidirectional GS round
 // costs 1 + 2βk/D, and FedAvg syncing every ⌊D/(2k)⌋ rounds averages to the
 // same communication per round — exactly the paper's matched-budget setup.
+//
+// This model is the *homogeneous* special case. Heterogeneous populations
+// (per-client rates, stragglers, availability churn) are modelled by
+// fl::NetworkModel (fl/network.h), which uses TimingModel as the nominal link
+// and reduces to it bit-for-bit when every client profile is the default.
 #pragma once
 
 #include <cstddef>

@@ -68,7 +68,7 @@ RoundOutcome FabTopK::round(const RoundInput& in, std::size_t k) {
   // Client side: top-k of the accumulated gradient, strongest first — the N
   // independent selections thread across the registered pool. uploads_ /
   // topk_ws_ keep their capacity across rounds — no allocations once warm.
-  top_k_uploads(in.client_vectors, k, topk_ws_, uploads_);
+  top_k_uploads(in.client_vectors, k, in.client_ids, topk_ws_, uploads_);
 
   // Server side: fairness-aware selection.
   const std::size_t kappa = find_kappa_stamped(k);
@@ -148,10 +148,9 @@ RoundOutcome FabTopK::round(const RoundInput& in, std::size_t k) {
 
   // Clients transmit in parallel, so the synchronous round waits on the
   // largest actual per-client payload — not a flat 2k, which overcharges
-  // whenever a client uploaded fewer than k entries.
-  std::size_t max_upload = 0;
-  for (const auto& up : uploads_) max_upload = std::max(max_upload, up.size());
-  out.uplink_values = 2.0 * static_cast<double>(max_upload);  // index/value pairs
+  // whenever a client uploaded fewer than k entries. The full per-client
+  // distribution feeds the heterogeneous network model's straggler max.
+  set_uplink_from_uploads(uploads_, out);
   out.downlink_values = 2.0 * static_cast<double>(out.update.size());
   return out;
 }

@@ -16,7 +16,7 @@ RoundOutcome FubTopK::round(const RoundInput& in, std::size_t k) {
 
   // Per-client selections threaded across the registered pool (deterministic:
   // each client owns its workspace and output slot).
-  top_k_uploads(in.client_vectors, k, topk_ws_, uploads_);
+  top_k_uploads(in.client_vectors, k, in.client_ids, topk_ws_, uploads_);
 
   // Aggregate everything uploaded, then keep the top-k by |aggregate|.
   ++stamp_token_;
@@ -72,10 +72,9 @@ RoundOutcome FubTopK::round(const RoundInput& in, std::size_t k) {
     out.reset_offsets.push_back(out.reset_indices.size());
   }
   // Parallel uplinks: charge the largest actual per-client payload (matches
-  // FabTopK's accounting) rather than assuming every client sent k pairs.
-  std::size_t max_upload = 0;
-  for (const auto& up : uploads_) max_upload = std::max(max_upload, up.size());
-  out.uplink_values = 2.0 * static_cast<double>(max_upload);
+  // FabTopK's accounting) rather than assuming every client sent k pairs;
+  // the per-client distribution feeds the heterogeneous straggler max.
+  set_uplink_from_uploads(uploads_, out);
   out.downlink_values = 2.0 * static_cast<double>(out.update.size());
   return out;
 }

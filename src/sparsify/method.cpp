@@ -37,6 +37,9 @@ void validate_round_input(const RoundInput& in) {
   if (in.data_weights.size() != in.client_vectors.size()) {
     throw std::invalid_argument("RoundInput: data_weights size mismatch");
   }
+  if (!in.client_ids.empty() && in.client_ids.size() != in.client_vectors.size()) {
+    throw std::invalid_argument("RoundInput: client_ids size mismatch");
+  }
   double total = 0.0;
   for (std::size_t i = 0; i < in.client_vectors.size(); ++i) {
     if (in.client_vectors[i].size() != in.dim) {
@@ -50,6 +53,17 @@ void validate_round_input(const RoundInput& in) {
   if (std::fabs(total - 1.0) > 1e-6) {
     throw std::invalid_argument("RoundInput: data weights must sum to 1");
   }
+}
+
+void set_uplink_from_uploads(const std::vector<SparseVector>& uploads, RoundOutcome& out) {
+  std::size_t max_upload = 0;
+  out.client_uplink_values.clear();
+  out.client_uplink_values.reserve(uploads.size());
+  for (const auto& up : uploads) {
+    max_upload = std::max(max_upload, up.size());
+    out.client_uplink_values.push_back(2.0 * static_cast<double>(up.size()));
+  }
+  out.uplink_values = 2.0 * static_cast<double>(max_upload);
 }
 
 std::unique_ptr<Method> make_method(const std::string& name, std::size_t dim,

@@ -33,6 +33,12 @@ struct RoundInput {
   std::vector<std::span<const float>> client_vectors;
   /// C_i / C (sums to 1).
   std::span<const double> data_weights;
+  /// Stable client ids, slot-aligned with client_vectors; empty means "slot
+  /// s is client s". Methods use them to key per-client state that must
+  /// survive across rounds — e.g. the top-k threshold hints — so partial
+  /// participation or availability churn reordering the slots does not hand
+  /// one client's state to another.
+  std::span<const std::size_t> client_ids;
   std::size_t dim = 0;   // D
   std::size_t round = 1; // m, 1-based
 };
@@ -74,15 +80,28 @@ struct RoundOutcome {
   std::vector<std::size_t> contributed;
 
   /// Payload sizes in "values" for the timing model. Uplink is per client:
-  /// clients transmit in parallel, so a synchronous round waits on the
-  /// largest per-client payload, and the top-k methods charge
-  /// 2 · max_i |J_i| — the *actual* biggest upload (an index/value pair
-  /// counts as 2 values), which can be below 2k when a client had fewer than
-  /// k entries to send. Downlink is the broadcast payload. Keeping these
-  /// honest matters: the online controller optimizes round time directly
-  /// against them.
+  /// clients transmit in parallel, so under the homogeneous TimingModel a
+  /// synchronous round waits on the largest per-client payload, and the top-k
+  /// methods charge 2 · max_i |J_i| — the *actual* biggest upload (an
+  /// index/value pair counts as 2 values), which can be below 2k when a
+  /// client had fewer than k entries to send. Downlink is the broadcast
+  /// payload. Keeping these honest matters: the online controller optimizes
+  /// round time directly against them.
   double uplink_values = 0.0;
   double downlink_values = 0.0;
+
+  /// Per-participant uplink payloads in values, slot-aligned with the
+  /// RoundInput. The heterogeneous fl::NetworkModel needs the full
+  /// distribution (τ_m maxes compute_i + uplink_i(2·|J_i|) over clients, so
+  /// a small payload on a slow link can still bind the round) and the
+  /// per-client traffic metrics account realized bytes from it. Empty means
+  /// "uniform": every participant transmitted `uplink_values`.
+  std::vector<double> client_uplink_values;
+
+  /// Participant slot s's uplink payload in values.
+  double client_uplink(std::size_t s) const {
+    return client_uplink_values.empty() ? uplink_values : client_uplink_values[s];
+  }
 };
 
 class Method {
@@ -115,5 +134,11 @@ std::unique_ptr<Method> make_method(const std::string& name, std::size_t dim,
 /// Validates a RoundInput against a method call (dimension/shape checks
 /// shared by all implementations). Throws std::invalid_argument.
 void validate_round_input(const RoundInput& in);
+
+/// Fills an outcome's uplink accounting from per-client top-k uploads: the
+/// slot-aligned payload list (2 values per (index, value) pair) and the
+/// legacy parallel-uplink max. Shared by every upload-based method so the
+/// two fields cannot drift apart.
+void set_uplink_from_uploads(const std::vector<SparseVector>& uploads, RoundOutcome& out);
 
 }  // namespace fedsparse::sparsify

@@ -50,6 +50,7 @@ RoundOutcome QuantizedMethod::round(const RoundInput& in, std::size_t k) {
     quantizer_.quantize(out.update);
     out.uplink_values = rescale(out.uplink_values);
     out.downlink_values = rescale(out.downlink_values);
+    for (auto& v : out.client_uplink_values) v = rescale(v);
   }
   return out;
 }
@@ -60,6 +61,7 @@ RoundOutcome QuantizedMethod::probe_round(const RoundInput& in, std::size_t k) {
     quantizer_.quantize(out.update);
     out.uplink_values = rescale(out.uplink_values);
     out.downlink_values = rescale(out.downlink_values);
+    for (auto& v : out.client_uplink_values) v = rescale(v);
   }
   return out;
 }

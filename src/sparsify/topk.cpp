@@ -57,6 +57,36 @@ bool prefilter(std::span<const float> v, std::size_t k, SparseVector& cand) {
   return false;
 }
 
+// Threshold scan seeded by the caller's previous k-th magnitude: no sampling
+// pass, and a threshold that tracks the true cut instead of aiming at 2.5k
+// survivors. The hint is used as-is: accumulated gradients mostly grow
+// between rounds, so last round's k-th magnitude usually still admits >= k
+// entries, and when it does not (accumulator reset shifted the cut upward,
+// or k grew) the sampled prefilter takes over. Loosening the threshold
+// instead would drown in the distribution's bulk — on Gaussian-ish tails
+// even a 2x margin admits a large fraction of D. The cap bails out when the
+// landscape shifted the other way (k shrank a lot). Conservative-exact like
+// prefilter(): success requires >= k survivors, which implies every true
+// top-k entry passed.
+bool hint_filter(std::span<const float> v, std::size_t k, float hint, SparseVector& cand) {
+  if (hint <= 0.0f) return false;
+  const float threshold = hint;
+  const std::size_t cap = 8 * k + 64;
+  cand.clear();
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (std::fabs(v[i]) >= threshold) {
+      if (cand.size() >= cap) {
+        cand.clear();
+        return false;
+      }
+      cand.push_back(SparseEntry{static_cast<std::int32_t>(i), v[i]});
+    }
+  }
+  if (cand.size() >= k) return true;
+  cand.clear();
+  return false;
+}
+
 // Leaves the k strongest entries in ws.candidates, sorted strongest first.
 void select(std::span<const float> v, std::size_t k, TopKWorkspace& ws) {
   k = std::min(k, v.size());
@@ -64,7 +94,13 @@ void select(std::span<const float> v, std::size_t k, TopKWorkspace& ws) {
   cand.clear();
   if (k == 0) return;
 
-  if (!(k < v.size() && v.size() >= kPrefilterMinDim && prefilter(v, k, cand))) {
+  bool hint_ok = false;
+  bool filtered = false;
+  if (k < v.size() && v.size() >= kPrefilterMinDim) {
+    hint_ok = hint_filter(v, k, ws.threshold_hint, cand);
+    filtered = hint_ok || prefilter(v, k, cand);
+  }
+  if (!filtered) {
     for (std::size_t i = 0; i < v.size(); ++i) {
       cand.push_back(SparseEntry{static_cast<std::int32_t>(i), v[i]});
     }
@@ -75,6 +111,14 @@ void select(std::span<const float> v, std::size_t k, TopKWorkspace& ws) {
     cand.resize(k);
   }
   std::sort(cand.begin(), cand.end(), stronger_entry);
+  // Replace the hint when this selection is at least as deep as the one that
+  // produced it, or when the stored hint just failed (it drifted stale — low
+  // thresholds self-correct here after a cap bail-out). A successful
+  // shallower pass (the k'-probe) keeps the deeper hint intact.
+  if (!hint_ok || k >= ws.hint_k) {
+    ws.threshold_hint = cand.empty() ? 0.0f : std::fabs(cand.back().value);
+    ws.hint_k = k;
+  }
 }
 
 }  // namespace
@@ -92,10 +136,14 @@ void top_k_indices(std::span<const float> v, std::size_t k, TopKWorkspace& ws,
 }
 
 void top_k_uploads(const std::vector<std::span<const float>>& vecs, std::size_t k,
-                   std::vector<TopKWorkspace>& workspaces, std::vector<SparseVector>& uploads) {
+                   std::span<const std::size_t> ids, std::vector<TopKWorkspace>& workspaces,
+                   std::vector<SparseVector>& uploads) {
   const std::size_t n = vecs.size();
   uploads.resize(n);  // shrink-to-n keeps callers' per-client views exact
-  if (workspaces.size() < n) workspaces.resize(n);
+  std::size_t ws_needed = n;
+  for (const std::size_t id : ids) ws_needed = std::max(ws_needed, id + 1);
+  if (workspaces.size() < ws_needed) workspaces.resize(ws_needed);
+  const auto ws_slot = [&](std::size_t s) { return ids.empty() ? s : ids[s]; };
   std::size_t total = 0;
   for (const auto& v : vecs) total += v.size();
   // Below ~64k total elements the pool dispatch costs more than the
@@ -104,11 +152,18 @@ void top_k_uploads(const std::vector<std::span<const float>>& vecs, std::size_t 
   util::ThreadPool* pool = tensor::parallel_pool();
   if (pool != nullptr && pool->size() > 1 && n > 1 && total >= kParallelElemThreshold) {
     pool->parallel_for(
-        n, [&](std::size_t i) { top_k_entries(vecs[i], k, workspaces[i], uploads[i]); },
+        n, [&](std::size_t s) { top_k_entries(vecs[s], k, workspaces[ws_slot(s)], uploads[s]); },
         /*grain=*/1);
   } else {
-    for (std::size_t i = 0; i < n; ++i) top_k_entries(vecs[i], k, workspaces[i], uploads[i]);
+    for (std::size_t s = 0; s < n; ++s) {
+      top_k_entries(vecs[s], k, workspaces[ws_slot(s)], uploads[s]);
+    }
   }
+}
+
+void top_k_uploads(const std::vector<std::span<const float>>& vecs, std::size_t k,
+                   std::vector<TopKWorkspace>& workspaces, std::vector<SparseVector>& uploads) {
+  top_k_uploads(vecs, k, /*ids=*/{}, workspaces, uploads);
 }
 
 std::vector<std::int32_t> top_k_indices(std::span<const float> v, std::size_t k) {

@@ -1,10 +1,11 @@
 // Top-k selection by absolute value.
 //
 // The per-round, per-client hot path of every top-k GS method. The production
-// path is a sampled-threshold prefilter followed by std::nth_element
-// quickselect — O(D) expected work versus the O(D log D) client sort the paper
-// argues against (Section III-B) and the O(D log k) heap of the seed
-// implementation. Ties are broken deterministically (larger |value| first,
+// path is a threshold prefilter — seeded by the caller's previous k-th
+// magnitude when a workspace persists across rounds, else by a strided
+// sample — followed by std::nth_element quickselect: O(D) expected work
+// versus the O(D log D) client sort the paper argues against (Section III-B)
+// and the O(D log k) heap of the seed implementation. Ties are broken deterministically (larger |value| first,
 // then smaller index), which keeps whole simulations bit-reproducible; the
 // selected set is exact (identical to a full sort) regardless of sampling.
 //
@@ -27,6 +28,23 @@ namespace fedsparse::sparsify {
 struct TopKWorkspace {
   SparseVector candidates;  // surviving (index, value) pairs under selection
 
+  /// The k-th |value| of a recent selection through this workspace, and the
+  /// k that produced it. Since the per-client workspaces persist across
+  /// rounds, this seeds the next call's prefilter threshold directly —
+  /// skipping the sampling pass of the dense O(D) scan (ROADMAP:
+  /// prefilter-only first pass for the server round). The hint is replaced
+  /// by an at-least-as-deep selection (k >= hint_k) or after it failed to
+  /// filter: a *successful* shallower pass — the k'-probe of the
+  /// derivative-sign estimator, which reruns selection right after the real
+  /// round — keeps the deeper hint intact, while a failed hint always
+  /// refreshes so a stale threshold costs at most one fallback pass before
+  /// self-correcting. The selection stays exact either way: a hinted filter
+  /// that keeps fewer than k entries falls back to the sampled prefilter,
+  /// then to the dense path. 0 = no hint yet (first call, or the last pass
+  /// went dense).
+  float threshold_hint = 0.0f;
+  std::size_t hint_k = 0;
+
   /// Total capacity currently held, in entries — observable by tests that
   /// assert the steady state stops allocating.
   std::size_t capacity() const noexcept { return candidates.capacity(); }
@@ -41,13 +59,21 @@ void top_k_entries(std::span<const float> v, std::size_t k, TopKWorkspace& ws, S
 void top_k_indices(std::span<const float> v, std::size_t k, TopKWorkspace& ws,
                    std::vector<std::int32_t>& out);
 
-/// Computes every client's top-k upload in one call: uploads[i] receives
-/// top_k_entries(vecs[i], k) using workspaces[i] (both vectors are grown to
-/// vecs.size() and keep their capacity across rounds). When a thread pool is
-/// registered via tensor::set_parallel_pool and the total work is large
-/// enough, the N independent selections run across the pool — each client has
-/// its own workspace and output slot, so the result is byte-identical to the
-/// serial loop regardless of scheduling.
+/// Computes every client's top-k upload in one call: uploads[s] receives
+/// top_k_entries(vecs[s], k) using workspaces[ids[s]] (`ids` empty = slot
+/// identity; both vectors grow as needed and keep their capacity across
+/// rounds). Keying workspaces by stable client id keeps each threshold hint
+/// with its own client's accumulator when partial participation or
+/// availability churn reorders the slots. When a thread pool is registered
+/// via tensor::set_parallel_pool and the total work is large enough, the N
+/// independent selections run across the pool — each slot has its own
+/// workspace and output slot, so the result is byte-identical to the serial
+/// loop regardless of scheduling.
+void top_k_uploads(const std::vector<std::span<const float>>& vecs, std::size_t k,
+                   std::span<const std::size_t> ids, std::vector<TopKWorkspace>& workspaces,
+                   std::vector<SparseVector>& uploads);
+
+/// Slot-identity convenience (ids = {}).
 void top_k_uploads(const std::vector<std::span<const float>>& vecs, std::size_t k,
                    std::vector<TopKWorkspace>& workspaces, std::vector<SparseVector>& uploads);
 

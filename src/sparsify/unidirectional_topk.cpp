@@ -16,7 +16,7 @@ RoundOutcome UnidirectionalTopK::round(const RoundInput& in, std::size_t k) {
 
   // Per-client selections threaded across the registered pool (deterministic:
   // each client owns its workspace and output slot).
-  top_k_uploads(in.client_vectors, k, topk_ws_, uploads_);
+  top_k_uploads(in.client_vectors, k, in.client_ids, topk_ws_, uploads_);
 
   ++stamp_token_;
   const std::uint32_t touched = stamp_token_;
@@ -56,10 +56,9 @@ RoundOutcome UnidirectionalTopK::round(const RoundInput& in, std::size_t k) {
     out.contributed[i] = uploads_[i].size();
   }
   // Parallel uplinks: charge the largest actual per-client payload (matches
-  // FabTopK's accounting) rather than assuming every client sent k pairs.
-  std::size_t max_upload = 0;
-  for (const auto& up : uploads_) max_upload = std::max(max_upload, up.size());
-  out.uplink_values = 2.0 * static_cast<double>(max_upload);
+  // FabTopK's accounting) rather than assuming every client sent k pairs;
+  // the per-client distribution feeds the heterogeneous straggler max.
+  set_uplink_from_uploads(uploads_, out);
   out.downlink_values = 2.0 * static_cast<double>(out.update.size());  // up to 2kN
   return out;
 }

@@ -96,6 +96,55 @@ TEST(TimingModel, ThetaIsMonotoneInK) {
   EXPECT_THROW((TimingModel{1.0, 1.0, 0}).round_time(1, 1), std::invalid_argument);
 }
 
+// ----------------------------------------------------------- resource ------
+
+TEST(ResourceModel, DefaultsReduceToPureTime) {
+  ResourceModel r;
+  r.timing = TimingModel{10.0, 1.0, 1000};
+  EXPECT_TRUE(r.is_pure_time());
+  EXPECT_DOUBLE_EQ(r.round_cost(100.0, 100.0), r.timing.round_time(100.0, 100.0));
+  EXPECT_DOUBLE_EQ(r.theta_cost(50.0), r.timing.theta(50.0));
+  r.weight_energy = 0.5;
+  EXPECT_FALSE(r.is_pure_time());
+  r.weight_energy = 0.0;
+  r.weight_time = 0.9;
+  EXPECT_FALSE(r.is_pure_time());
+}
+
+TEST(ResourceModel, CompositeCostSumsWeightedResources) {
+  ResourceModel r;
+  r.timing = TimingModel{10.0, 1.0, 1000};
+  r.energy_per_compute = 2.0;
+  r.energy_per_value = 0.01;
+  r.money_per_value = 0.05;
+  r.weight_time = 1.0;
+  r.weight_energy = 3.0;
+  r.weight_money = 7.0;
+  const double up = 40.0, down = 60.0;
+  const double time = r.timing.round_time(up, down);
+  const double energy = 2.0 + 0.01 * (up + down);
+  const double money = 0.05 * (up + down);
+  EXPECT_DOUBLE_EQ(r.round_cost(up, down), time + 3.0 * energy + 7.0 * money);
+  // Precomputed-time variant (the heterogeneous network path) must agree
+  // when handed the same homogeneous time.
+  EXPECT_EQ(r.round_cost_given_time(time, up, down), r.round_cost(up, down));
+}
+
+TEST(ResourceModel, ThetaCostIsMonotoneInK) {
+  ResourceModel r;
+  r.timing = TimingModel{5.0, 1.0, 2000};
+  r.energy_per_value = 0.02;
+  r.money_per_value = 0.01;
+  r.weight_energy = 1.0;
+  r.weight_money = 2.0;
+  double prev = r.theta_cost(1.0);
+  for (double k = 10.0; k <= 1000.0; k *= 2.0) {
+    const double cur = r.theta_cost(k);
+    EXPECT_GT(cur, prev) << "theta_cost not increasing at k=" << k;
+    prev = cur;
+  }
+}
+
 // ------------------------------------------------------------ client -------
 
 TEST(Client, GradientAccumulatesAndResets) {

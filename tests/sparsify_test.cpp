@@ -137,6 +137,61 @@ TEST(TopK, MostlyZeroVectorMatchesHeapReference) {
   EXPECT_EQ(top_k_entries(vs, 64), top_k_entries_heap(vs, 64));
 }
 
+// A persistent workspace carries the previous call's k-th magnitude as a
+// prefilter seed. Whatever the hint's hit/miss pattern — vectors mutating
+// between calls, entries zeroed (reset), k shrinking and growing — the
+// selection must stay exactly the heap reference.
+TEST(TopK, ThresholdHintStaysExactAcrossMutatingRounds) {
+  util::Rng rng(113);
+  const std::size_t d = 16384;
+  std::vector<float> v(d);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  const std::span<const float> vs{v.data(), v.size()};
+  TopKWorkspace ws;
+  SparseVector got;
+  const std::size_t ks[] = {200, 200, 50, 400, 3, 400, 200};
+  for (std::size_t round = 0; round < 20; ++round) {
+    const std::size_t k = ks[round % (sizeof(ks) / sizeof(ks[0]))];
+    top_k_entries(vs, k, ws, got);
+    EXPECT_EQ(got, top_k_entries_heap(vs, k)) << "round " << round << " k=" << k;
+    // FAB-style mutation: zero the selected entries, accumulate fresh noise.
+    for (const auto& e : got) v[static_cast<std::size_t>(e.index)] = 0.0f;
+    for (auto& x : v) x += 0.2f * static_cast<float>(rng.normal());
+  }
+  // A hint surviving into a mostly-zero regime must still be exact.
+  std::fill(v.begin(), v.end(), 0.0f);
+  v[7] = 3.0f;
+  v[9000] = -2.0f;
+  top_k_entries(vs, 128, ws, got);
+  EXPECT_EQ(got, top_k_entries_heap(vs, 128));
+}
+
+// Workspaces (and so threshold hints) are keyed by stable client id, not by
+// participant slot: a churned round must not hand client 7's hint to client 2.
+TEST(TopK, UploadsKeyWorkspacesByClientId) {
+  util::Rng rng(117);
+  const std::size_t d = 8192, k = 64;
+  std::vector<float> a = random_vector(d, rng), b = a;
+  for (auto& x : b) x *= 100.0f;  // same landscape, 100x the magnitudes
+  std::vector<TopKWorkspace> ws;
+  std::vector<SparseVector> uploads;
+  const std::size_t ids_ab[] = {2, 7};
+  top_k_uploads({{a.data(), d}, {b.data(), d}}, k, {ids_ab, 2}, ws, uploads);
+  ASSERT_GE(ws.size(), 8u);
+  const float hint_a = ws[2].threshold_hint;
+  const float hint_b = ws[7].threshold_hint;
+  EXPECT_GT(hint_a, 0.0f);
+  EXPECT_FLOAT_EQ(hint_b, 100.0f * hint_a);  // each hint tracks its client
+  EXPECT_EQ(ws[0].threshold_hint, 0.0f);       // untouched slots stay empty
+  // Next round only client 7 participates, in slot 0: it must reuse ITS hint
+  // and stay exact.
+  std::vector<SparseVector> uploads2;
+  const std::size_t ids_b[] = {7};
+  top_k_uploads({{b.data(), d}}, k, {ids_b, 1}, ws, uploads2);
+  EXPECT_EQ(uploads2[0], top_k_entries_heap({b.data(), d}, k));
+  EXPECT_EQ(ws[2].threshold_hint, hint_a);  // absent client's hint untouched
+}
+
 // top_k_uploads with a registered pool must reproduce the serial loop byte
 // for byte: each client owns its workspace and output slot.
 TEST(TopK, PooledUploadsMatchSerial) {
