@@ -333,6 +333,18 @@ void bench_accumulator(std::vector<KernelResult>& out) {
     acc.add({g.data(), g.size()});
     do_not_optimize(acc.value().data());
   }));
+  // Mostly-zero source (the post-reset / sparse-task gradient shape): the
+  // 8-lane add skips all-zero source groups without touching the
+  // destination, so this runs at read-only speed over g.
+  sparsify::GradientAccumulator sparse_acc(d);
+  auto gs = random_vec(d, 5);
+  for (std::size_t i = 0; i < d; ++i) {
+    if ((i / sparsify::kAccumulatorChunk) % 100 != 0) gs[i] = 0.0f;
+  }
+  out.push_back(measure("accumulator_add_sparse1_D1M", "", static_cast<double>(d), [&] {
+    sparse_acc.add({gs.data(), gs.size()});
+    do_not_optimize(sparse_acc.value().data());
+  }));
 }
 
 void bench_fab_round(std::vector<KernelResult>& out) {
@@ -409,24 +421,116 @@ void bench_round_engine(std::vector<KernelResult>& out) {
   }
 
   // End-to-end server round (selection + aggregation) at N=100 — ten times
-  // the client count of fab_server_round_N10_D128k. Runs after the sweep so
-  // its 100 x D client vectors cannot pollute the sweep's RSS trail (its own
-  // peak_rss_mb would read the sweep's 500 MB high-water mark, so none is
-  // recorded).
+  // the client count of fab_server_round_N10_D128k — through the live path:
+  // tiered accumulators whose chunk summaries ride along in the RoundInput.
+  // Runs after the sweep so its 100 x D client vectors cannot pollute the
+  // sweep's RSS trail (its own peak_rss_mb would read the sweep's 500 MB
+  // high-water mark, so none is recorded).
   {
     const std::size_t n = 100;
-    std::vector<std::vector<float>> vecs;
-    for (std::size_t i = 0; i < n; ++i) vecs.push_back(random_vec(d, i + 1));
+    std::vector<sparsify::GradientAccumulator> accs;
+    accs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto grad = random_vec(d, i + 1);
+      accs.emplace_back(d);
+      accs.back().add({grad.data(), grad.size()});
+    }
     std::vector<double> weights(n, 1.0 / static_cast<double>(n));
     sparsify::RoundInput in;
     in.dim = d;
     in.round = 1;
     in.data_weights = {weights.data(), weights.size()};
-    for (const auto& v : vecs) in.client_vectors.push_back({v.data(), v.size()});
+    for (const auto& acc : accs) {
+      in.client_vectors.push_back(acc.value());
+      in.client_chunk_max.push_back(acc.chunk_max());
+    }
     sparsify::FabTopK method(d);
     out.push_back(measure("server_round_N100_D128k", "", static_cast<double>(n * d), [&] {
       do_not_optimize(method.round(in, k));
     }));
+  }
+}
+
+// --- chunk-tiered accumulators: N=1000 rounds and the dirty-fraction sweep --
+//
+// SparsyFed-scale server rounds: selection + aggregation over 1000 clients.
+// Every configuration is measured twice from the same accumulators — the
+// tiered path (chunk summaries in the RoundInput, scans prune clean/quiet
+// chunks) against a forced-dense run of the same build (summaries withheld)
+// — so the gated speedup ratio isolates the traversal change and transfers
+// across machines. The dirty-fraction sweep is the churn story: a client
+// that sat out rounds has accumulated gradient only in the chunks its last
+// few local batches touched, so at 1% dirty the tiered scan reads summaries
+// plus ~5 KB instead of the full 512 KB per client. k = 128 for the churn
+// points (the small-k regime the adaptive controller settles into under
+// churn-heavy scenarios, and small enough that 1%-dirty clients still hold
+// >= k nonzeros — selections stay in the hinted-threshold fast path both
+// sides). Outcomes are asserted byte-identical between the two runs.
+
+void bench_tiered_rounds(std::vector<KernelResult>& out) {
+  const std::size_t d = 1u << 17;  // 128k
+  const std::size_t n = 1000;
+  struct Config {
+    const char* label;
+    std::size_t dirty_pct;  // % of chunks holding accumulated gradient
+    std::size_t k;
+  };
+  const Config configs[] = {
+      {"server_round_N1000_D128k", 100, d / 100 + 1},
+      {"server_round_churn10_N1000_D128k", 10, 128},
+      {"server_round_churn1_N1000_D128k", 1, 128},
+  };
+  std::vector<float> grad(d);
+  for (const Config& cfg : configs) {
+    // One accumulator set per configuration, freed before the next so peak
+    // RSS stays one fleet (~512 MB at N=1000, D=128k).
+    std::vector<sparsify::GradientAccumulator> accs;
+    accs.reserve(n);
+    const std::size_t chunks = sparsify::accumulator_chunks(d);
+    const std::size_t dirty = std::max<std::size_t>(1, chunks * cfg.dirty_pct / 100);
+    const std::size_t stride = chunks / dirty;
+    for (std::size_t i = 0; i < n; ++i) {
+      util::Rng rng(1000 + i);
+      std::fill(grad.begin(), grad.end(), 0.0f);
+      // Evenly spread dirty chunks: client gradients concentrated in a
+      // dirty_pct fraction of the coordinate space, zero elsewhere.
+      for (std::size_t c = 0; c < dirty; ++c) {
+        const std::size_t begin = (c * stride) * sparsify::kAccumulatorChunk;
+        const std::size_t end = std::min(d, begin + sparsify::kAccumulatorChunk);
+        for (std::size_t j = begin; j < end; ++j) grad[j] = static_cast<float>(rng.normal());
+      }
+      accs.emplace_back(d);
+      accs.back().add({grad.data(), grad.size()});
+    }
+    std::vector<double> weights(n, 1.0 / static_cast<double>(n));
+    sparsify::RoundInput in;
+    in.dim = d;
+    in.round = 1;
+    in.data_weights = {weights.data(), weights.size()};
+    for (const auto& acc : accs) in.client_vectors.push_back(acc.value());
+
+    const std::string dense_name = std::string(cfg.label) + "_dense";
+    sparsify::FabTopK dense_method(d);
+    out.push_back(measure(dense_name, "", static_cast<double>(n * d), [&] {
+      do_not_optimize(dense_method.round(in, cfg.k));
+    }));
+
+    for (const auto& acc : accs) in.client_chunk_max.push_back(acc.chunk_max());
+    sparsify::FabTopK tiered_method(d);
+    out.push_back(measure(cfg.label, dense_name, static_cast<double>(n * d), [&] {
+      do_not_optimize(tiered_method.round(in, cfg.k));
+    }));
+
+    // The tiered traversal must be a pure reordering: same selection, same
+    // aggregate, byte for byte.
+    const sparsify::RoundOutcome tiered_out = dense_method.round(in, cfg.k);
+    in.client_chunk_max.clear();
+    const sparsify::RoundOutcome dense_out = dense_method.round(in, cfg.k);
+    if (tiered_out.update != dense_out.update ||
+        tiered_out.reset_indices != dense_out.reset_indices) {
+      std::fprintf(stderr, "FATAL: tiered round diverged from dense on %s\n", cfg.label);
+      std::exit(1);
+    }
   }
 }
 
@@ -485,6 +589,7 @@ int main(int argc, char** argv) {
   bench_accumulator(results);
   bench_fab_round(results);
   bench_round_engine(results);
+  bench_tiered_rounds(results);
   bench_parallel_for(results);
   write_json(results, path);
   std::printf("wrote %s\n", path.c_str());

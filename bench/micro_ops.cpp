@@ -9,6 +9,7 @@
 // google-benchmark dependency and writes BENCH_micro.json for CI tracking.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "nn/models.h"
@@ -102,6 +103,81 @@ void BM_AccumulatorAdd(benchmark::State& state) {
                           static_cast<std::int64_t>(d * sizeof(float)));
 }
 BENCHMARK(BM_AccumulatorAdd)->Arg(1 << 14)->Arg(1 << 17);
+
+// Mostly-zero source gradient: the 8-lane add skips all-zero source groups
+// without touching the destination, so sparse adds run at read-only speed.
+void BM_AccumulatorAddSparse(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const auto dirty_pct = static_cast<std::size_t>(state.range(1));
+  sparsify::GradientAccumulator acc(d);
+  auto g = random_vec(d, 3);
+  const std::size_t period = 100 / std::max<std::size_t>(1, dirty_pct);
+  for (std::size_t i = 0; i < d; ++i) {
+    if ((i / sparsify::kAccumulatorChunk) % period != 0) g[i] = 0.0f;
+  }
+  for (auto _ : state) {
+    acc.add({g.data(), g.size()});
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(d * sizeof(float)));
+}
+BENCHMARK(BM_AccumulatorAddSparse)->Args({1 << 17, 1})->Args({1 << 17, 10});
+
+// Chunk-tiered server rounds at scale: selection + aggregation over n
+// clients whose accumulators hold gradient in dirty_pct% of their chunks.
+// tiered=1 hands the methods the accumulator chunk summaries (the live
+// simulation path — scans prune clean/quiet chunks); tiered=0 withholds
+// them, forcing the dense traversal of the same build. Outcomes are
+// byte-identical; bench/emit_json.cpp mirrors the N=1000 pairs into
+// BENCH_micro.json, where CI gates the tiered/dense speedup ratios.
+void BM_ServerRoundTiered(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto dirty_pct = static_cast<std::size_t>(state.range(1));
+  const bool tiered = state.range(2) != 0;
+  const std::size_t d = 1 << 17;
+  const std::size_t k = dirty_pct == 100 ? d / 100 + 1 : 128;
+  const std::size_t chunks = sparsify::accumulator_chunks(d);
+  const std::size_t dirty = std::max<std::size_t>(1, chunks * dirty_pct / 100);
+  const std::size_t stride = chunks / dirty;
+  std::vector<sparsify::GradientAccumulator> accs;
+  accs.reserve(n);
+  std::vector<float> grad(d);
+  for (std::size_t i = 0; i < n; ++i) {
+    util::Rng rng(1000 + i);
+    std::fill(grad.begin(), grad.end(), 0.0f);
+    for (std::size_t c = 0; c < dirty; ++c) {
+      const std::size_t begin = (c * stride) * sparsify::kAccumulatorChunk;
+      const std::size_t end = std::min(d, begin + sparsify::kAccumulatorChunk);
+      for (std::size_t j = begin; j < end; ++j) grad[j] = static_cast<float>(rng.normal());
+    }
+    accs.emplace_back(d);
+    accs.back().add({grad.data(), grad.size()});
+  }
+  std::vector<double> weights(n, 1.0 / static_cast<double>(n));
+  sparsify::RoundInput in;
+  in.dim = d;
+  in.round = 1;
+  in.data_weights = {weights.data(), weights.size()};
+  for (const auto& acc : accs) {
+    in.client_vectors.push_back(acc.value());
+    if (tiered) in.client_chunk_max.push_back(acc.chunk_max());
+  }
+  sparsify::FabTopK method(d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(method.round(in, k));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * d));
+}
+BENCHMARK(BM_ServerRoundTiered)
+    ->Args({100, 100, 1})
+    ->Args({1000, 100, 0})
+    ->Args({1000, 100, 1})
+    ->Args({1000, 10, 0})
+    ->Args({1000, 10, 1})
+    ->Args({1000, 1, 0})
+    ->Args({1000, 1, 1});
 
 void BM_SparseSubtract(benchmark::State& state) {
   const auto k = static_cast<std::size_t>(state.range(0));

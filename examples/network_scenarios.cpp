@@ -41,8 +41,10 @@ int main(int argc, char** argv) {
     std::printf("  bimodal straggler formula:   tau = %.3f (bound by client %lld)\n\n",
                 tau.time, static_cast<long long>(tau.slowest_client));
 
-    // --- Part 2: adaptive k under both scenarios --------------------------
-    for (const char* scenario : {"uniform", "bimodal"}) {
+    // --- Part 2: adaptive k under three scenarios -------------------------
+    // churn_heavy adds the cross-device regime: most clients offline per
+    // round, accumulating locally and flushing their residuals on rejoin.
+    for (const char* scenario : {"uniform", "bimodal", "churn_heavy"}) {
       core::TrainerConfig cfg;
       cfg.dataset.name = "femnist";
       cfg.dataset.scale = 0.08;
@@ -60,6 +62,13 @@ int main(int argc, char** argv) {
       const auto [modal, modal_count] = res.modal_straggler();
       std::printf("%s: loss %.4f after %zu rounds (cost %.1f), adaptive k settled ~%.0f\n",
                   scenario, res.final_loss, res.rounds_run, res.total_time, res.tail_k_mean());
+      const std::size_t fleet = res.client_rounds_participated.size();
+      std::size_t thin_rounds = 0;  // rounds that lost clients to churn
+      for (const auto& r : res.records) thin_rounds += r.participants < fleet ? 1 : 0;
+      if (thin_rounds > 0) {
+        std::printf("  churn: %zu/%zu rounds ran without the full fleet\n", thin_rounds,
+                    res.rounds_run);
+      }
       if (modal >= 0) {
         std::printf("  straggler: client %lld bound %zu/%zu rounds\n",
                     static_cast<long long>(modal), modal_count, res.rounds_run);

@@ -69,8 +69,19 @@ def main():
         return 2
 
     regressions = []
+
+    def fmt_ns(kernel):
+        ns = kernel.get("ns_per_op")
+        return f"{ns:.0f}" if ns is not None else "-"
+
     label = "ns/op" if args.metric == "ns" else "speedup"
-    print(f"{'kernel':<32} {'old ' + label:>14} {'new ' + label:>14} {'delta':>8}")
+    header = f"{'kernel':<34} {'old ' + label:>13} {'new ' + label:>13} {'delta':>8}"
+    if args.metric == "speedup":
+        # Absolute ns/op alongside the gated ratio: when a ratio drops, the
+        # ns columns show WHERE it landed — the optimized kernel slowing
+        # down reads very differently from its seed baseline speeding up.
+        header += f" {'old ns':>12} {'new ns':>12}"
+    print(header)
     for name in shared:
         if args.metric == "ns":
             o, n = old[name]["ns_per_op"], new[name]["ns_per_op"]
@@ -84,7 +95,10 @@ def main():
         if delta > args.threshold:
             regressions.append((name, delta))
             flag = "  <-- REGRESSION"
-        print(f"{name:<32} {o:>14.2f} {n:>14.2f} {delta:>+7.1f}%{flag}")
+        row = f"{name:<34} {o:>13.2f} {n:>13.2f} {delta:>+7.1f}%"
+        if args.metric == "speedup":
+            row += f" {fmt_ns(old[name]):>12} {fmt_ns(new[name]):>12}"
+        print(row + flag)
 
     if regressions:
         print(f"\n{len(regressions)} kernel(s) regressed past {args.threshold}%",

@@ -75,10 +75,6 @@ void Client::apply_dense_update(std::span<const float> update, float lr) {
   for (std::size_t i = 0; i < w.size(); ++i) w[i] -= lr * update[i];
 }
 
-void Client::reset_accumulated(std::span<const std::int32_t> indices) {
-  accumulator_.reset_indices(indices);
-}
-
 double Client::probe_loss_now(nn::Sequential& model) {
   return model.forward_loss(probe_x_, probe_y_);
 }

@@ -51,11 +51,14 @@ class Client {
 
   // --- accumulated gradient ------------------------------------------------
 
-  std::span<const float> accumulated() const noexcept { return accumulator_.value(); }
-
-  /// Zeroes the accumulated entries the server consumed (Line 17, Alg. 1).
-  void reset_accumulated(std::span<const std::int32_t> indices);
-  void reset_all_accumulated() noexcept { accumulator_.reset_all(); }
+  /// The chunk-tiered accumulated gradient a_i. Round-path consumers read
+  /// values AND chunk summaries through it (sparsify::GradientAccumulator)
+  /// rather than a raw span, so selection scans can prune clean chunks —
+  /// an idle client that missed rounds keeps only its dirty chunks hot.
+  /// Mutations (add / reset) go through the same object, keeping the
+  /// summaries consistent by construction.
+  sparsify::GradientAccumulator& accumulator() noexcept { return accumulator_; }
+  const sparsify::GradientAccumulator& accumulator() const noexcept { return accumulator_; }
 
   // --- round computation (all take a borrowed, already-bound workspace) ----
 

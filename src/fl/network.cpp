@@ -164,7 +164,7 @@ double NetworkModel::max_compute_multiplier(std::span<const std::size_t> ids) co
 // ---------------------------------------------------------------- scenarios
 
 std::vector<std::string> scenario_names() {
-  return {"uniform", "bimodal", "longtail_mobile", "metered_wan"};
+  return {"uniform", "bimodal", "longtail_mobile", "metered_wan", "churn_heavy"};
 }
 
 Scenario make_scenario(const std::string& name, std::size_t n, std::uint64_t seed) {
@@ -206,9 +206,25 @@ Scenario make_scenario(const std::string& name, std::size_t n, std::uint64_t see
     s.network.profiles.assign(n, ClientProfile{0.5, 0.5, 1.0});
     s.money_per_value = 0.002;
     s.weight_money = 1.0;
+  } else if (name == "churn_heavy") {
+    // The SparsyFed cross-device regime the tiered accumulators target: a
+    // long-tail link population where most clients are offline in any given
+    // round (stationary availability = p_recover/(p_drop+p_recover) ~ 0.27)
+    // and sit on accumulated-but-unflushed gradient until they rejoin.
+    s.description = "long-tail links with aggressive on/off churn; most clients idle per round";
+    s.network.profiles.resize(n);
+    for (auto& p : s.network.profiles) {
+      p.uplink_rate = 0.4 * std::exp(rng.normal(0.0, 0.9));
+      p.downlink_rate = 0.6 * std::exp(rng.normal(0.0, 0.5));
+      p.compute_multiplier = std::exp(rng.normal(0.0, 0.5));
+    }
+    s.network.rate_jitter_sigma = 0.4;
+    s.network.p_drop = 0.4;
+    s.network.p_recover = 0.15;
   } else {
-    throw std::invalid_argument("make_scenario: unknown scenario '" + name +
-                                "' (expected uniform|bimodal|longtail_mobile|metered_wan)");
+    throw std::invalid_argument(
+        "make_scenario: unknown scenario '" + name +
+        "' (expected uniform|bimodal|longtail_mobile|metered_wan|churn_heavy)");
   }
   return s;
 }

@@ -166,7 +166,10 @@ struct Scenario {
   double weight_money = 0.0;
 };
 
-/// Registry names: "uniform", "bimodal", "longtail_mobile", "metered_wan".
+/// Registry names: "uniform", "bimodal", "longtail_mobile", "metered_wan",
+/// "churn_heavy" (long-tail links, aggressive Markov off-rate — most clients
+/// offline per round, the regime the tiered accumulators' dirty-chunk
+/// pruning targets).
 std::vector<std::string> scenario_names();
 
 /// Builds the preset for an n-client population. `seed` shapes the sampled

@@ -166,15 +166,23 @@ const sparsify::RoundInput& Simulation::make_round_input(
   // threshold hints) by client, not by participant slot.
   round_input_.client_ids = {selected.data(), selected.size()};
   round_input_.client_vectors.clear();
+  round_input_.client_chunk_max.clear();
   weight_storage_.clear();
   double total = 0.0;
   for (const std::size_t i : selected) total += data_weights_[i];
+  // Tiered round view: the methods see each accumulator's chunk summaries
+  // next to its values and prune their selection scans on them. FedAvg-style
+  // inputs are client weights — no accumulator, no summaries.
+  const bool tiered = cfg_.tiered_accumulators && !fedavg_style_;
   for (const std::size_t i : selected) {
     weight_storage_.push_back(total > 0.0 ? data_weights_[i] / total
                                           : 1.0 / static_cast<double>(selected.size()));
     round_input_.client_vectors.push_back(fedavg_style_
                                               ? std::span<const float>(clients_[i]->weights())
-                                              : clients_[i]->accumulated());
+                                              : clients_[i]->accumulator().value());
+    if (tiered) {
+      round_input_.client_chunk_max.push_back(clients_[i]->accumulator().chunk_max());
+    }
   }
   round_input_.data_weights = {weight_storage_.data(), weight_storage_.size()};
   return round_input_;
@@ -187,11 +195,11 @@ void Simulation::apply_reset(const sparsify::RoundOutcome& outcome, std::size_t 
     case ResetKind::kNone:
       break;
     case ResetKind::kAll:
-      clients_[i]->reset_all_accumulated();
+      clients_[i]->accumulator().reset_all();
       break;
     case ResetKind::kPerClient:
     case ResetKind::kUniform:
-      clients_[i]->reset_accumulated(outcome.reset_for(s));
+      clients_[i]->accumulator().reset_indices(outcome.reset_for(s));
       break;
   }
 }

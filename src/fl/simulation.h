@@ -103,6 +103,13 @@ struct SimulationConfig {
   /// update so weights remain synchronized.
   double participation = 1.0;
 
+  /// Hand the methods each participant's accumulator chunk summaries so the
+  /// per-client top-k scans prune clean/quiet chunks (O(touched) instead of
+  /// O(D) per client). Selection outcomes are bitwise identical either way —
+  /// tests/engine_test.cpp pins dense ≡ tiered traces — so false exists only
+  /// as the reference side of that equivalence and for A/B timing.
+  bool tiered_accumulators = true;
+
   /// Shared-store engine (default) or per-replica reference engine.
   ReplicaMode replica_mode = ReplicaMode::kShared;
 

@@ -66,9 +66,10 @@ RoundOutcome FabTopK::round(const RoundInput& in, std::size_t k) {
   k = std::clamp<std::size_t>(k, 1, dim_);
 
   // Client side: top-k of the accumulated gradient, strongest first — the N
-  // independent selections thread across the registered pool. uploads_ /
+  // independent selections thread across the registered pool, pruning on the
+  // accumulators' chunk summaries when the caller provides them. uploads_ /
   // topk_ws_ keep their capacity across rounds — no allocations once warm.
-  top_k_uploads(in.client_vectors, k, in.client_ids, topk_ws_, uploads_);
+  top_k_uploads(in.client_vectors, in.client_chunk_max, k, in.client_ids, topk_ws_, uploads_);
 
   // Server side: fairness-aware selection.
   const std::size_t kappa = find_kappa_stamped(k);

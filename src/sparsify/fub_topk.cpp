@@ -15,8 +15,9 @@ RoundOutcome FubTopK::round(const RoundInput& in, std::size_t k) {
   k = std::clamp<std::size_t>(k, 1, dim_);
 
   // Per-client selections threaded across the registered pool (deterministic:
-  // each client owns its workspace and output slot).
-  top_k_uploads(in.client_vectors, k, in.client_ids, topk_ws_, uploads_);
+  // each client owns its workspace and output slot), chunk-pruned when the
+  // caller provides accumulator summaries.
+  top_k_uploads(in.client_vectors, in.client_chunk_max, k, in.client_ids, topk_ws_, uploads_);
 
   // Aggregate everything uploaded, then keep the top-k by |aggregate|.
   ++stamp_token_;

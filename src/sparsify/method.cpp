@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sparsify/accumulator.h"
 #include "sparsify/fab_topk.h"
 #include "sparsify/fedavg.h"
 #include "sparsify/fub_topk.h"
@@ -39,6 +40,17 @@ void validate_round_input(const RoundInput& in) {
   }
   if (!in.client_ids.empty() && in.client_ids.size() != in.client_vectors.size()) {
     throw std::invalid_argument("RoundInput: client_ids size mismatch");
+  }
+  if (!in.client_chunk_max.empty()) {
+    if (in.client_chunk_max.size() != in.client_vectors.size()) {
+      throw std::invalid_argument("RoundInput: client_chunk_max size mismatch");
+    }
+    const std::size_t chunks = accumulator_chunks(in.dim);
+    for (const auto& s : in.client_chunk_max) {
+      if (!s.empty() && s.size() != chunks) {
+        throw std::invalid_argument("RoundInput: chunk summary does not cover dim");
+      }
+    }
   }
   double total = 0.0;
   for (std::size_t i = 0; i < in.client_vectors.size(); ++i) {

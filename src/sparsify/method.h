@@ -39,6 +39,15 @@ struct RoundInput {
   /// participation or availability churn reordering the slots does not hand
   /// one client's state to another.
   std::span<const std::size_t> client_ids;
+  /// Per-client chunk summaries of the accumulated gradients
+  /// (GradientAccumulator::chunk_max, slot-aligned with client_vectors):
+  /// chunk_max[c] upper-bounds |a_j| over chunk c of kAccumulatorChunk
+  /// floats. Top-k methods prune their selection scans on them — whole
+  /// chunks below the running threshold are skipped, so mostly-idle clients
+  /// cost O(dirty chunks) instead of O(D) — with bitwise-identical outcomes.
+  /// Empty vector = no summaries (dense scans); individual empty spans opt
+  /// single clients out. FedAvg-style inputs (client weights) leave it empty.
+  std::vector<std::span<const float>> client_chunk_max;
   std::size_t dim = 0;   // D
   std::size_t round = 1; // m, 1-based
 };

@@ -2,27 +2,122 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <functional>
+#include <limits>
+#include <stdexcept>
 
+#include "sparsify/accumulator.h"
 #include "tensor/matrix.h"
 #include "util/thread_pool.h"
+#include "util/vec_ext.h"
 
 namespace fedsparse::sparsify {
 
 namespace {
 
-// Total order on (|value| desc, index asc): the same order the seed heap used,
-// so the selected set and its presentation are bit-identical.
-inline bool stronger_entry(const SparseEntry& a, const SparseEntry& b) {
-  const float aa = std::fabs(a.value), bb = std::fabs(b.value);
-  if (aa != bb) return aa > bb;
-  return a.index < b.index;
-}
-
 // Below this dimension the prefilter's sampling pass is not worth its scan;
 // quickselect over all D entries is already cheap.
 constexpr std::size_t kPrefilterMinDim = 4096;
 constexpr std::size_t kSampleSize = 512;
+
+// Candidate key: |value| bits in the high word, complemented index in the
+// low word. IEEE-754 magnitude order equals unsigned integer order on the
+// absolute-value bits (for non-NaN inputs), so plain descending uint64 order
+// IS the selection's total order — (|v| desc, index asc) — and every
+// nth_element/sort partition step compares one integer instead of two
+// fabs() floats plus a tie branch.
+inline std::uint32_t abs_bits(float v) {
+  std::uint32_t b;
+  std::memcpy(&b, &v, sizeof b);
+  return b & 0x7fffffffu;
+}
+
+inline std::uint64_t make_key(float v, std::size_t i) {
+  return (static_cast<std::uint64_t>(abs_bits(v)) << 32) |
+         (~static_cast<std::uint32_t>(i));
+}
+
+inline std::size_t key_index(std::uint64_t key) {
+  return static_cast<std::size_t>(~static_cast<std::uint32_t>(key));
+}
+
+// Appends the key of every entry in [begin, end) with |v[i]| >= threshold,
+// in index order. Returns false (leaving keys valid but incomplete) as soon
+// as a survivor would exceed `cap` — the hinted filter's bail-out.
+//
+// Vectorized in 16-element strides (util/vec_ext.h): two 8-lane
+// compares fold into one survivor bitmask, walked bit-by-bit with ctz, so
+// the common no-survivor stride costs two compares and one well-predicted
+// branch instead of 16 fabs tests. The |v| >= t predicate is evaluated as
+// (v >= t) | (v <= -t) — identical for every float including ±0 (and NaN,
+// which fails both forms) — and survivors append in ascending index order
+// either way, so the collected key sequence matches the scalar loop exactly.
+bool scan_range(const float* v, std::size_t begin, std::size_t end, float threshold,
+                std::size_t cap, std::vector<std::uint64_t>& keys) {
+  std::size_t i = begin;
+#if FEDSPARSE_VEC_EXT
+  namespace vec = util::vec;
+  using vec::load8;
+  using vec::v8sf;
+  const v8sf tv = {threshold, threshold, threshold, threshold,
+                   threshold, threshold, threshold, threshold};
+  const v8sf ntv = -tv;
+  for (; i + 2 * vec::kLanes <= end; i += 2 * vec::kLanes) {
+    const v8sf x0 = load8(v + i);
+    const v8sf x1 = load8(v + i + vec::kLanes);
+    const int m0 = vec::lane_mask((x0 >= tv) | (x0 <= ntv));
+    const int m1 = vec::lane_mask((x1 >= tv) | (x1 <= ntv));
+    int mask = m0 | (m1 << vec::kLanes);
+    while (mask != 0) {
+      const auto lane = static_cast<std::size_t>(__builtin_ctz(static_cast<unsigned>(mask)));
+      mask &= mask - 1;
+      if (keys.size() >= cap) return false;
+      keys.push_back(make_key(v[i + lane], i + lane));
+    }
+  }
+#endif
+  for (; i < end; ++i) {
+    if (std::fabs(v[i]) >= threshold) {
+      if (keys.size() >= cap) return false;
+      keys.push_back(make_key(v[i], i));
+    }
+  }
+  return true;
+}
+
+// Chunk-pruned threshold scan: chunks whose |v| upper bound is below the
+// threshold contain no survivor by construction and cost one compare for
+// their kAccumulatorChunk entries. Exact: pruning only skips entries a
+// positive threshold already excludes, and surviving chunks are scanned in
+// ascending order, so the appended key sequence is identical to the dense
+// scan's.
+bool scan_keys(std::span<const float> v, std::span<const float> chunk_max, float threshold,
+               std::size_t cap, std::vector<std::uint64_t>& keys) {
+  if (chunk_max.empty()) return scan_range(v.data(), 0, v.size(), threshold, cap, keys);
+  // Pruning policy: the chunk walk only pays when chunks actually skip — at
+  // high survivor fractions its data-dependent skip branch mispredicts
+  // (~50/50 on a dense Gaussian accumulator with k = D/100, measured +7%
+  // per selection) while saving nothing, so a strided sample of the bounds
+  // estimates the surviving fraction and sends near-dense vectors down the
+  // straight linear scan. Policy only: both paths collect the identical key
+  // sequence, this picks the cheaper traversal.
+  std::size_t sampled = 0, passing = 0;
+  for (std::size_t c = 0; c < chunk_max.size(); c += 8) {
+    ++sampled;
+    passing += chunk_max[c] >= threshold ? 1 : 0;
+  }
+  if (10 * passing >= 4 * sampled) {
+    return scan_range(v.data(), 0, v.size(), threshold, cap, keys);
+  }
+  for (std::size_t c = 0; c < chunk_max.size(); ++c) {
+    if (chunk_max[c] < threshold) continue;
+    const std::size_t begin = c * kAccumulatorChunk;
+    const std::size_t end = std::min(v.size(), begin + kAccumulatorChunk);
+    if (!scan_range(v.data(), begin, end, threshold, cap, keys)) return false;
+  }
+  return true;
+}
 
 // Estimates an |value| threshold from a strided sample such that roughly
 // 2.5*k of the D entries survive, then keeps only entries >= threshold.
@@ -30,7 +125,8 @@ constexpr std::size_t kSampleSize = 512;
 // falls back to scanning everything. Exactness: if >= k entries pass the
 // filter, the k-th largest |v| overall is >= threshold, so every true top-k
 // entry passed the filter too.
-bool prefilter(std::span<const float> v, std::size_t k, SparseVector& cand) {
+bool prefilter(std::span<const float> v, std::size_t k, std::span<const float> chunk_max,
+               std::vector<std::uint64_t>& keys) {
   float sample[kSampleSize];
   const std::size_t stride = v.size() / kSampleSize;
   for (std::size_t s = 0; s < kSampleSize; ++s) sample[s] = std::fabs(v[s * stride]);
@@ -46,14 +142,10 @@ bool prefilter(std::span<const float> v, std::size_t k, SparseVector& cand) {
   // dense path instead.
   if (threshold <= 0.0f) return false;
 
-  cand.clear();
-  for (std::size_t i = 0; i < v.size(); ++i) {
-    if (std::fabs(v[i]) >= threshold) {
-      cand.push_back(SparseEntry{static_cast<std::int32_t>(i), v[i]});
-    }
-  }
-  if (cand.size() >= k) return true;
-  cand.clear();
+  keys.clear();
+  scan_keys(v, chunk_max, threshold, std::numeric_limits<std::size_t>::max(), keys);
+  if (keys.size() >= k) return true;
+  keys.clear();
   return false;
 }
 
@@ -68,49 +160,142 @@ bool prefilter(std::span<const float> v, std::size_t k, SparseVector& cand) {
 // landscape shifted the other way (k shrank a lot). Conservative-exact like
 // prefilter(): success requires >= k survivors, which implies every true
 // top-k entry passed.
-bool hint_filter(std::span<const float> v, std::size_t k, float hint, SparseVector& cand) {
+bool hint_filter(std::span<const float> v, std::size_t k, float hint,
+                 std::span<const float> chunk_max, std::vector<std::uint64_t>& keys) {
   if (hint <= 0.0f) return false;
-  const float threshold = hint;
   const std::size_t cap = 8 * k + 64;
-  cand.clear();
-  for (std::size_t i = 0; i < v.size(); ++i) {
-    if (std::fabs(v[i]) >= threshold) {
-      if (cand.size() >= cap) {
-        cand.clear();
-        return false;
-      }
-      cand.push_back(SparseEntry{static_cast<std::int32_t>(i), v[i]});
-    }
+  keys.clear();
+  if (!scan_keys(v, chunk_max, hint, cap, keys)) {
+    keys.clear();
+    return false;
   }
-  if (cand.size() >= k) return true;
-  cand.clear();
+  if (keys.size() >= k) return true;
+  keys.clear();
   return false;
 }
 
+// Sorts keys descending: LSD radix, 8-bit digits, buckets laid out in
+// reverse digit order each pass (a stable descending pass per byte yields a
+// fully descending sequence after the last one). Keys are unique, so the
+// result is the exact sequence std::sort(greater<>) produces, at ~n work per
+// pass instead of n log n branchy comparisons — the k-element output sort is
+// the second-largest cost of a hinted selection after the scan itself.
+// Passes whose digit is constant across all keys reorder nothing and are
+// skipped (common in the high |value| bytes, which span a narrow exponent
+// range). Small inputs stay on std::sort: below a few hundred elements the
+// 256-bucket bookkeeping costs more than the comparisons.
+constexpr std::size_t kRadixMinSize = 512;
+
+void sort_keys_desc(std::vector<std::uint64_t>& keys, std::vector<std::uint64_t>& scratch) {
+  const std::size_t n = keys.size();
+  if (n < kRadixMinSize) {
+    std::sort(keys.begin(), keys.end(), std::greater<std::uint64_t>());
+    return;
+  }
+  scratch.resize(n);
+  std::uint64_t* src = keys.data();
+  std::uint64_t* dst = scratch.data();
+  std::size_t count[256];
+  for (std::size_t pass = 0; pass < 8; ++pass) {
+    const std::size_t shift = pass * 8;
+    std::fill(count, count + 256, 0);
+    for (std::size_t i = 0; i < n; ++i) ++count[(src[i] >> shift) & 255];
+    if (std::any_of(count, count + 256, [n](std::size_t c) { return c == n; })) {
+      continue;  // constant digit: a stable pass would copy src verbatim
+    }
+    std::size_t pos = 0;
+    for (std::size_t d = 256; d-- > 0;) {  // descending digit order
+      const std::size_t c = count[d];
+      count[d] = pos;
+      pos += c;
+    }
+    for (std::size_t i = 0; i < n; ++i) dst[count[(src[i] >> shift) & 255]++] = src[i];
+    std::swap(src, dst);
+  }
+  if (src != keys.data()) std::memcpy(keys.data(), src, n * sizeof(std::uint64_t));
+}
+
+// Dense fallback when summaries exist: clean chunks (bound 0) hold only
+// (±)zeros, so collect every |v| > 0 entry from the dirty chunks first —
+// O(dirty) instead of O(D). If fewer than k such entries exist the full
+// sort's tail is zeros in ascending index order (|0| ties break on index),
+// which the pad loop reproduces exactly, reading the stored value so even a
+// -0.0 entry round-trips bit-for-bit.
+void collect_tiered_dense(std::span<const float> v, std::span<const float> chunk_max,
+                          std::size_t k, std::vector<std::uint64_t>& keys) {
+  keys.clear();
+  for (std::size_t c = 0; c < chunk_max.size(); ++c) {
+    if (chunk_max[c] <= 0.0f) continue;
+    const std::size_t begin = c * kAccumulatorChunk;
+    const std::size_t end = std::min(v.size(), begin + kAccumulatorChunk);
+    for (std::size_t i = begin; i < end; ++i) {
+      if (abs_bits(v[i]) != 0) keys.push_back(make_key(v[i], i));
+    }
+  }
+  if (keys.size() >= k) return;
+  // Every positive-|v| entry is selected; pad with the smallest-index zeros.
+  const std::size_t positives = keys.size();
+  std::sort(keys.begin(), keys.end(), std::greater<std::uint64_t>());
+  std::size_t need = k - positives;
+  for (std::size_t c = 0; c < chunk_max.size() && need > 0; ++c) {
+    const std::size_t begin = c * kAccumulatorChunk;
+    const std::size_t end = std::min(v.size(), begin + kAccumulatorChunk);
+    if (chunk_max[c] <= 0.0f) {
+      for (std::size_t i = begin; i < end && need > 0; ++i, --need) {
+        keys.push_back(make_key(v[i], i));
+      }
+    } else {
+      for (std::size_t i = begin; i < end && need > 0; ++i) {
+        if (abs_bits(v[i]) == 0) {
+          keys.push_back(make_key(v[i], i));
+          --need;
+        }
+      }
+    }
+  }
+  // keys is now exactly k entries and already fully descending: positives
+  // sorted above, zero keys appended in index order (= key order) below them.
+}
+
 // Leaves the k strongest entries in ws.candidates, sorted strongest first.
-void select(std::span<const float> v, std::size_t k, TopKWorkspace& ws) {
+void select(std::span<const float> v, std::span<const float> chunk_max, std::size_t k,
+            TopKWorkspace& ws) {
+  if (!chunk_max.empty() && chunk_max.size() != accumulator_chunks(v.size())) {
+    throw std::invalid_argument("top_k: chunk summary size does not cover the vector");
+  }
   k = std::min(k, v.size());
   SparseVector& cand = ws.candidates;
+  std::vector<std::uint64_t>& keys = ws.keys;
   cand.clear();
+  keys.clear();
   if (k == 0) return;
 
   bool hint_ok = false;
   bool filtered = false;
   if (k < v.size() && v.size() >= kPrefilterMinDim) {
-    hint_ok = hint_filter(v, k, ws.threshold_hint, cand);
-    filtered = hint_ok || prefilter(v, k, cand);
+    hint_ok = hint_filter(v, k, ws.threshold_hint, chunk_max, keys);
+    filtered = hint_ok || prefilter(v, k, chunk_max, keys);
   }
   if (!filtered) {
-    for (std::size_t i = 0; i < v.size(); ++i) {
-      cand.push_back(SparseEntry{static_cast<std::int32_t>(i), v[i]});
+    if (!chunk_max.empty()) {
+      collect_tiered_dense(v, chunk_max, k, keys);
+    } else {
+      for (std::size_t i = 0; i < v.size(); ++i) keys.push_back(make_key(v[i], i));
     }
   }
-  if (cand.size() > k) {
-    std::nth_element(cand.begin(), cand.begin() + static_cast<std::ptrdiff_t>(k), cand.end(),
-                     stronger_entry);
-    cand.resize(k);
+  if (keys.size() > k) {
+    std::nth_element(keys.begin(), keys.begin() + static_cast<std::ptrdiff_t>(k), keys.end(),
+                     std::greater<std::uint64_t>());
+    keys.resize(k);
+    sort_keys_desc(keys, ws.key_scratch);
+  } else if (!std::is_sorted(keys.begin(), keys.end(), std::greater<std::uint64_t>())) {
+    sort_keys_desc(keys, ws.key_scratch);
   }
-  std::sort(cand.begin(), cand.end(), stronger_entry);
+  cand.resize(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::size_t idx = key_index(keys[i]);
+    cand[i] = SparseEntry{static_cast<std::int32_t>(idx), v[idx]};
+  }
   // Replace the hint when this selection is at least as deep as the one that
   // produced it, or when the stored hint just failed (it drifted stale — low
   // thresholds self-correct here after a cap bail-out). A successful
@@ -124,26 +309,39 @@ void select(std::span<const float> v, std::size_t k, TopKWorkspace& ws) {
 }  // namespace
 
 void top_k_entries(std::span<const float> v, std::size_t k, TopKWorkspace& ws, SparseVector& out) {
-  select(v, k, ws);
+  select(v, /*chunk_max=*/{}, k, ws);
+  out.assign(ws.candidates.begin(), ws.candidates.end());
+}
+
+void top_k_entries(std::span<const float> v, std::span<const float> chunk_max, std::size_t k,
+                   TopKWorkspace& ws, SparseVector& out) {
+  select(v, chunk_max, k, ws);
   out.assign(ws.candidates.begin(), ws.candidates.end());
 }
 
 void top_k_indices(std::span<const float> v, std::size_t k, TopKWorkspace& ws,
                    std::vector<std::int32_t>& out) {
-  select(v, k, ws);
+  select(v, /*chunk_max=*/{}, k, ws);
   out.clear();
   for (const auto& e : ws.candidates) out.push_back(e.index);
 }
 
-void top_k_uploads(const std::vector<std::span<const float>>& vecs, std::size_t k,
+void top_k_uploads(const std::vector<std::span<const float>>& vecs,
+                   const std::vector<std::span<const float>>& chunk_maxes, std::size_t k,
                    std::span<const std::size_t> ids, std::vector<TopKWorkspace>& workspaces,
                    std::vector<SparseVector>& uploads) {
   const std::size_t n = vecs.size();
+  if (!chunk_maxes.empty() && chunk_maxes.size() != n) {
+    throw std::invalid_argument("top_k_uploads: chunk_maxes size mismatch");
+  }
   uploads.resize(n);  // shrink-to-n keeps callers' per-client views exact
   std::size_t ws_needed = n;
   for (const std::size_t id : ids) ws_needed = std::max(ws_needed, id + 1);
   if (workspaces.size() < ws_needed) workspaces.resize(ws_needed);
   const auto ws_slot = [&](std::size_t s) { return ids.empty() ? s : ids[s]; };
+  const auto summary = [&](std::size_t s) {
+    return chunk_maxes.empty() ? std::span<const float>{} : chunk_maxes[s];
+  };
   std::size_t total = 0;
   for (const auto& v : vecs) total += v.size();
   // Below ~64k total elements the pool dispatch costs more than the
@@ -152,18 +350,27 @@ void top_k_uploads(const std::vector<std::span<const float>>& vecs, std::size_t 
   util::ThreadPool* pool = tensor::parallel_pool();
   if (pool != nullptr && pool->size() > 1 && n > 1 && total >= kParallelElemThreshold) {
     pool->parallel_for(
-        n, [&](std::size_t s) { top_k_entries(vecs[s], k, workspaces[ws_slot(s)], uploads[s]); },
+        n,
+        [&](std::size_t s) {
+          top_k_entries(vecs[s], summary(s), k, workspaces[ws_slot(s)], uploads[s]);
+        },
         /*grain=*/1);
   } else {
     for (std::size_t s = 0; s < n; ++s) {
-      top_k_entries(vecs[s], k, workspaces[ws_slot(s)], uploads[s]);
+      top_k_entries(vecs[s], summary(s), k, workspaces[ws_slot(s)], uploads[s]);
     }
   }
 }
 
 void top_k_uploads(const std::vector<std::span<const float>>& vecs, std::size_t k,
+                   std::span<const std::size_t> ids, std::vector<TopKWorkspace>& workspaces,
+                   std::vector<SparseVector>& uploads) {
+  top_k_uploads(vecs, /*chunk_maxes=*/{}, k, ids, workspaces, uploads);
+}
+
+void top_k_uploads(const std::vector<std::span<const float>>& vecs, std::size_t k,
                    std::vector<TopKWorkspace>& workspaces, std::vector<SparseVector>& uploads) {
-  top_k_uploads(vecs, k, /*ids=*/{}, workspaces, uploads);
+  top_k_uploads(vecs, /*chunk_maxes=*/{}, k, /*ids=*/{}, workspaces, uploads);
 }
 
 std::vector<std::int32_t> top_k_indices(std::span<const float> v, std::size_t k) {

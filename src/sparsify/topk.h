@@ -9,6 +9,17 @@
 // then smaller index), which keeps whole simulations bit-reproducible; the
 // selected set is exact (identical to a full sort) regardless of sampling.
 //
+// Chunk-tiered entry points: every overload taking a `chunk_max` span
+// composes with the tiered GradientAccumulator (sparsify/accumulator.h).
+// chunk_max[c] upper-bounds |v[j]| over chunk c of kAccumulatorChunk floats,
+// so the threshold scans skip whole chunks that cannot reach the running
+// threshold — one float compare instead of 64 per skipped chunk — and the
+// dense fallback visits only dirty chunks, padding with guaranteed zeros in
+// index order when the selection must. The selected entries are bitwise
+// identical to the dense path in every case: pruning only drops entries a
+// positive threshold already excludes, and the zero padding reproduces the
+// full sort's (|v| desc, index asc) tie order exactly.
+//
 // Callers on the round loop should hold a TopKWorkspace and use the
 // scratch-buffer overloads: after the first call warms the buffers up, a
 // round performs zero heap allocations in selection.
@@ -26,7 +37,15 @@ namespace fedsparse::sparsify {
 /// (not thread-safe); capacity grows to the largest candidate set seen and
 /// is then reused, so steady-state rounds allocate nothing.
 struct TopKWorkspace {
-  SparseVector candidates;  // surviving (index, value) pairs under selection
+  SparseVector candidates;  // the selected (index, value) pairs, strongest first
+
+  /// Surviving candidates under selection, packed as 64-bit keys:
+  /// (|value| bits << 32) | ~index. IEEE magnitude order matches unsigned
+  /// integer order on the high word and the complemented index makes plain
+  /// descending uint64 order exactly the (|v| desc, index asc) total order —
+  /// nth_element/sort run on POD integers instead of branchy float compares.
+  std::vector<std::uint64_t> keys;
+  std::vector<std::uint64_t> key_scratch;  // radix-sort ping-pong buffer
 
   /// The k-th |value| of a recent selection through this workspace, and the
   /// k that produced it. Since the per-client workspaces persist across
@@ -45,15 +64,23 @@ struct TopKWorkspace {
   float threshold_hint = 0.0f;
   std::size_t hint_k = 0;
 
-  /// Total capacity currently held, in entries — observable by tests that
-  /// assert the steady state stops allocating.
-  std::size_t capacity() const noexcept { return candidates.capacity(); }
+  /// Total capacity currently held, in 8-byte entries — observable by tests
+  /// that assert the steady state stops allocating.
+  std::size_t capacity() const noexcept {
+    return candidates.capacity() + keys.capacity() + key_scratch.capacity();
+  }
 };
 
 /// Writes the k largest-|v| entries into `out` as (index, value) pairs in
 /// |value|-descending order (ties: smaller index first). k is clamped to
 /// v.size(). Zero allocations once `ws` and `out` have warmed capacity.
 void top_k_entries(std::span<const float> v, std::size_t k, TopKWorkspace& ws, SparseVector& out);
+
+/// Chunk-aware variant: `chunk_max` is the per-chunk |v| upper-bound summary
+/// (GradientAccumulator::chunk_max; empty = no summaries, dense scans). Must
+/// cover v exactly: chunk_max.size() == accumulator_chunks(v.size()).
+void top_k_entries(std::span<const float> v, std::span<const float> chunk_max, std::size_t k,
+                   TopKWorkspace& ws, SparseVector& out);
 
 /// Same selection, indices only.
 void top_k_indices(std::span<const float> v, std::size_t k, TopKWorkspace& ws,
@@ -62,13 +89,21 @@ void top_k_indices(std::span<const float> v, std::size_t k, TopKWorkspace& ws,
 /// Computes every client's top-k upload in one call: uploads[s] receives
 /// top_k_entries(vecs[s], k) using workspaces[ids[s]] (`ids` empty = slot
 /// identity; both vectors grow as needed and keep their capacity across
-/// rounds). Keying workspaces by stable client id keeps each threshold hint
+/// rounds). `chunk_maxes` is slot-aligned with vecs (empty vector = no
+/// summaries anywhere; individual empty spans opt single clients out).
+/// Keying workspaces by stable client id keeps each threshold hint
 /// with its own client's accumulator when partial participation or
 /// availability churn reorders the slots. When a thread pool is registered
 /// via tensor::set_parallel_pool and the total work is large enough, the N
 /// independent selections run across the pool — each slot has its own
 /// workspace and output slot, so the result is byte-identical to the serial
 /// loop regardless of scheduling.
+void top_k_uploads(const std::vector<std::span<const float>>& vecs,
+                   const std::vector<std::span<const float>>& chunk_maxes, std::size_t k,
+                   std::span<const std::size_t> ids, std::vector<TopKWorkspace>& workspaces,
+                   std::vector<SparseVector>& uploads);
+
+/// Dense convenience (no summaries).
 void top_k_uploads(const std::vector<std::span<const float>>& vecs, std::size_t k,
                    std::span<const std::size_t> ids, std::vector<TopKWorkspace>& workspaces,
                    std::vector<SparseVector>& uploads);

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "util/thread_pool.h"
+#include "util/vec_ext.h"
 
 namespace fedsparse::tensor {
 
@@ -209,15 +210,11 @@ constexpr std::size_t kNtKC = 1024;
 // which lowers to whatever SIMD the target has. The scalar #else branch keeps
 // non-GNU compilers building; results are deterministic within either path
 // (fixed accumulation and recombination order).
-#if defined(__GNUC__) || defined(__clang__)
+#if FEDSPARSE_VEC_EXT
 #define FEDSPARSE_HAVE_VEC_EXT 1
-typedef float v8sf __attribute__((vector_size(kStripe * sizeof(float))));
-
-inline v8sf load8(const float* p) {
-  v8sf v;
-  std::memcpy(&v, p, sizeof v);
-  return v;
-}
+static_assert(util::vec::kLanes == kStripe, "stripe kernels assume 8-lane vectors");
+using util::vec::load8;
+using util::vec::v8sf;
 #endif
 
 // Fixed pairwise recombination order — shared by both paths and by the scalar

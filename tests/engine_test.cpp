@@ -177,6 +177,60 @@ TEST(SharedReplicaEngine, AdaptiveDeterministicAcrossThreadCounts) {
   expect_identical(t1, t8, "adaptive threads 1 vs 8");
 }
 
+// ---------------- tiered vs dense accumulator traversal ---------------------
+
+// The chunk-tiered round view (accumulator chunk summaries handed to the
+// methods, selection scans pruned) is a pure traversal-order optimization:
+// every trace it produces must be byte-identical to the dense path of the
+// same build, per method, across thread counts, and under churn.
+
+class TieredVsDense : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TieredVsDense, FixedKTraceIsByteIdentical) {
+  const std::string method = GetParam();
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    SimulationConfig cfg = engine_sim(ReplicaMode::kShared, threads);
+    const auto tiered = run_fixed_k(method, 20.0, cfg);
+    cfg.tiered_accumulators = false;
+    const auto dense = run_fixed_k(method, 20.0, cfg);
+    expect_identical(tiered, dense, method + "/threads=" + std::to_string(threads));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopKMethods, TieredVsDense,
+                         ::testing::Values("fab_topk", "fub_topk", "unidirectional_topk",
+                                           "periodic", "send_all"));
+
+TEST(TieredVsDense, AdaptiveProbePathIsByteIdentical) {
+  // The k'-probe reruns selection through the same workspaces right after
+  // the real round — the hint interplay must not depend on the traversal.
+  SimulationConfig cfg = engine_sim(ReplicaMode::kShared);
+  cfg.max_rounds = 60;
+  const auto tiered = run_adaptive("fab_topk", cfg);
+  cfg.tiered_accumulators = false;
+  const auto dense = run_adaptive("fab_topk", cfg);
+  expect_identical(tiered, dense, "adaptive fab_topk tiered vs dense");
+}
+
+TEST(TieredVsDense, ChurnedRoundsAreByteIdentical) {
+  // Availability churn is where the tiered store earns its keep: offline
+  // clients keep accumulating without flushing, then rejoin with stale-high
+  // chunk bounds. Traces must still match the dense traversal bit for bit
+  // at every thread count.
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    SimulationConfig cfg = engine_sim(ReplicaMode::kShared, threads);
+    cfg.max_rounds = 50;
+    cfg.network.p_drop = 0.35;
+    cfg.network.p_recover = 0.3;
+    cfg.network.rate_jitter_sigma = 0.2;
+    cfg.participation = 0.7;
+    const auto tiered = run_fixed_k("fab_topk", 15.0, cfg);
+    cfg.tiered_accumulators = false;
+    const auto dense = run_fixed_k("fab_topk", 15.0, cfg);
+    expect_identical(tiered, dense, "churn/threads=" + std::to_string(threads));
+  }
+}
+
 // ---------------- weight-layout invariants ----------------------------------
 
 TEST(SharedReplicaEngine, SynchronizedClientsResolveToTheSharedStore) {

@@ -156,13 +156,14 @@ TEST(Client, GradientAccumulatesAndResets) {
   const double loss = client.compute_round_gradient(*model, 1, 8);
   EXPECT_TRUE(std::isfinite(loss));
   double mass = 0.0;
-  for (const float v : client.accumulated()) mass += std::fabs(v);
+  for (const float v : client.accumulator().value()) mass += std::fabs(v);
   EXPECT_GT(mass, 0.0);
+  EXPECT_GT(client.accumulator().dirty_chunks(), 0u);
   std::vector<std::int32_t> all(client.dim());
   for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<std::int32_t>(i);
-  client.reset_accumulated({all.data(), all.size()});
+  client.accumulator().reset_indices({all.data(), all.size()});
   mass = 0.0;
-  for (const float v : client.accumulated()) mass += std::fabs(v);
+  for (const float v : client.accumulator().value()) mass += std::fabs(v);
   EXPECT_EQ(mass, 0.0);
 }
 

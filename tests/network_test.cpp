@@ -169,7 +169,7 @@ TEST(NetworkModel, ValidatesConfiguration) {
 
 TEST(Scenarios, RegistryBuildsEveryPreset) {
   const auto names = scenario_names();
-  ASSERT_EQ(names.size(), 4u);
+  ASSERT_EQ(names.size(), 5u);
   for (const auto& name : names) {
     const Scenario s = make_scenario(name, 12, 5);
     EXPECT_EQ(s.name, name);
@@ -201,6 +201,13 @@ TEST(Scenarios, UniformIsTrivialAndBimodalIsNot) {
   const Scenario mobile = make_scenario("longtail_mobile", 8, 2);
   EXPECT_GT(mobile.network.rate_jitter_sigma, 0.0);
   EXPECT_GT(mobile.network.p_drop, 0.0);
+  // churn_heavy: most clients offline in steady state (stationary pi_on
+  // below one half), which is what makes its accumulators pile up unflushed.
+  const Scenario churn = make_scenario("churn_heavy", 8, 2);
+  EXPECT_GT(churn.network.p_drop, 0.0);
+  const double pi_on =
+      churn.network.p_recover / (churn.network.p_drop + churn.network.p_recover);
+  EXPECT_LT(pi_on, 0.5);
 }
 
 // ------------------------------------------------ per-client payload wiring --

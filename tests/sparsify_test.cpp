@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <set>
 #include <stdexcept>
@@ -330,6 +331,175 @@ TEST(Accumulator, ValidatesDimensions) {
   EXPECT_THROW(acc.add({wrong.data(), wrong.size()}), std::invalid_argument);
   const std::int32_t bad[] = {5};
   EXPECT_THROW(acc.reset_indices({bad, 1}), std::out_of_range);
+}
+
+// Gradient-mass conservation, property-tested against a shadow model: after
+// any interleaving of (possibly sparse) adds and resets, every added value
+// is either still in value() or was consumed by the reset that transmitted
+// it — i.e. the tiered store matches a plain element-wise array exactly.
+// (±0 compare equal; the shadow uses the same +=, so even bits agree.)
+TEST(Accumulator, TieredStoreConservesMassAgainstShadowModel) {
+  util::Rng rng(41);
+  for (const std::size_t dim : {std::size_t{1}, std::size_t{63}, std::size_t{64},
+                                std::size_t{65}, std::size_t{1000}, std::size_t{8192}}) {
+    GradientAccumulator acc(dim);
+    std::vector<float> shadow(dim, 0.0f);
+    std::vector<float> grad(dim);
+    std::vector<std::int32_t> resets;
+    for (int step = 0; step < 40; ++step) {
+      const int op = static_cast<int>(rng.uniform_u64(4));
+      if (op < 2) {
+        // Dense or chunk-sparse add (sparse exercises the zero-group skip).
+        const bool sparse = op == 1;
+        for (std::size_t i = 0; i < dim; ++i) {
+          const bool zero = sparse && (i / kAccumulatorChunk) % 3 != 0;
+          grad[i] = zero ? 0.0f : static_cast<float>(rng.normal());
+        }
+        acc.add({grad.data(), grad.size()});
+        for (std::size_t i = 0; i < dim; ++i) shadow[i] += grad[i];
+      } else if (op == 2) {
+        resets.clear();
+        const std::size_t k = rng.uniform_u64(dim) + 1;
+        for (std::size_t j = 0; j < k; ++j) {
+          resets.push_back(static_cast<std::int32_t>(rng.uniform_u64(dim)));
+        }
+        acc.reset_indices({resets.data(), resets.size()});
+        for (const std::int32_t idx : resets) shadow[static_cast<std::size_t>(idx)] = 0.0f;
+      } else {
+        acc.reset_all();
+        std::fill(shadow.begin(), shadow.end(), 0.0f);
+      }
+      ASSERT_EQ(acc.value().size(), dim);
+      for (std::size_t i = 0; i < dim; ++i) {
+        ASSERT_EQ(acc.value()[i], shadow[i]) << "dim=" << dim << " step=" << step << " i=" << i;
+      }
+    }
+  }
+}
+
+// Chunk-summary invariants under the same interleavings: every bound is a
+// valid upper bound on its chunk's max |a| (exact right after an add touched
+// the chunk, stale-high after resets), a zero bound means an all-zero chunk,
+// the dirty count matches the bounds, and the dirty-range iterator covers
+// every nonzero coordinate.
+TEST(Accumulator, ChunkSummariesStayConsistentUnderInterleavedAddReset) {
+  util::Rng rng(43);
+  const std::size_t dim = 5000;  // 79 chunks with a partial tail
+  GradientAccumulator acc(dim);
+  std::vector<float> grad(dim);
+  std::vector<std::int32_t> resets;
+  const auto check = [&](const char* what, bool bounds_exact) {
+    const auto v = acc.value();
+    const auto cm = acc.chunk_max();
+    ASSERT_EQ(cm.size(), accumulator_chunks(dim));
+    std::size_t dirty = 0;
+    for (std::size_t c = 0; c < cm.size(); ++c) {
+      float mx = 0.0f;
+      const std::size_t end = std::min(dim, (c + 1) * kAccumulatorChunk);
+      for (std::size_t i = c * kAccumulatorChunk; i < end; ++i) {
+        mx = std::max(mx, std::fabs(v[i]));
+      }
+      ASSERT_GE(cm[c], mx) << what << " chunk " << c << ": bound below actual max";
+      if (bounds_exact) ASSERT_EQ(cm[c], mx) << what << " chunk " << c;
+      if (cm[c] == 0.0f) ASSERT_EQ(mx, 0.0f) << what << " chunk " << c << ": zero bound, mass";
+      dirty += cm[c] > 0.0f ? 1 : 0;
+    }
+    ASSERT_EQ(acc.dirty_chunks(), dirty) << what;
+    // Dirty ranges must cover every nonzero coordinate exactly once.
+    std::vector<bool> covered(dim, false);
+    acc.for_each_dirty_range([&](std::size_t begin, std::size_t end) {
+      ASSERT_LT(begin, end);
+      for (std::size_t i = begin; i < end; ++i) {
+        ASSERT_FALSE(covered[i]) << what << ": range overlap at " << i;
+        covered[i] = true;
+      }
+    });
+    for (std::size_t i = 0; i < dim; ++i) {
+      if (v[i] != 0.0f) ASSERT_TRUE(covered[i]) << what << ": nonzero " << i << " uncovered";
+    }
+  };
+  for (int round = 0; round < 15; ++round) {
+    for (std::size_t i = 0; i < dim; ++i) {
+      const bool zero = (i / kAccumulatorChunk) % 2 == round % 2;
+      grad[i] = zero ? 0.0f : static_cast<float>(rng.normal());
+    }
+    acc.add({grad.data(), grad.size()});
+    check("after add", /*bounds_exact=*/round == 0);
+    resets.clear();
+    for (std::size_t j = 0; j < 200; ++j) {
+      resets.push_back(static_cast<std::int32_t>(rng.uniform_u64(dim)));
+    }
+    acc.reset_indices({resets.data(), resets.size()});
+    check("after reset", /*bounds_exact=*/false);
+  }
+  acc.reset_all();
+  check("after reset_all", /*bounds_exact=*/true);
+  EXPECT_EQ(acc.dirty_chunks(), 0u);
+}
+
+// A NaN gradient entry (diverged run) must not fall out of the chunk bounds:
+// max reductions silently drop NaN, so add() pins such chunks to an infinite
+// bound — always dirty, never pruned — and reset_all still clears them.
+TEST(Accumulator, NanGradientKeepsChunkDirty) {
+  const std::size_t dim = 256;  // 4 chunks
+  GradientAccumulator acc(dim);
+  std::vector<float> grad(dim, 0.0f);
+  grad[kAccumulatorChunk + 3] = std::numeric_limits<float>::quiet_NaN();
+  acc.add({grad.data(), grad.size()});
+  EXPECT_EQ(acc.dirty_chunks(), 1u);
+  EXPECT_EQ(acc.chunk_max()[1], std::numeric_limits<float>::infinity());
+  // The poisoned chunk is never pruned (inf >= any threshold), and the
+  // zero-bound guarantee stays intact for its neighbours.
+  EXPECT_EQ(acc.chunk_max()[0], 0.0f);
+  acc.reset_all();
+  for (const float v : acc.value()) EXPECT_EQ(v, 0.0f);  // NaN actually cleared
+  EXPECT_EQ(acc.dirty_chunks(), 0u);
+}
+
+// The chunk-aware selection must equal the dense path (and so the heap
+// reference) bit for bit in every regime: dense vectors, mostly-zero vectors
+// (including k > #nonzeros, where the full sort pads with zeros in index
+// order), stale-high bounds after resets, and hint hit/miss sequences.
+TEST(TopK, ChunkAwareSelectionMatchesHeapEverywhere) {
+  util::Rng rng(47);
+  const std::size_t d = 16384;
+  GradientAccumulator acc(d);
+  std::vector<float> grad(d);
+  TopKWorkspace ws_tiered, ws_dense;
+  SparseVector got_tiered, got_dense;
+  const std::size_t ks[] = {1, 64, 500, 120, 2000, d, d + 7};
+  for (int round = 0; round < 24; ++round) {
+    // Rotate density: fully dense, chunk-sparse, almost-empty.
+    const int mode = round % 3;
+    for (std::size_t i = 0; i < d; ++i) {
+      const std::size_t c = i / kAccumulatorChunk;
+      const bool zero = (mode == 1 && c % 7 != 0) || (mode == 2 && c != 3 && c != 200);
+      grad[i] = zero ? 0.0f : static_cast<float>(rng.normal());
+    }
+    acc.add({grad.data(), grad.size()});
+    for (const std::size_t k : ks) {
+      top_k_entries(acc.value(), acc.chunk_max(), k, ws_tiered, got_tiered);
+      top_k_entries(acc.value(), k, ws_dense, got_dense);
+      ASSERT_EQ(got_tiered, got_dense) << "round " << round << " k=" << k;
+      ASSERT_EQ(got_tiered, top_k_entries_heap(acc.value(), k)) << "round " << round << " k=" << k;
+    }
+    // FAB-style consumption leaves stale-high bounds behind.
+    std::vector<std::int32_t> consumed;
+    for (const auto& e : got_tiered) consumed.push_back(e.index);
+    acc.reset_indices({consumed.data(), consumed.size()});
+    top_k_entries(acc.value(), acc.chunk_max(), 300, ws_tiered, got_tiered);
+    ASSERT_EQ(got_tiered, top_k_entries_heap(acc.value(), 300)) << "post-reset round " << round;
+  }
+}
+
+TEST(TopK, ChunkAwareRejectsMismatchedSummary) {
+  std::vector<float> v(1000, 1.0f);
+  std::vector<float> bad_summary(3, 1.0f);  // needs accumulator_chunks(1000) = 16
+  TopKWorkspace ws;
+  SparseVector out;
+  EXPECT_THROW(top_k_entries({v.data(), v.size()}, {bad_summary.data(), bad_summary.size()}, 5,
+                             ws, out),
+               std::invalid_argument);
 }
 
 // -------------------------------------------------------------- FAB-top-k --
