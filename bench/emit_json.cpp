@@ -534,6 +534,198 @@ void bench_tiered_rounds(std::vector<KernelResult>& out) {
   }
 }
 
+// --- sharded mega-fleet rounds ----------------------------------------------
+//
+// The sharded engine's pitch: per-thread shard fleets with thread-local
+// arenas, per-slot workspaces + 8-byte per-client hints (instead of one
+// multi-KB workspace per client), and fixed-order tree merges — so server
+// rounds scale to N=10^5 participants. Each point measures the sharded path
+// (thread pool registered, one shard per slot capped at 16) against the
+// single-shard serial reference of the same build, asserts the outcomes
+// byte-identical, and records peak RSS — the single-shard side pays the
+// per-client workspace knee the fleet layout exists to avoid, which is why
+// it runs LAST within each scale (ru_maxrss is monotone).
+//
+// The absent-client sweep is the participation-sparsity story: at Markov
+// stationary π_on, only π_on·N clients appear in a round, and the server's
+// cost must track the touched clients, not N. π_on = 0.27 is the
+// churn_heavy scenario's stationary point; 0.05 is a SparsyFed-scale
+// longtail. Sweep rows also land in BENCH_fleet_sweep.csv for the CI
+// artifact. N clients share `distinct` rotating accumulator buffers so the
+// fleet costs O(distinct·D) memory instead of O(N·D) — selection/aggregation
+// work per client is unchanged (the round path never compares clients).
+
+struct FleetInput {
+  std::vector<sparsify::GradientAccumulator> accs;
+  std::vector<double> weights;
+  std::vector<std::size_t> ids;
+  sparsify::RoundInput in;
+
+  FleetInput(std::size_t n, std::size_t d, std::size_t distinct) {
+    std::vector<float> grad(d);
+    accs.reserve(distinct);
+    for (std::size_t i = 0; i < distinct; ++i) {
+      util::Rng rng(9000 + i);
+      for (auto& x : grad) x = static_cast<float>(rng.normal());
+      accs.emplace_back(d);
+      accs.back().add({grad.data(), grad.size()});
+    }
+    weights.assign(n, 1.0 / static_cast<double>(n));
+    ids.resize(n);
+    for (std::size_t i = 0; i < n; ++i) ids[i] = i;
+    in.dim = d;
+    in.round = 1;
+    in.data_weights = {weights.data(), weights.size()};
+    in.client_ids = {ids.data(), ids.size()};
+    for (std::size_t i = 0; i < n; ++i) {
+      in.client_vectors.push_back(accs[i % distinct].value());
+      in.client_chunk_max.push_back(accs[i % distinct].chunk_max());
+    }
+  }
+
+  /// A participant subset of ceil(pi_on * n) clients, stride-spread over the
+  /// id space (Markov-off clients are not clustered), weights renormalized.
+  void subset(double pi_on, std::vector<double>& w_scratch, std::vector<std::size_t>& id_scratch,
+              sparsify::RoundInput& sub) const {
+    const std::size_t n = ids.size();
+    const auto m = std::max<std::size_t>(
+        1, static_cast<std::size_t>(pi_on * static_cast<double>(n) + 0.5));
+    const std::size_t stride = n / m;
+    id_scratch.clear();
+    for (std::size_t j = 0; j < m; ++j) id_scratch.push_back(j * stride);
+    w_scratch.assign(m, 1.0 / static_cast<double>(m));
+    sub = sparsify::RoundInput{};
+    sub.dim = in.dim;
+    sub.round = 1;
+    sub.data_weights = {w_scratch.data(), w_scratch.size()};
+    sub.client_ids = {id_scratch.data(), id_scratch.size()};
+    for (const std::size_t i : id_scratch) {
+      sub.client_vectors.push_back(in.client_vectors[i]);
+      sub.client_chunk_max.push_back(in.client_chunk_max[i]);
+    }
+  }
+};
+
+struct SweepRow {
+  std::string kernel;
+  double pi_on;
+  std::size_t participants;
+  double ns_per_op;
+  double peak_rss_mb;
+};
+
+void bench_fleet_scale(std::vector<KernelResult>& out, std::vector<SweepRow>& sweep,
+                       std::size_t n, std::size_t d, const std::string& label) {
+  const std::size_t k = d / 100 + 1;
+  FleetInput fleet(n, d, /*distinct=*/256);
+  sparsify::RoundOutcome sharded_ref, single_ref;
+
+  // Sharded side: pool registered, one shard per slot (the simulation's auto
+  // policy). Sweep points run cheapest-first so their RSS trail is clean.
+  {
+    util::ThreadPool pool;
+    tensor::set_parallel_pool(&pool);
+    sparsify::FabTopK method(d);
+    method.set_sharding(std::min<std::size_t>(16, pool.slot_count()));
+    std::vector<double> w_scratch;
+    std::vector<std::size_t> id_scratch;
+    sparsify::RoundInput sub;
+    for (const double pi_on : {0.05, 0.27}) {
+      fleet.subset(pi_on, w_scratch, id_scratch, sub);
+      char name[96];
+      std::snprintf(name, sizeof(name), "%s_pi%02d", label.c_str(),
+                    static_cast<int>(pi_on * 100));
+      out.push_back(measure(name, "", static_cast<double>(sub.client_vectors.size()) * d, [&] {
+        do_not_optimize(method.round(sub, k));
+      }));
+      out.back().peak_rss_mb = peak_rss_mb();
+      sweep.push_back({name, pi_on, sub.client_vectors.size(), out.back().ns_per_op,
+                       out.back().peak_rss_mb});
+    }
+    out.push_back(measure(label, label + "_singleshard", static_cast<double>(n) * d, [&] {
+      do_not_optimize(method.round(fleet.in, k));
+    }));
+    out.back().peak_rss_mb = peak_rss_mb();
+    std::printf("    peak RSS after %-34s %8.1f MB\n", label.c_str(), peak_rss_mb());
+    sweep.push_back({label, 1.0, n, out.back().ns_per_op, out.back().peak_rss_mb});
+    sharded_ref = method.round(fleet.in, k);
+    tensor::set_parallel_pool(nullptr);
+  }
+
+  // Single-shard serial reference of the same build: per-client workspaces,
+  // three separate server passes. Runs last — its N workspaces dominate the
+  // scale's RSS high-water mark and must not contaminate the sharded points.
+  {
+    sparsify::FabTopK method(d);
+    out.push_back(measure(label + "_singleshard", "", static_cast<double>(n) * d, [&] {
+      do_not_optimize(method.round(fleet.in, k));
+    }));
+    out.back().peak_rss_mb = peak_rss_mb();
+    std::printf("    peak RSS after %-34s %8.1f MB\n", (label + "_singleshard").c_str(),
+                peak_rss_mb());
+    single_ref = method.round(fleet.in, k);
+  }
+
+  // The sharded path must be a pure execution-strategy change.
+  if (sharded_ref.update != single_ref.update ||
+      sharded_ref.reset_indices != single_ref.reset_indices ||
+      sharded_ref.reset_offsets != single_ref.reset_offsets ||
+      sharded_ref.contributed != single_ref.contributed) {
+    std::fprintf(stderr, "FATAL: sharded round diverged from single-shard on %s\n",
+                 label.c_str());
+    std::exit(1);
+  }
+}
+
+void write_sweep_csv(const std::vector<SweepRow>& sweep, const std::string& path) {
+  std::ofstream f(path);
+  f << "kernel,pi_on,participants,ns_per_op,ns_per_participant,peak_rss_mb\n";
+  for (const auto& r : sweep) {
+    f << r.kernel << "," << r.pi_on << "," << r.participants << "," << r.ns_per_op << ","
+      << (r.participants > 0 ? r.ns_per_op / static_cast<double>(r.participants) : 0.0) << ","
+      << r.peak_rss_mb << "\n";
+  }
+}
+
+// --- fused accumulate + threshold prescan ------------------------------------
+//
+// add_scan folds the hinted selection scan into the accumulation sweep: one
+// pass over each dirty chunk instead of add + (summary-pruned) scan. Both
+// sides reset first so every iteration does identical work on identical
+// state.
+
+void bench_fused_scan(std::vector<KernelResult>& out) {
+  const std::size_t d = 1u << 20;
+  const std::size_t k = d / 100;
+  const auto g = random_vec(d, 17);
+  // Threshold = the k-th |g| (what a warm selection hint would hold), so the
+  // scan is the production shape: ~k survivors against cap 8k+64.
+  std::vector<float> mags(d);
+  for (std::size_t i = 0; i < d; ++i) mags[i] = std::fabs(g[i]);
+  std::nth_element(mags.begin(), mags.begin() + static_cast<std::ptrdiff_t>(k - 1), mags.end(),
+                   std::greater<float>());
+  const float threshold = mags[k - 1];
+  const std::size_t cap = sparsify::topk_hint_cap(k);
+
+  sparsify::GradientAccumulator ref(d);
+  std::vector<std::uint64_t> keys;
+  out.push_back(measure("accumulator_add_then_scan_D1M", "", static_cast<double>(d), [&] {
+    ref.reset_all();
+    ref.add({g.data(), g.size()});
+    keys.clear();
+    (void)sparsify::threshold_scan_append(ref.value(), ref.chunk_max(), threshold, cap, keys);
+    do_not_optimize(keys.data());
+  }));
+  sparsify::GradientAccumulator fused(d);
+  out.push_back(measure("accumulator_add_scan_fused_D1M", "accumulator_add_then_scan_D1M",
+                        static_cast<double>(d), [&] {
+                          fused.reset_all();
+                          keys.clear();
+                          (void)fused.add_scan({g.data(), g.size()}, threshold, cap, keys);
+                          do_not_optimize(keys.data());
+                        }));
+}
+
 void bench_parallel_for(std::vector<KernelResult>& out) {
   util::ThreadPool pool;
   const std::size_t n = 1u << 20;
@@ -580,18 +772,33 @@ int main(int argc, char** argv) {
       path = argv[i];
     }
   }
+  const bool quick = g_budget_seconds < 0.5;
   std::printf("fedsparse kernel microbenchmarks (budget %.2fs/kernel)\n", g_budget_seconds);
   std::vector<KernelResult> results;
+  std::vector<SweepRow> sweep;
   bench_topk(results);
   bench_gemm(results);
   bench_linear(results);
   bench_conv2d(results);
   bench_accumulator(results);
+  bench_fused_scan(results);
   bench_fab_round(results);
   bench_round_engine(results);
   bench_tiered_rounds(results);
+  bench_fleet_scale(results, sweep, 10000, 1u << 17, "server_round_N10000_D128k");
+  if (!quick) {
+    // The single-shard reference side holds N full per-client workspaces at
+    // N=100k — multi-GB. Full runs only, so --quick CI smoke stays lean.
+    bench_fleet_scale(results, sweep, 100000, 1u << 16, "server_round_N100000_D64k");
+  }
   bench_parallel_for(results);
   write_json(results, path);
+  const std::size_t slash = path.find_last_of('/');
+  const std::string sweep_path =
+      (slash == std::string::npos ? std::string() : path.substr(0, slash + 1)) +
+      "BENCH_fleet_sweep.csv";
+  write_sweep_csv(sweep, sweep_path);
   std::printf("wrote %s\n", path.c_str());
+  std::printf("wrote %s\n", sweep_path.c_str());
   return 0;
 }

@@ -23,9 +23,15 @@
 //   only, no convergence claims).
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "common.h"
+#include "data/synthetic.h"
+#include "fl/simulation.h"
+#include "nn/models.h"
+#include "online/controller.h"
+#include "sparsify/method.h"
 
 namespace {
 
@@ -67,6 +73,49 @@ void emit_traffic(const std::string& out_dir, const std::string& name,
   }
 }
 
+// One sharded churn_heavy round at fleet scale, run under --smoke so tier-1
+// CI exercises the mega-fleet path end to end (per-shard fleets, fleet
+// workspace economy, O(touched-clients) scans over a mostly-offline
+// population) on a real Simulation — not just the method-level benches.
+// Direct construction (no trainer): the dataset stays a 4x4 toy, only the
+// client count is fleet-sized.
+void fleet_smoke() {
+  std::printf("\n== sharded fleet smoke: one churn_heavy round at N=10000 ==\n");
+  data::SyntheticConfig dc;
+  dc.num_classes = 4;
+  dc.channels = 1;
+  dc.height = 4;
+  dc.width = 4;
+  dc.num_clients = 10000;
+  dc.samples_per_client = 2;
+  dc.test_samples = 32;
+  dc.seed = 11;
+  fl::SimulationConfig cfg;
+  cfg.batch = 2;
+  cfg.max_rounds = 1;
+  cfg.eval_samples_per_client = 1;
+  cfg.eval_test_samples = 16;
+  cfg.seed = 11;
+  // Force a pool even on a 1-core CI box (threads=0 resolves to hardware
+  // concurrency there) so shard auto-selection actually engages the sharded
+  // round path — the point of this smoke.
+  cfg.threads = 2;
+  fl::apply_scenario(fl::make_scenario("churn_heavy", dc.num_clients, cfg.seed), cfg);
+  auto dataset = data::make_synthetic(dc);
+  auto factory = nn::mlp(16, {12}, 4);
+  util::Rng probe(1);
+  const std::size_t dim = factory(probe)->dim();
+  fl::Simulation sim(cfg, std::move(dataset), factory, sparsify::make_method("fab_topk", dim, 5),
+                     std::make_unique<online::FixedK>(20.0));
+  const fl::SimulationResult res = sim.run();
+  const std::size_t participants = res.records.empty() ? 0 : res.records.front().participants;
+  std::printf("fleet smoke: %zu of %zu clients participated (churn_heavy pi_on ~ 0.27)\n",
+              participants, sim.num_clients());
+  if (participants == 0 || participants >= sim.num_clients()) {
+    throw std::runtime_error("fleet smoke: churn_heavy participation out of range");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -105,6 +154,8 @@ int main(int argc, char** argv) {
       emit_traffic(a.out_dir, name, run.result);
       runs.emplace(name, std::move(run));
     }
+
+    if (smoke) fleet_smoke();
 
     if (!smoke) {
       // The acceptance comparison: equal-loss runs, bimodal should settle on

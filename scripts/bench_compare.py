@@ -2,9 +2,12 @@
 """Diff two BENCH_micro.json files (as written by bench/emit_json).
 
 Usage: bench_compare.py OLD.json NEW.json [--threshold PCT] [--metric ns|speedup]
+                        [--filter REGEX]
 
 Prints a per-kernel table of deltas and exits nonzero when any kernel
-regressed by more than --threshold percent (default 25).
+regressed by more than --threshold percent (default 25). --filter restricts
+the comparison (and the gate) to kernel names matching REGEX — CI uses it to
+run the fleet-scale comparison separately from the microkernel gate.
 
 Metrics:
   ns       raw ns/op (default) — for two runs on the SAME machine, e.g.
@@ -21,6 +24,7 @@ Metrics:
 
 import argparse
 import json
+import re
 import sys
 
 
@@ -39,6 +43,8 @@ def main():
     ap.add_argument("--metric", choices=("ns", "speedup"), default="ns",
                     help="ns: raw ns/op (same-machine runs); speedup: "
                          "speedup_vs_baseline ratios (cross-machine safe)")
+    ap.add_argument("--filter", default=None, metavar="REGEX",
+                    help="only compare kernels whose name matches REGEX")
     args = ap.parse_args()
 
     try:
@@ -46,6 +52,14 @@ def main():
     except (OSError, json.JSONDecodeError) as e:
         print(f"error: {e}", file=sys.stderr)
         return 2
+    if args.filter:
+        try:
+            pat = re.compile(args.filter)
+        except re.error as e:
+            print(f"error: bad --filter regex: {e}", file=sys.stderr)
+            return 2
+        old = {n: k for n, k in old.items() if pat.search(n)}
+        new = {n: k for n, k in new.items() if pat.search(n)}
     metric_key = "speedup_vs_baseline" if args.metric == "speedup" else "ns_per_op"
     raw_old, raw_new = old, new
     old = {n: k for n, k in old.items() if metric_key in k}
@@ -74,6 +88,16 @@ def main():
         ns = kernel.get("ns_per_op")
         return f"{ns:.0f}" if ns is not None else "-"
 
+    def fmt_rss(kernel):
+        rss = kernel.get("peak_rss_mb")
+        return f"{rss:.0f}" if rss is not None else "-"
+
+    # Peak-RSS columns are informational (not gated): memory-heavy benches
+    # like the fleet rounds report peak_rss_mb, and a footprint shift is as
+    # interesting as a time shift even though RSS is too machine- and
+    # allocator-dependent to fail CI on.
+    has_rss = any("peak_rss_mb" in k for m in (old, new) for k in m.values())
+
     label = "ns/op" if args.metric == "ns" else "speedup"
     header = f"{'kernel':<34} {'old ' + label:>13} {'new ' + label:>13} {'delta':>8}"
     if args.metric == "speedup":
@@ -81,6 +105,8 @@ def main():
         # ns columns show WHERE it landed — the optimized kernel slowing
         # down reads very differently from its seed baseline speeding up.
         header += f" {'old ns':>12} {'new ns':>12}"
+    if has_rss:
+        header += f" {'old rssMB':>10} {'new rssMB':>10} {'rss delta':>10}"
     print(header)
     for name in shared:
         if args.metric == "ns":
@@ -98,6 +124,14 @@ def main():
         row = f"{name:<34} {o:>13.2f} {n:>13.2f} {delta:>+7.1f}%"
         if args.metric == "speedup":
             row += f" {fmt_ns(old[name]):>12} {fmt_ns(new[name]):>12}"
+        if has_rss:
+            o_rss = old[name].get("peak_rss_mb")
+            n_rss = new[name].get("peak_rss_mb")
+            if o_rss and n_rss:
+                rss_delta = f"{(n_rss - o_rss) / o_rss * 100.0:+.1f}%"
+            else:
+                rss_delta = "-"
+            row += f" {fmt_rss(old[name]):>10} {fmt_rss(new[name]):>10} {rss_delta:>10}"
         print(row + flag)
 
     if regressions:

@@ -46,6 +46,26 @@ NetworkModel::NetworkModel(TimingModel nominal, NetworkConfig cfg, std::size_t n
     const double pi_on = cfg_.p_recover / (cfg_.p_drop + cfg_.p_recover);
     for (auto& s : on_) s = rng_.bernoulli(pi_on) ? 1 : 0;
   }
+  rebuild_availability_lists();
+}
+
+void NetworkModel::rebuild_availability_lists() {
+  online_ids_.clear();
+  offline_ids_.clear();
+  online_ids_.reserve(n_);
+  if (!has_churn()) {
+    // Identity list, built once: without churn every client is always on and
+    // begin_round never has to touch the lists again.
+    for (std::size_t i = 0; i < n_; ++i) online_ids_.push_back(i);
+    return;
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (on_[i]) {
+      online_ids_.push_back(i);
+    } else {
+      offline_ids_.push_back(i);
+    }
+  }
 }
 
 void NetworkModel::begin_round(std::size_t round) {
@@ -57,6 +77,10 @@ void NetworkModel::begin_round(std::size_t round) {
   const bool jitter = cfg_.rate_jitter_sigma > 0.0;
   const bool churn = cfg_.p_drop > 0.0;
   if (!jitter && !churn) return;
+  if (churn) {
+    online_ids_.clear();
+    offline_ids_.clear();
+  }
   for (std::size_t i = 0; i < n_; ++i) {
     if (jitter) {
       realized_[i].uplink_rate =
@@ -67,6 +91,13 @@ void NetworkModel::begin_round(std::size_t round) {
     if (churn) {
       on_[i] = on_[i] ? (rng_.bernoulli(cfg_.p_drop) ? 0 : 1)
                       : (rng_.bernoulli(cfg_.p_recover) ? 1 : 0);
+      // Classify in the pass that already holds the chain state: the
+      // simulation's per-round scan becomes O(touched clients), not O(N).
+      if (on_[i]) {
+        online_ids_.push_back(i);
+      } else {
+        offline_ids_.push_back(i);
+      }
     }
   }
 }

@@ -109,6 +109,19 @@ class NetworkModel {
   /// Availability of client i in the current round.
   bool available(std::size_t i) const;
 
+  /// Clients available / offline this round, ascending ids, maintained
+  /// incrementally inside begin_round's per-client transition pass. The
+  /// simulation iterates these instead of filtering 0..N-1 itself, so the
+  /// per-round cost of availability bookkeeping sits in the one pass that
+  /// already touches every chain state — and without churn the online list
+  /// is the identity (built once) and offline is empty.
+  std::span<const std::size_t> online_ids() const noexcept {
+    return {online_ids_.data(), online_ids_.size()};
+  }
+  std::span<const std::size_t> offline_ids() const noexcept {
+    return {offline_ids_.data(), offline_ids_.size()};
+  }
+
   /// Realized (jittered) rates and compute time of client i this round.
   double uplink_rate(std::size_t i) const;
   double downlink_rate(std::size_t i) const;
@@ -148,8 +161,12 @@ class NetworkModel {
   std::size_t n_ = 0;
   bool heterogeneous_ = false;
   util::Rng rng_{1};
+  void rebuild_availability_lists();
+
   std::vector<ClientProfile> realized_;  // per-round jittered profiles
   std::vector<std::uint8_t> on_;         // availability states
+  std::vector<std::size_t> online_ids_;  // ascending; identity when no churn
+  std::vector<std::size_t> offline_ids_;
 };
 
 // ---------------------------------------------------------------- scenarios

@@ -7,6 +7,7 @@
 
 #include "online/estimator.h"
 #include "online/rounding.h"
+#include "sparsify/topk.h"
 #include "tensor/matrix.h"
 #include "util/logging.h"
 #include "util/stats.h"
@@ -92,17 +93,26 @@ Simulation::Simulation(SimulationConfig cfg, data::FederatedDataset dataset,
     workspaces_.back()->bind_weights({shared_weights_.data(), shared_weights_.size()});
   }
 
-  util::log_info() << "Simulation: " << clients_.size() << " clients, D=" << dim_
-                   << ", method=" << method_->name() << ", controller=" << controller_->name()
-                   << ", beta=" << cfg.comm_time << ", engine="
-                   << (per_client_weights_ ? "per-replica" : "shared") << " ("
-                   << workspaces_.size() << " workspaces)";
-
   // Let large GEMMs inside workspace forward/backward split their M loop
   // across this pool. Nested parallel_for calls are safe: the caller always
   // drains chunks itself, so a busy pool just means the inner call runs
   // serially.
   tensor::set_parallel_pool(&pool_);
+
+  // Sharded round engine: auto mode gives the method one shard per pool slot
+  // (capped — past ~16 shards the tree-merge constant outweighs the split)
+  // whenever the pool actually has workers. Shard count never changes round
+  // traces (pinned by tests), so auto can track the thread count freely.
+  const std::size_t eff_shards =
+      cfg_.shards != 0 ? cfg_.shards
+                       : (pool_.size() > 1 ? std::min<std::size_t>(16, pool_.slot_count()) : 1);
+  method_->set_sharding(eff_shards);
+
+  util::log_info() << "Simulation: " << clients_.size() << " clients, D=" << dim_
+                   << ", method=" << method_->name() << ", controller=" << controller_->name()
+                   << ", beta=" << cfg.comm_time << ", engine="
+                   << (per_client_weights_ ? "per-replica" : "shared") << " ("
+                   << workspaces_.size() << " workspaces, " << eff_shards << " shards)";
 }
 
 Simulation::~Simulation() {
@@ -128,24 +138,20 @@ nn::Sequential& Simulation::bound_workspace(std::size_t i) {
 }
 
 const std::vector<std::size_t>& Simulation::sample_participants() {
-  const std::size_t n = clients_.size();
   // Availability gates reachability: an offline client can be neither
-  // sampled nor waited on. Without churn every client is available and the
-  // sampling below consumes rng_ exactly as the pre-network engine did.
-  id_scratch_.clear();
-  if (network_.has_churn()) {
-    for (std::size_t i = 0; i < n; ++i) {
-      if (network_.available(i)) id_scratch_.push_back(i);
-    }
-  } else {
-    id_scratch_.resize(n);
-    for (std::size_t i = 0; i < n; ++i) id_scratch_[i] = i;
-  }
-  const std::size_t avail = id_scratch_.size();
+  // sampled nor waited on. The network maintains the online list inside its
+  // own per-client transition pass, so nothing here is O(N): full
+  // participation reads the list straight through, and partial participation
+  // copies it once for the in-place shuffle. Without churn the list is the
+  // identity and the sampling consumes rng_ exactly as the pre-network
+  // engine did.
+  const auto online = network_.online_ids();
+  const std::size_t avail = online.size();
   if (cfg_.participation >= 1.0 || avail <= 1) {
-    part_ids_.assign(id_scratch_.begin(), id_scratch_.end());
+    part_ids_.assign(online.begin(), online.end());
     return part_ids_;
   }
+  id_scratch_.assign(online.begin(), online.end());
   const auto take = std::max<std::size_t>(
       1, static_cast<std::size_t>(std::ceil(cfg_.participation * static_cast<double>(avail))));
   // Partial Fisher–Yates: the first `take` entries are a uniform sample.
@@ -167,6 +173,7 @@ const sparsify::RoundInput& Simulation::make_round_input(
   round_input_.client_ids = {selected.data(), selected.size()};
   round_input_.client_vectors.clear();
   round_input_.client_chunk_max.clear();
+  round_input_.client_prescan.clear();
   weight_storage_.clear();
   double total = 0.0;
   for (const std::size_t i : selected) total += data_weights_[i];
@@ -182,6 +189,11 @@ const sparsify::RoundInput& Simulation::make_round_input(
                                               : clients_[i]->accumulator().value());
     if (tiered) {
       round_input_.client_chunk_max.push_back(clients_[i]->accumulator().chunk_max());
+    }
+    // Slot-aligned fused-prescan views: clients that did not run one this
+    // round contribute a default (invalid) view the selection ignores.
+    if (prescan_round_) {
+      round_input_.client_prescan.push_back(clients_[i]->prescan_view(round));
     }
   }
   round_input_.data_weights = {weight_storage_.data(), weight_storage_.size()};
@@ -266,8 +278,25 @@ SimulationResult Simulation::run() {
     const std::vector<std::size_t>& part = sample_participants();
     compute_ids_.assign(part.begin(), part.end());
     if (network_.has_churn()) {
-      for (std::size_t i = 0; i < clients_.size(); ++i) {
-        if (!network_.available(i)) compute_ids_.push_back(i);
+      const auto offline = network_.offline_ids();
+      compute_ids_.insert(compute_ids_.end(), offline.begin(), offline.end());
+    }
+
+    // Fused prescan: arm each participant whose method hint is live so its
+    // gradient accumulation below emits this round's selection candidates in
+    // the same pass (Client::request_prescan). The gate mirrors the selection
+    // prefilter gate exactly — when select() would not run the hint filter,
+    // there is nothing to fuse.
+    prescan_round_ = false;
+    if (cfg_.fused_prescan && cfg_.tiered_accumulators && !fedavg_style_ &&
+        dim_ >= sparsify::kTopKPrefilterMinDim && k_int >= 1 && k_int < dim_) {
+      const std::size_t cap = sparsify::topk_hint_cap(k_int);
+      for (const std::size_t i : part) {
+        const float t = method_->upload_threshold_hint(i);
+        if (t > 0.0f) {
+          clients_[i]->request_prescan(t, k_int, cap, m);
+          prescan_round_ = true;
+        }
       }
     }
     pool_.parallel_for(
@@ -411,11 +440,7 @@ SimulationResult Simulation::run() {
     double fleet_uplink = 0.0;
     for (std::size_t s = 0; s < part.size(); ++s) fleet_uplink += uplink_slots_[s];
     const double n_part = static_cast<double>(part.size());
-    std::size_t online = n;
-    if (network_.has_churn()) {
-      online = 0;
-      for (std::size_t i = 0; i < n; ++i) online += network_.available(i) ? 1 : 0;
-    }
+    const std::size_t online = network_.online_ids().size();
     const double n_online = static_cast<double>(online);
     const double fleet_downlink = n_online * outcome.downlink_values;
 
@@ -429,15 +454,15 @@ SimulationResult Simulation::run() {
         clients_[part[s]]->note_round(uplink_slots_[s], outcome.downlink_values);
       }
       if (outcome.downlink_values > 0.0 && part.size() < online) {
-        std::size_t next = 0;  // part is sorted ascending
-        for (std::size_t i = 0; i < n; ++i) {
+        // Both lists are sorted ascending and part ⊆ online, so one merge
+        // walk charges every online non-participant — O(online), not O(N).
+        std::size_t next = 0;
+        for (const std::size_t i : network_.online_ids()) {
           if (next < part.size() && part[next] == i) {
             ++next;
             continue;
           }
-          if (!network_.has_churn() || network_.available(i)) {
-            clients_[i]->note_broadcast(outcome.downlink_values);
-          }
+          clients_[i]->note_broadcast(outcome.downlink_values);
         }
       }
     }

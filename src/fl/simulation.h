@@ -113,6 +113,22 @@ struct SimulationConfig {
   /// Shared-store engine (default) or per-replica reference engine.
   ReplicaMode replica_mode = ReplicaMode::kShared;
 
+  /// Sharded round engine (sparsify/shard_engine.h): partition participants
+  /// into per-shard fleets with thread-local accumulator arenas, merge the
+  /// per-shard candidate runs by tree reduction. 0 = auto (one shard per
+  /// pool slot, capped at 16, when the pool has workers; 1 otherwise).
+  /// Round traces are byte-identical at every shard count — pinned by
+  /// tests/engine_test.cpp — so this is purely a throughput knob.
+  std::size_t shards = 0;
+
+  /// Fuse accumulate → chunk-summarize → threshold-scan into one pass over
+  /// each dirty chunk (GradientAccumulator::add_scan): participants with a
+  /// valid top-k threshold hint emit their candidate keys during gradient
+  /// accumulation, and the method's selection consumes them instead of
+  /// re-scanning. Bitwise identical on/off (the fused scan IS the hint
+  /// filter's scan); false keeps the separate-pass reference for A/B timing.
+  bool fused_prescan = true;
+
   std::size_t threads = 0;   // 0 = hardware concurrency
   std::uint64_t seed = 1;
 };
@@ -241,6 +257,7 @@ class Simulation {
   std::vector<double> uplink_slots_;     // per-participant uplink payloads
   std::vector<double> weight_storage_;   // renormalized data weights
   sparsify::RoundInput round_input_;
+  bool prescan_round_ = false;           // fused prescan requested this round
   std::vector<double> mb_losses_;
   std::vector<double> probe_prev_, probe_cur_, probe_shift_;
   std::vector<float> shift_saved_;       // shared-store probe shift undo buffer

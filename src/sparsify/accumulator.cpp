@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "sparsify/topk.h"
 #include "util/vec_ext.h"
 
 namespace fedsparse::sparsify {
@@ -27,65 +28,101 @@ void GradientAccumulator::set_summary(std::size_t c, float bound) noexcept {
   }
 }
 
-void GradientAccumulator::add(std::span<const float> grad) {
+// Adds chunk c of g into a_, updates the chunk summary, and returns the
+// chunk's post-add |a| upper bound (the stored summary when the chunk was
+// untouched). Both add() and add_scan() drive their sweeps through this, so
+// the accumulator state they produce is identical by construction.
+float GradientAccumulator::add_chunk(std::size_t c, const float* g_base) noexcept {
+  float* __restrict__ a = a_.data();
+  const float* __restrict__ g = g_base;
+  const std::size_t n = a_.size();
+  const std::size_t begin = c * kAccumulatorChunk;
+  const std::size_t end = std::min(n, begin + kAccumulatorChunk);
+  std::size_t i = begin;
+  bool touched = false;  // any destination element written
+  bool full = true;      // every element of the chunk written (bound exact)
+  // The chunk max reduces over |a| BIT PATTERNS with integer compares:
+  // IEEE bit order equals magnitude order for non-NaN values, and a NaN —
+  // which a float max would silently drop, leaving a chunk that still
+  // holds it marked clean and so skipped by reset_all and the dense
+  // fallback — ranks strictly above +inf's bits and survives the
+  // reduction.
+  std::uint32_t bmax = 0;
+#if FEDSPARSE_VEC_EXT
+  namespace vec = util::vec;
+  using vec::load8;
+  using vec::v8sf;
+  using vec::v8si;
+  v8si vbmax{};
+  for (; i + vec::kLanes <= end; i += vec::kLanes) {
+    const v8sf gv = load8(g + i);
+    if (!vec::any_lane(gv != v8sf{})) {  // all-zero source group: a unchanged
+      full = false;
+      continue;
+    }
+    v8sf av = load8(a + i);
+    av += gv;
+    vec::store8(a + i, av);
+    vbmax = vec::max8i(vbmax, vec::abs_bits8(av));
+    touched = true;
+  }
+  bmax = static_cast<std::uint32_t>(vec::reduce_max8i(vbmax));
+#endif
+  for (; i < end; ++i) {  // scalar tail (and the whole chunk without vec ext)
+    a[i] += g[i];
+    std::uint32_t b;
+    std::memcpy(&b, a + i, sizeof b);
+    bmax = std::max(bmax, b & 0x7fffffffu);
+    touched = true;
+  }
+  if (!touched) return chunk_max_[c];  // summary still exact/valid
+  // NaN bit patterns (above +inf's 0x7f800000) pin the bound to infinity:
+  // always dirty, never pruned.
+  constexpr std::uint32_t kInfBits = 0x7f800000u;
+  float mx;
+  if (bmax > kInfBits) {
+    mx = std::numeric_limits<float>::infinity();
+  } else {
+    std::memcpy(&mx, &bmax, sizeof mx);
+  }
+  const float bound = full ? mx : std::max(mx, chunk_max_[c]);
+  set_summary(c, bound);
+  return bound;
+}
+
+// flatten: inline add_chunk into the chunk loop — the mostly-zero gradients
+// of idle clients spend the whole sweep in add_chunk's skip path, where the
+// call overhead itself is the cost.
+__attribute__((flatten)) void GradientAccumulator::add(std::span<const float> grad) {
   if (grad.size() != a_.size()) {
     throw std::invalid_argument("GradientAccumulator::add: dimension mismatch");
   }
-  float* __restrict__ a = a_.data();
-  const float* __restrict__ g = grad.data();
+  for (std::size_t c = 0; c < chunk_max_.size(); ++c) add_chunk(c, grad.data());
+}
+
+bool GradientAccumulator::add_scan(std::span<const float> grad, float threshold,
+                                   std::size_t cap, std::vector<std::uint64_t>& keys) {
+  if (grad.size() != a_.size()) {
+    throw std::invalid_argument("GradientAccumulator::add_scan: dimension mismatch");
+  }
+  if (!(threshold > 0.0f)) {
+    throw std::invalid_argument("GradientAccumulator::add_scan: threshold must be > 0");
+  }
+  keys.clear();
+  bool complete = true;
   const std::size_t n = a_.size();
   for (std::size_t c = 0; c < chunk_max_.size(); ++c) {
+    const float bound = add_chunk(c, grad.data());
+    // Once the cap bailed the scan result is already decided; the remaining
+    // chunks still need their adds, just not their scans.
+    if (!complete || bound < threshold) continue;
     const std::size_t begin = c * kAccumulatorChunk;
     const std::size_t end = std::min(n, begin + kAccumulatorChunk);
-    std::size_t i = begin;
-    bool touched = false;  // any destination element written
-    bool full = true;      // every element of the chunk written (bound exact)
-    // The chunk max reduces over |a| BIT PATTERNS with integer compares:
-    // IEEE bit order equals magnitude order for non-NaN values, and a NaN —
-    // which a float max would silently drop, leaving a chunk that still
-    // holds it marked clean and so skipped by reset_all and the dense
-    // fallback — ranks strictly above +inf's bits and survives the
-    // reduction.
-    std::uint32_t bmax = 0;
-#if FEDSPARSE_VEC_EXT
-    namespace vec = util::vec;
-    using vec::load8;
-    using vec::v8sf;
-    using vec::v8si;
-    v8si vbmax{};
-    for (; i + vec::kLanes <= end; i += vec::kLanes) {
-      const v8sf gv = load8(g + i);
-      if (!vec::any_lane(gv != v8sf{})) {  // all-zero source group: a unchanged
-        full = false;
-        continue;
-      }
-      v8sf av = load8(a + i);
-      av += gv;
-      vec::store8(a + i, av);
-      vbmax = vec::max8i(vbmax, vec::abs_bits8(av));
-      touched = true;
+    if (!threshold_scan_range_append(a_.data(), begin, end, threshold, cap, keys)) {
+      complete = false;
     }
-    bmax = static_cast<std::uint32_t>(vec::reduce_max8i(vbmax));
-#endif
-    for (; i < end; ++i) {  // scalar tail (and the whole chunk without vec ext)
-      a[i] += g[i];
-      std::uint32_t b;
-      std::memcpy(&b, a + i, sizeof b);
-      bmax = std::max(bmax, b & 0x7fffffffu);
-      touched = true;
-    }
-    if (!touched) continue;  // chunk untouched: summary still exact/valid
-    // NaN bit patterns (above +inf's 0x7f800000) pin the bound to infinity:
-    // always dirty, never pruned.
-    constexpr std::uint32_t kInfBits = 0x7f800000u;
-    float mx;
-    if (bmax > kInfBits) {
-      mx = std::numeric_limits<float>::infinity();
-    } else {
-      std::memcpy(&mx, &bmax, sizeof mx);
-    }
-    set_summary(c, full ? mx : std::max(mx, chunk_max_[c]));
   }
+  return complete;
 }
 
 void GradientAccumulator::reset_indices(std::span<const std::int32_t> indices) {

@@ -5,11 +5,19 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "sparsify/keys.h"
 #include "sparsify/topk.h"
+#include "tensor/matrix.h"
+#include "util/thread_pool.h"
 
 namespace fedsparse::sparsify {
 
 FabTopK::FabTopK(std::size_t dim) : dim_(dim), agg_(dim, 0.0f), stamp_(dim, 0) {}
+
+float FabTopK::upload_threshold_hint(std::size_t client_id) const {
+  if (shards_ > 1) return client_id < hints_.size() ? hints_[client_id].threshold : 0.0f;
+  return client_id < topk_ws_.size() ? topk_ws_[client_id].threshold_hint : 0.0f;
+}
 
 std::size_t FabTopK::find_kappa(const std::vector<SparseVector>& uploads, std::size_t k) {
   // |∪_i J_i^κ| is nondecreasing in κ, so binary search works. Evaluating the
@@ -64,12 +72,16 @@ RoundOutcome FabTopK::round(const RoundInput& in, std::size_t k) {
   validate_round_input(in);
   const std::size_t n = in.client_vectors.size();
   k = std::clamp<std::size_t>(k, 1, dim_);
+  // Dispatch on shards_ alone (not n): the hint store must not flip between
+  // the per-client workspaces and the fleet store across rounds.
+  if (shards_ > 1) return round_sharded(in, k);
 
   // Client side: top-k of the accumulated gradient, strongest first — the N
   // independent selections thread across the registered pool, pruning on the
   // accumulators' chunk summaries when the caller provides them. uploads_ /
   // topk_ws_ keep their capacity across rounds — no allocations once warm.
-  top_k_uploads(in.client_vectors, in.client_chunk_max, k, in.client_ids, topk_ws_, uploads_);
+  top_k_uploads(in.client_vectors, in.client_chunk_max, k, in.client_ids, topk_ws_, uploads_,
+                in.client_prescan.empty() ? nullptr : &in.client_prescan);
 
   // Server side: fairness-aware selection.
   const std::size_t kappa = find_kappa_stamped(k);
@@ -151,6 +163,183 @@ RoundOutcome FabTopK::round(const RoundInput& in, std::size_t k) {
   // largest actual per-client payload — not a flat 2k, which overcharges
   // whenever a client uploaded fewer than k entries. The full per-client
   // distribution feeds the heterogeneous network model's straggler max.
+  set_uplink_from_uploads(uploads_, out);
+  out.downlink_values = 2.0 * static_cast<double>(out.update.size());
+  return out;
+}
+
+// Sharded round: the same algorithm with every O(N·k) server pass split into
+// per-shard arena passes plus a fixed-order serial combine. Equivalence to
+// the reference path, phase by phase:
+//
+//  * κ — the reference's growth histogram counts indices by their MIN prefix
+//    depth over all clients. Min is commutative/associative, so per-shard
+//    minima min-merged in fixed shard order give the same per-index depth,
+//    the same histogram, the same κ.
+//  * J — the reference builds selected_ in client-major prefix order, but
+//    its ORDER is never observable: the update is index-sorted at the end
+//    and resets/contributions test only membership. J as a set is
+//    {min depth < κ}, read off the merged depth map.
+//  * Fill — the reference sorts all (κ+1)-th candidates by (|v| desc, index
+//    asc) and walks with first-occurrence index dedup until k. Per-shard:
+//    radix-sort the shard's candidates as 64-bit keys (the identical total
+//    order), dedup within the shard (a dropped duplicate is weaker than an
+//    earlier same-index key, so the reference walk would skip it too) and
+//    truncate to the fill quota f = k − |J| (an entry below f distinct
+//    stronger in-shard candidates has ≥ f distinct stronger candidates
+//    globally — it can never be chosen). Tree-merging the runs restores the
+//    exact global candidate order; the final walk is the reference walk.
+//  * Aggregation / resets — BucketAggregator reproduces the client-major
+//    float addition sequence per index (see shard_engine.h); CsrResetBuilder
+//    is the reference's count/fill loop over a contiguous partition. The
+//    builder runs FIRST: the aggregator re-stamps J's entries with its touch
+//    token, consuming the in_j membership the filter reads.
+RoundOutcome FabTopK::round_sharded(const RoundInput& in, std::size_t k) {
+  const std::size_t n = in.client_vectors.size();
+  util::ThreadPool* pool = tensor::parallel_pool();
+  const ShardPlan plan = make_shard_plan(n, shards_);
+  const std::size_t S = plan.shards();
+
+  top_k_uploads_fleet(in.client_vectors, in.client_chunk_max, k, in.client_ids, slot_ws_,
+                      hints_, uploads_,
+                      in.client_prescan.empty() ? nullptr : &in.client_prescan);
+
+  // Per-shard min prefix depth of every index the shard saw.
+  if (arenas_.size() < S) arenas_.resize(S);
+  for_each_shard(pool, S, [&](std::size_t s) {
+    ShardArena& ar = arenas_[s];
+    const std::uint32_t tok = ar.begin_pass(dim_);
+    ar.touched.clear();
+    for (std::size_t j = 0; j < k; ++j) {
+      for (std::size_t i = plan.begin(s); i < plan.end(s); ++i) {
+        const auto& up = uploads_[i];
+        if (up.size() <= j) continue;
+        const auto idx = static_cast<std::size_t>(up[j].index);
+        if (ar.stamp[idx] != tok) {
+          ar.stamp[idx] = tok;
+          ar.aux[idx] = static_cast<std::uint32_t>(j);
+          ar.touched.push_back(up[j].index);
+        }
+      }
+    }
+  });
+
+  // Fixed-order min-merge into the global depth map, then the same growth
+  // histogram walk as find_kappa_stamped.
+  if (depth_.size() < dim_) depth_.resize(dim_, 0);
+  ++stamp_token_;
+  const std::uint32_t seen = stamp_token_;
+  touched_union_.clear();
+  for (std::size_t s = 0; s < S; ++s) {
+    const ShardArena& ar = arenas_[s];
+    for (const std::int32_t j : ar.touched) {
+      const auto idx = static_cast<std::size_t>(j);
+      const std::uint32_t d = ar.aux[idx];
+      if (stamp_[idx] != seen) {
+        stamp_[idx] = seen;
+        depth_[idx] = d;
+        touched_union_.push_back(j);
+      } else if (d < depth_[idx]) {
+        depth_[idx] = d;
+      }
+    }
+  }
+  union_growth_.assign(k, 0);
+  for (const std::int32_t j : touched_union_) {
+    ++union_growth_[depth_[static_cast<std::size_t>(j)]];
+  }
+  std::size_t size = 0, kappa = 0;
+  for (std::size_t j = 0; j < k; ++j) {
+    size += union_growth_[j];
+    if (size > k) break;
+    kappa = j + 1;
+  }
+
+  ++stamp_token_;
+  const std::uint32_t in_j = stamp_token_;
+  selected_.clear();
+  for (const std::int32_t j : touched_union_) {
+    const auto idx = static_cast<std::size_t>(j);
+    if (depth_[idx] < kappa) {
+      stamp_[idx] = in_j;
+      selected_.push_back(j);
+    }
+  }
+
+  if (selected_.size() < k) {
+    const std::size_t need = k - selected_.size();
+    for_each_shard(pool, S, [&](std::size_t s) {
+      ShardArena& ar = arenas_[s];
+      ar.keys.clear();
+      for (std::size_t i = plan.begin(s); i < plan.end(s); ++i) {
+        const auto& up = uploads_[i];
+        if (up.size() > kappa) {
+          const auto& e = up[kappa];
+          if (stamp_[static_cast<std::size_t>(e.index)] != in_j) {
+            ar.keys.push_back(make_key(e.value, static_cast<std::size_t>(e.index)));
+          }
+        }
+      }
+      sort_keys_desc(ar.keys, ar.key_scratch);
+      const std::uint32_t tok = ar.begin_pass(dim_);
+      std::size_t kept = 0;
+      for (const std::uint64_t key : ar.keys) {
+        const std::size_t idx = key_index(key);
+        if (ar.stamp[idx] == tok) continue;
+        ar.stamp[idx] = tok;
+        ar.keys[kept++] = key;
+        if (kept == need) break;
+      }
+      ar.keys.resize(kept);
+    });
+    runs_.clear();
+    std::size_t total_fill = 0;
+    for (std::size_t s = 0; s < S; ++s) {
+      runs_.push_back({arenas_[s].keys.data(), arenas_[s].keys.size()});
+      total_fill += arenas_[s].keys.size();
+    }
+    merger_.merge({runs_.data(), runs_.size()}, total_fill, merged_keys_);
+    for (const std::uint64_t key : merged_keys_) {
+      if (selected_.size() >= k) break;
+      const std::size_t idx = key_index(key);
+      if (stamp_[idx] != in_j) {
+        stamp_[idx] = in_j;
+        selected_.push_back(static_cast<std::int32_t>(idx));
+      }
+    }
+  }
+
+  RoundOutcome out;
+  out.kind = RoundOutcome::Kind::kSparseUpdate;
+  const BucketAggregator::Filter filter{stamp_.data(), in_j};
+  resets_.run(uploads_, S, pool, filter, out);
+
+  ++stamp_token_;
+  aggregator_.run(uploads_, in.data_weights, dim_, S, pool, filter, agg_.data(),
+                  stamp_.data(), stamp_token_);
+
+  // Buckets are ascending disjoint index ranges, so per-bucket index sorts
+  // concatenate into the globally index-sorted update the reference emits.
+  // Every j ∈ J has at least one uploader (prefix members and fill
+  // candidates both come from uploads), so the aggregated set IS J.
+  const std::size_t B = aggregator_.buckets();
+  bucket_offsets_.resize(B + 1);
+  bucket_offsets_[0] = 0;
+  for (std::size_t b = 0; b < B; ++b) {
+    bucket_offsets_[b + 1] = bucket_offsets_[b] + aggregator_.touched(b).size();
+  }
+  out.update.resize(bucket_offsets_[B]);
+  for_each_shard(pool, B, [&](std::size_t b) {
+    ShardArena& ar = arenas_[b];
+    const auto touched = aggregator_.touched(b);
+    ar.touched.assign(touched.begin(), touched.end());
+    std::sort(ar.touched.begin(), ar.touched.end());
+    std::size_t pos = bucket_offsets_[b];
+    for (const std::int32_t j : ar.touched) {
+      out.update[pos++] = SparseEntry{j, agg_[static_cast<std::size_t>(j)]};
+    }
+  });
+
   set_uplink_from_uploads(uploads_, out);
   out.downlink_values = 2.0 * static_cast<double>(out.update.size());
   return out;

@@ -16,6 +16,7 @@
 #pragma once
 
 #include "sparsify/method.h"
+#include "sparsify/shard_engine.h"
 #include "sparsify/topk.h"
 
 namespace fedsparse::sparsify {
@@ -26,6 +27,17 @@ class FabTopK final : public Method {
 
   std::string name() const override { return "fab_topk"; }
   RoundOutcome round(const RoundInput& in, std::size_t k) override;
+
+  /// Sharded round engine: shards > 1 partitions the participants into
+  /// contiguous per-thread fleets (per-shard depth arenas, tree-merged fill
+  /// candidates, bucketed aggregation) with byte-identical outcomes at every
+  /// shard count. Selection hints move from per-client workspaces into the
+  /// compact per-client hint store, so switch before the first round.
+  void set_sharding(std::size_t shards) override {
+    shards_ = std::max<std::size_t>(1, shards);
+  }
+
+  float upload_threshold_hint(std::size_t client_id) const override;
 
   /// Reference κ search (hash-set based), exposed for unit tests: given
   /// per-client uploads sorted strongest-first, returns the largest
@@ -38,6 +50,8 @@ class FabTopK final : public Method {
   /// each prefix depth contributes, then a prefix-sum walk. Same result as
   /// find_kappa, no hashing, no allocation beyond the reused growth buffer.
   std::size_t find_kappa_stamped(std::size_t k);
+
+  RoundOutcome round_sharded(const RoundInput& in, std::size_t k);
 
   std::size_t dim_;
   // Dense scratch reused across rounds (sized D): aggregation buffer and a
@@ -53,6 +67,21 @@ class FabTopK final : public Method {
   std::vector<std::int32_t> selected_;
   SparseVector fill_candidates_;
   std::vector<std::size_t> union_growth_;
+  // Sharded-engine state (unused while shards_ == 1). Selection workspaces
+  // are per thread slot + an 8-byte hint per client instead of a full
+  // workspace per client — the memory knee that matters at N=100k.
+  std::size_t shards_ = 1;
+  std::vector<TopKWorkspace> slot_ws_;
+  std::vector<ClientHint> hints_;
+  std::vector<ShardArena> arenas_;
+  std::vector<std::uint32_t> depth_;         // global min prefix depth per index
+  std::vector<std::int32_t> touched_union_;  // indices seen by any shard
+  std::vector<std::span<const std::uint64_t>> runs_;
+  std::vector<std::uint64_t> merged_keys_;
+  std::vector<std::size_t> bucket_offsets_;
+  KeyMerger merger_;
+  BucketAggregator aggregator_;
+  CsrResetBuilder resets_;
 };
 
 }  // namespace fedsparse::sparsify

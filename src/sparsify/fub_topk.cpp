@@ -3,21 +3,31 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sparsify/keys.h"
 #include "sparsify/topk.h"
+#include "tensor/matrix.h"
+#include "util/thread_pool.h"
 
 namespace fedsparse::sparsify {
 
 FubTopK::FubTopK(std::size_t dim) : dim_(dim), agg_(dim, 0.0f), stamp_(dim, 0) {}
 
+float FubTopK::upload_threshold_hint(std::size_t client_id) const {
+  if (shards_ > 1) return client_id < hints_.size() ? hints_[client_id].threshold : 0.0f;
+  return client_id < topk_ws_.size() ? topk_ws_[client_id].threshold_hint : 0.0f;
+}
+
 RoundOutcome FubTopK::round(const RoundInput& in, std::size_t k) {
   validate_round_input(in);
   const std::size_t n = in.client_vectors.size();
   k = std::clamp<std::size_t>(k, 1, dim_);
+  if (shards_ > 1) return round_sharded(in, k);
 
   // Per-client selections threaded across the registered pool (deterministic:
   // each client owns its workspace and output slot), chunk-pruned when the
   // caller provides accumulator summaries.
-  top_k_uploads(in.client_vectors, in.client_chunk_max, k, in.client_ids, topk_ws_, uploads_);
+  top_k_uploads(in.client_vectors, in.client_chunk_max, k, in.client_ids, topk_ws_, uploads_,
+                in.client_prescan.empty() ? nullptr : &in.client_prescan);
 
   // Aggregate everything uploaded, then keep the top-k by |aggregate|.
   ++stamp_token_;
@@ -75,6 +85,67 @@ RoundOutcome FubTopK::round(const RoundInput& in, std::size_t k) {
   // Parallel uplinks: charge the largest actual per-client payload (matches
   // FabTopK's accounting) rather than assuming every client sent k pairs;
   // the per-client distribution feeds the heterogeneous straggler max.
+  set_uplink_from_uploads(uploads_, out);
+  out.downlink_values = 2.0 * static_cast<double>(out.update.size());
+  return out;
+}
+
+// Sharded round. The reference sorts the whole aggregated union by
+// (|value| desc, index asc) and keeps k — exactly the 64-bit key order on
+// (agg value, index), and the per-index keys are unique. So: bucketed
+// aggregation (bit-identical sums, see shard_engine.h), per-bucket partial
+// top-k via nth_element + radix sort, k-bounded tree merge of the runs. The
+// merged run is the global top-k set; the reference's update/reset passes
+// only consume that set (the update re-sorts by index).
+RoundOutcome FubTopK::round_sharded(const RoundInput& in, std::size_t k) {
+  const std::size_t n = in.client_vectors.size();
+  util::ThreadPool* pool = tensor::parallel_pool();
+  const ShardPlan plan = make_shard_plan(n, shards_);
+  const std::size_t S = plan.shards();
+
+  top_k_uploads_fleet(in.client_vectors, in.client_chunk_max, k, in.client_ids, slot_ws_,
+                      hints_, uploads_,
+                      in.client_prescan.empty() ? nullptr : &in.client_prescan);
+
+  ++stamp_token_;
+  aggregator_.run(uploads_, in.data_weights, dim_, S, pool, /*filter=*/{}, agg_.data(),
+                  stamp_.data(), stamp_token_);
+
+  const std::size_t B = aggregator_.buckets();
+  if (arenas_.size() < B) arenas_.resize(B);
+  for_each_shard(pool, B, [&](std::size_t b) {
+    ShardArena& ar = arenas_[b];
+    ar.keys.clear();
+    for (const std::int32_t j : aggregator_.touched(b)) {
+      const auto idx = static_cast<std::size_t>(j);
+      ar.keys.push_back(make_key(agg_[idx], idx));
+    }
+    if (ar.keys.size() > k) {
+      std::nth_element(ar.keys.begin(), ar.keys.begin() + static_cast<std::ptrdiff_t>(k),
+                       ar.keys.end(), std::greater<std::uint64_t>());
+      ar.keys.resize(k);
+    }
+    sort_keys_desc(ar.keys, ar.key_scratch);
+  });
+  runs_.clear();
+  for (std::size_t b = 0; b < B; ++b) {
+    runs_.push_back({arenas_[b].keys.data(), arenas_[b].keys.size()});
+  }
+  merger_.merge({runs_.data(), runs_.size()}, k, merged_keys_);
+
+  ++stamp_token_;
+  const std::uint32_t in_j = stamp_token_;
+  RoundOutcome out;
+  out.kind = RoundOutcome::Kind::kSparseUpdate;
+  out.update.resize(merged_keys_.size());
+  for (std::size_t p = 0; p < merged_keys_.size(); ++p) {
+    const std::size_t idx = key_index(merged_keys_[p]);
+    stamp_[idx] = in_j;
+    out.update[p] = SparseEntry{static_cast<std::int32_t>(idx), agg_[idx]};
+  }
+  sort_by_index(out.update);
+
+  resets_.run(uploads_, S, pool, {stamp_.data(), in_j}, out);
   set_uplink_from_uploads(uploads_, out);
   out.downlink_values = 2.0 * static_cast<double>(out.update.size());
   return out;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "sparsify/method.h"
+#include "sparsify/shard_engine.h"
 #include "sparsify/topk.h"
 
 namespace fedsparse::sparsify {
@@ -18,7 +19,16 @@ class FubTopK final : public Method {
   std::string name() const override { return "fub_topk"; }
   RoundOutcome round(const RoundInput& in, std::size_t k) override;
 
+  /// See FabTopK::set_sharding — byte-identical at every shard count.
+  void set_sharding(std::size_t shards) override {
+    shards_ = std::max<std::size_t>(1, shards);
+  }
+
+  float upload_threshold_hint(std::size_t client_id) const override;
+
  private:
+  RoundOutcome round_sharded(const RoundInput& in, std::size_t k);
+
   std::size_t dim_;
   std::vector<float> agg_;
   std::vector<std::uint32_t> stamp_;
@@ -28,6 +38,16 @@ class FubTopK final : public Method {
   std::vector<TopKWorkspace> topk_ws_;
   std::vector<SparseVector> uploads_;
   std::vector<std::int32_t> touched_list_;
+  // Sharded-engine state (unused while shards_ == 1).
+  std::size_t shards_ = 1;
+  std::vector<TopKWorkspace> slot_ws_;
+  std::vector<ClientHint> hints_;
+  std::vector<ShardArena> arenas_;
+  std::vector<std::span<const std::uint64_t>> runs_;
+  std::vector<std::uint64_t> merged_keys_;
+  KeyMerger merger_;
+  BucketAggregator aggregator_;
+  CsrResetBuilder resets_;
 };
 
 }  // namespace fedsparse::sparsify

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "sparsify/sparse_vector.h"
+#include "sparsify/topk.h"
 #include "util/rng.h"
 
 namespace fedsparse::sparsify {
@@ -48,6 +49,12 @@ struct RoundInput {
   /// Empty vector = no summaries (dense scans); individual empty spans opt
   /// single clients out. FedAvg-style inputs (client weights) leave it empty.
   std::vector<std::span<const float>> client_chunk_max;
+  /// Per-client fused prescan views (Client::add_scan results, slot-aligned
+  /// with client_vectors). Empty vector = no prescans this round; a
+  /// default-constructed view opts a single slot out. Top-k methods hand
+  /// these to the selection, which consumes a view only when it matches the
+  /// hint it would have scanned with — results are byte-identical either way.
+  std::vector<PrescanView> client_prescan;
   std::size_t dim = 0;   // D
   std::size_t round = 1; // m, 1-based
 };
@@ -132,6 +139,21 @@ class Method {
   /// estimator (Section IV-E). Stateless methods inherit this default;
   /// stateful ones (periodic-k) override it to snapshot/restore.
   virtual RoundOutcome probe_round(const RoundInput& in, std::size_t k) { return round(in, k); }
+
+  /// Requests the sharded round engine with `shards` client shards (top-k
+  /// methods; others ignore it). 0 or 1 selects the single-shard reference
+  /// path. Outcomes are byte-identical at every shard count — sharding is a
+  /// scheduling decision, not a semantic one.
+  virtual void set_sharding(std::size_t shards) { (void)shards; }
+
+  /// The |value| threshold the next selection for `client_id` would scan
+  /// with (its persisted hint), or 0 when unknown. The simulation uses this
+  /// to seed the client-side fused prescan; methods without per-client
+  /// selection state return 0 (no prescan).
+  virtual float upload_threshold_hint(std::size_t client_id) const {
+    (void)client_id;
+    return 0.0f;
+  }
 };
 
 /// Factory: "fab_topk" | "fub_topk" | "unidirectional_topk" | "periodic" |

@@ -1,0 +1,223 @@
+#include "sparsify/shard_engine.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/thread_pool.h"
+
+namespace fedsparse::sparsify {
+
+ShardPlan make_shard_plan(std::size_t n, std::size_t shards) {
+  shards = std::max<std::size_t>(1, std::min(shards, std::max<std::size_t>(1, n)));
+  ShardPlan plan;
+  plan.bounds.resize(shards + 1);
+  for (std::size_t s = 0; s <= shards; ++s) {
+    plan.bounds[s] = n * s / shards;
+  }
+  return plan;
+}
+
+void for_each_shard(util::ThreadPool* pool, std::size_t shards,
+                    const std::function<void(std::size_t)>& fn) {
+  if (pool != nullptr && pool->size() > 1 && shards > 1) {
+    pool->parallel_for(shards, fn, /*grain=*/1);
+  } else {
+    for (std::size_t s = 0; s < shards; ++s) fn(s);
+  }
+}
+
+std::uint32_t ShardArena::begin_pass(std::size_t dim) {
+  if (stamp.size() < dim) {
+    stamp.resize(dim, 0);
+    aux.resize(dim, 0);
+  }
+  if (++token == 0) {  // wrap: every stored stamp value is stale, rezero
+    std::fill(stamp.begin(), stamp.end(), 0);
+    token = 1;
+  }
+  return token;
+}
+
+namespace {
+
+// Two-pointer descending merge of a and b into dst, stopping after k keys.
+void merge2_desc(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+                 std::size_t k, std::vector<std::uint64_t>& dst) {
+  dst.clear();
+  std::size_t i = 0, j = 0;
+  while (dst.size() < k && i < a.size() && j < b.size()) {
+    dst.push_back(a[i] >= b[j] ? a[i++] : b[j++]);
+  }
+  while (dst.size() < k && i < a.size()) dst.push_back(a[i++]);
+  while (dst.size() < k && j < b.size()) dst.push_back(b[j++]);
+}
+
+}  // namespace
+
+void KeyMerger::merge(std::span<const std::span<const std::uint64_t>> runs, std::size_t k,
+                      std::vector<std::uint64_t>& out) {
+  out.clear();
+  if (runs.empty() || k == 0) return;
+  if (runs.size() == 1) {
+    const std::size_t take = std::min(k, runs[0].size());
+    out.assign(runs[0].begin(), runs[0].begin() + static_cast<std::ptrdiff_t>(take));
+    return;
+  }
+  // Each level merges the surviving runs pairwise into its own buffer set;
+  // an odd run passes through to the next level by reference.
+  std::vector<std::span<const std::uint64_t>> cur(runs.begin(), runs.end());
+  std::vector<std::span<const std::uint64_t>> next;
+  std::size_t level = 0;
+  while (cur.size() > 1) {
+    if (levels_.size() <= level) levels_.resize(level + 1);
+    auto& bufs = levels_[level];
+    const std::size_t pairs = cur.size() / 2;
+    if (bufs.size() < pairs) bufs.resize(pairs);
+    next.clear();
+    for (std::size_t p = 0; p < pairs; ++p) {
+      merge2_desc(cur[2 * p], cur[2 * p + 1], k, bufs[p]);
+      next.push_back({bufs[p].data(), bufs[p].size()});
+    }
+    if (cur.size() % 2 != 0) next.push_back(cur.back());
+    cur.swap(next);
+    ++level;
+  }
+  const std::size_t take = std::min(k, cur[0].size());
+  out.assign(cur[0].begin(), cur[0].begin() + static_cast<std::ptrdiff_t>(take));
+}
+
+std::vector<std::uint64_t> merge_topk_sorted_runs(
+    const std::vector<std::vector<std::uint64_t>>& runs, std::size_t k) {
+  std::vector<std::span<const std::uint64_t>> views;
+  views.reserve(runs.size());
+  for (const auto& r : runs) views.push_back({r.data(), r.size()});
+  KeyMerger merger;
+  std::vector<std::uint64_t> out;
+  merger.merge({views.data(), views.size()}, k, out);
+  return out;
+}
+
+std::size_t BucketAggregator::total_touched() const noexcept {
+  std::size_t total = 0;
+  for (const auto& t : bucket_touched_) total += t.size();
+  return total;
+}
+
+void BucketAggregator::run(const std::vector<SparseVector>& uploads,
+                           std::span<const double> weights, std::size_t dim,
+                           std::size_t shards, util::ThreadPool* pool, const Filter& filter,
+                           float* agg, std::uint32_t* touch_stamp,
+                           std::uint32_t touch_token) {
+  const std::size_t n = uploads.size();
+  const ShardPlan plan = make_shard_plan(n, shards);
+  const std::size_t S = plan.shards();
+  // One bucket per shard keeps both parallel phases at the same width; the
+  // bucket map must be monotone in the index so buckets are contiguous
+  // disjoint index ranges (the bucket walks then never share an agg entry).
+  const std::size_t B = S;
+  const auto bucket_of = [dim, B](std::int32_t idx) {
+    return static_cast<std::size_t>(idx) * B / dim;
+  };
+
+  // Phase 1: per-(shard, bucket) entry counts.
+  cursors_.assign(S * B + 1, 0);
+  for_each_shard(pool, S, [&](std::size_t s) {
+    std::size_t* counts = cursors_.data() + s * B;
+    for (std::size_t i = plan.begin(s); i < plan.end(s); ++i) {
+      for (const auto& e : uploads[i]) {
+        if (filter.pass(e.index)) ++counts[bucket_of(e.index)];
+      }
+    }
+  });
+
+  // Phase 2: exclusive prefix in (bucket, shard) order — bucket-major layout
+  // with shards of the same bucket adjacent in ascending shard (= ascending
+  // client) order. Serial over S·B cells.
+  std::size_t pos = 0;
+  for (std::size_t b = 0; b < B; ++b) {
+    for (std::size_t s = 0; s < S; ++s) {
+      std::size_t& cell = cursors_[s * B + b];
+      const std::size_t c = cell;
+      cell = pos;
+      pos += c;
+    }
+  }
+  entries_.resize(pos);
+
+  // Phase 3: scatter. Each shard walks its clients in ascending slot order
+  // and bumps its own cursors, so inside a bucket the entry order is
+  // (client asc, upload order) — the reference aggregation sequence.
+  for_each_shard(pool, S, [&](std::size_t s) {
+    std::size_t* cursors = cursors_.data() + s * B;
+    for (std::size_t i = plan.begin(s); i < plan.end(s); ++i) {
+      const float w = static_cast<float>(weights[i]);
+      for (const auto& e : uploads[i]) {
+        if (!filter.pass(e.index)) continue;
+        entries_[cursors[bucket_of(e.index)]++] = Entry{e.index, w, e.value};
+      }
+    }
+  });
+
+  // Phase 4: per-bucket reduce. Bucket b's entries now occupy
+  // [start_b, start_b+1) where start_b is shard 0's original base — after
+  // phase 3 every cursor sits at its segment end, so bucket b spans from
+  // (b == 0 ? 0 : cursors_[0 * B + b - 1]... ) — recover bounds from the
+  // final cursor of the previous bucket's last shard instead: bucket b ends
+  // at cursors_[(S-1) * B + b], and starts where bucket b-1 ended.
+  bucket_touched_.resize(B);
+  for_each_shard(pool, B, [&](std::size_t b) {
+    const std::size_t begin = b == 0 ? 0 : cursors_[(S - 1) * B + b - 1];
+    const std::size_t end = cursors_[(S - 1) * B + b];
+    auto& touched = bucket_touched_[b];
+    touched.clear();
+    for (std::size_t p = begin; p < end; ++p) {
+      const Entry& e = entries_[p];
+      const auto idx = static_cast<std::size_t>(e.index);
+      if (touch_stamp[idx] != touch_token) {
+        touch_stamp[idx] = touch_token;
+        agg[idx] = 0.0f;
+        touched.push_back(e.index);
+      }
+      agg[idx] += e.w * e.v;
+    }
+  });
+}
+
+void CsrResetBuilder::run(const std::vector<SparseVector>& uploads, std::size_t shards,
+                          util::ThreadPool* pool, const BucketAggregator::Filter& filter,
+                          RoundOutcome& out) {
+  const std::size_t n = uploads.size();
+  const ShardPlan plan = make_shard_plan(n, shards);
+  const std::size_t S = plan.shards();
+
+  out.contributed.assign(n, 0);
+  for_each_shard(pool, S, [&](std::size_t s) {
+    for (std::size_t i = plan.begin(s); i < plan.end(s); ++i) {
+      std::size_t cnt = 0;
+      for (const auto& e : uploads[i]) {
+        if (filter.pass(e.index)) ++cnt;
+      }
+      out.contributed[i] = cnt;
+    }
+  });
+
+  out.reset_offsets.resize(n + 1);
+  out.reset_offsets[0] = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.reset_offsets[i + 1] = out.reset_offsets[i] + out.contributed[i];
+  }
+  out.reset_indices.resize(out.reset_offsets[n]);
+
+  for_each_shard(pool, S, [&](std::size_t s) {
+    for (std::size_t i = plan.begin(s); i < plan.end(s); ++i) {
+      std::size_t pos = out.reset_offsets[i];
+      for (const auto& e : uploads[i]) {
+        if (filter.pass(e.index)) out.reset_indices[pos++] = e.index;
+      }
+    }
+  });
+  out.reset_kind = RoundOutcome::ResetKind::kPerClient;
+}
+
+}  // namespace fedsparse::sparsify

@@ -1,0 +1,165 @@
+// Building blocks of the sharded server round.
+//
+// A sharded round partitions the participant slots into contiguous
+// per-thread fleets ("shards"). Each shard works in its own arena — stamps,
+// candidate key runs, scatter cursors — so the parallel phases never share a
+// mutable cache line, and every cross-shard combine step is a fixed-order
+// serial reduction (tree merge of sorted key runs, min-merge of prefix
+// depths, prefix sums of counts). That fixed order is what makes the engine
+// deterministic: the outcome is bit-identical at every shard count, because
+// each combining operator either is exactly the reference loop re-ordered
+// over a partition it is invariant to (min, counting, membership) or
+// reproduces the reference's float addition sequence verbatim (the
+// bucket-major aggregation below).
+//
+// Three pieces live here, shared by the top-k methods' sharded paths:
+//
+//  * KeyMerger / merge_topk_sorted_runs — k-bounded multi-way merge of
+//    descending-sorted 64-bit key runs (keys.h) via pairwise tree reduction.
+//    Because the key order is total, merging per-shard top-k runs yields
+//    exactly the global top-k of the union: no re-selection.
+//
+//  * BucketAggregator — the weighted union-aggregate b_j = Σ w_i · a_ij over
+//    per-client sparse uploads, sharded along the INDEX axis: entries
+//    scatter into disjoint contiguous index buckets (bucket b owns indices
+//    [b·D/B, (b+1)·D/B)), preserving client-major order inside each bucket,
+//    then every bucket reduces independently. Within one index the float
+//    additions run in exactly the reference's client order, so the sums are
+//    bit-identical — no atomics, no reassociation.
+//
+//  * CsrResetBuilder — the client-major CSR reset lists + contributed
+//    counts, computed as parallel count / serial prefix / parallel fill.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "sparsify/method.h"
+#include "sparsify/sparse_vector.h"
+
+namespace fedsparse::util {
+class ThreadPool;
+}
+
+namespace fedsparse::sparsify {
+
+/// Contiguous balanced partition of n slots into at most `shards` shards
+/// (never more than n; sizes differ by at most one). bounds has shards()+1
+/// entries; shard s owns slots [begin(s), end(s)).
+struct ShardPlan {
+  std::vector<std::size_t> bounds;
+
+  std::size_t shards() const noexcept { return bounds.empty() ? 0 : bounds.size() - 1; }
+  std::size_t begin(std::size_t s) const noexcept { return bounds[s]; }
+  std::size_t end(std::size_t s) const noexcept { return bounds[s + 1]; }
+};
+
+ShardPlan make_shard_plan(std::size_t n, std::size_t shards);
+
+/// Runs fn(s) for every shard in [0, shards) — across the pool (grain 1)
+/// when one is available, serially otherwise. Shard bodies must only write
+/// shard-owned state; the serial fallback is then trivially equivalent.
+void for_each_shard(util::ThreadPool* pool, std::size_t shards,
+                    const std::function<void(std::size_t)>& fn);
+
+/// Per-shard scratch arena. `stamp` + `token` implement O(1)-reset
+/// membership over [0, dim) (an index is marked iff stamp[i] == token);
+/// `aux` rides along for per-index payloads (prefix depth, slot). All
+/// buffers keep their capacity across rounds.
+struct ShardArena {
+  std::vector<std::uint32_t> stamp;
+  std::vector<std::uint32_t> aux;
+  std::uint32_t token = 0;
+  std::vector<std::int32_t> touched;       // stamped indices, first-touch order
+  std::vector<std::uint64_t> keys;         // per-shard sorted candidate run
+  std::vector<std::uint64_t> key_scratch;  // radix ping-pong
+
+  /// Grows the arenas to `dim` and returns a fresh token (wrap-safe: a wrap
+  /// rezeroes the stamp array, once per 2^32 uses).
+  std::uint32_t begin_pass(std::size_t dim);
+};
+
+/// k-bounded merge of descending-sorted key runs: out receives the first
+/// min(k, total) keys of the merged descending sequence. Pairwise fixed-order
+/// tree reduction — the tree shape is a function of runs.size() alone, and
+/// since the key order is total (equal keys are bit-identical), the result is
+/// independent of the tree shape and equals what one global sort would
+/// produce. Duplicated keys across runs are kept (callers dedup by index
+/// where needed).
+class KeyMerger {
+ public:
+  void merge(std::span<const std::span<const std::uint64_t>> runs, std::size_t k,
+             std::vector<std::uint64_t>& out);
+
+ private:
+  // One buffer set per reduction level (≤ log2(runs) levels), so a run
+  // carried across levels can never alias a later level's output.
+  std::vector<std::vector<std::vector<std::uint64_t>>> levels_;
+};
+
+/// Allocating convenience for tests and cold paths.
+std::vector<std::uint64_t> merge_topk_sorted_runs(
+    const std::vector<std::vector<std::uint64_t>>& runs, std::size_t k);
+
+/// Sharded weighted union-aggregation of per-client sparse uploads into a
+/// caller-owned dense arena. See the file comment for the scheme. Exactness:
+/// for each index j, agg[j] accumulates w_i · v_ij over the clients in
+/// ascending slot order — the reference methods' client-major loop — because
+/// the scatter writes each bucket's entries in (shard asc, client asc,
+/// upload order) and the bucket walk adds them left to right.
+class BucketAggregator {
+ public:
+  /// Optional entry filter: accept only indices with stamp[idx] == token
+  /// (FAB aggregates only the union-of-prefixes set J). stamp == nullptr
+  /// accepts everything.
+  struct Filter {
+    const std::uint32_t* stamp = nullptr;
+    std::uint32_t token = 0;
+
+    bool pass(std::int32_t idx) const noexcept {
+      return stamp == nullptr || stamp[static_cast<std::size_t>(idx)] == token;
+    }
+  };
+
+  /// Aggregates `uploads[s]` (s < n, weight weights[s]) into agg (size dim,
+  /// only touched entries written). touch_stamp/touch_token provide the
+  /// first-touch dedup (caller-owned so methods can reuse their stamp
+  /// arena); after the call, touched(b) lists bucket b's aggregated indices
+  /// in client-major first-touch order and stamp[idx] == touch_token for
+  /// exactly those indices.
+  void run(const std::vector<SparseVector>& uploads, std::span<const double> weights,
+           std::size_t dim, std::size_t shards, util::ThreadPool* pool, const Filter& filter,
+           float* agg, std::uint32_t* touch_stamp, std::uint32_t touch_token);
+
+  std::size_t buckets() const noexcept { return bucket_touched_.size(); }
+  std::span<const std::int32_t> touched(std::size_t b) const noexcept {
+    return {bucket_touched_[b].data(), bucket_touched_[b].size()};
+  }
+  /// Total aggregated entries across buckets (Σ touched sizes).
+  std::size_t total_touched() const noexcept;
+
+ private:
+  struct Entry {
+    std::int32_t index;
+    float w;
+    float v;
+  };
+  std::vector<Entry> entries_;                         // bucket-major scatter buffer
+  std::vector<std::size_t> cursors_;                   // shards × buckets bases
+  std::vector<std::vector<std::int32_t>> bucket_touched_;
+};
+
+/// Client-major CSR reset lists + contributed counts over uploads, with the
+/// same optional membership filter: count pass (parallel per shard), serial
+/// prefix, fill pass (parallel per shard). Matches the reference methods'
+/// sequential build exactly — counting and filling are order-invariant over
+/// a contiguous partition.
+class CsrResetBuilder {
+ public:
+  void run(const std::vector<SparseVector>& uploads, std::size_t shards,
+           util::ThreadPool* pool, const BucketAggregator::Filter& filter, RoundOutcome& out);
+};
+
+}  // namespace fedsparse::sparsify

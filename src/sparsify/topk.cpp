@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "sparsify/accumulator.h"
+#include "sparsify/keys.h"
 #include "tensor/matrix.h"
 #include "util/thread_pool.h"
 #include "util/vec_ext.h"
@@ -16,31 +17,9 @@ namespace fedsparse::sparsify {
 
 namespace {
 
-// Below this dimension the prefilter's sampling pass is not worth its scan;
-// quickselect over all D entries is already cheap.
-constexpr std::size_t kPrefilterMinDim = 4096;
 constexpr std::size_t kSampleSize = 512;
 
-// Candidate key: |value| bits in the high word, complemented index in the
-// low word. IEEE-754 magnitude order equals unsigned integer order on the
-// absolute-value bits (for non-NaN inputs), so plain descending uint64 order
-// IS the selection's total order — (|v| desc, index asc) — and every
-// nth_element/sort partition step compares one integer instead of two
-// fabs() floats plus a tie branch.
-inline std::uint32_t abs_bits(float v) {
-  std::uint32_t b;
-  std::memcpy(&b, &v, sizeof b);
-  return b & 0x7fffffffu;
-}
-
-inline std::uint64_t make_key(float v, std::size_t i) {
-  return (static_cast<std::uint64_t>(abs_bits(v)) << 32) |
-         (~static_cast<std::uint32_t>(i));
-}
-
-inline std::size_t key_index(std::uint64_t key) {
-  return static_cast<std::size_t>(~static_cast<std::uint32_t>(key));
-}
+}  // namespace
 
 // Appends the key of every entry in [begin, end) with |v[i]| >= threshold,
 // in index order. Returns false (leaving keys valid but incomplete) as soon
@@ -53,8 +32,9 @@ inline std::size_t key_index(std::uint64_t key) {
 // (v >= t) | (v <= -t) — identical for every float including ±0 (and NaN,
 // which fails both forms) — and survivors append in ascending index order
 // either way, so the collected key sequence matches the scalar loop exactly.
-bool scan_range(const float* v, std::size_t begin, std::size_t end, float threshold,
-                std::size_t cap, std::vector<std::uint64_t>& keys) {
+bool threshold_scan_range_append(const float* v, std::size_t begin, std::size_t end,
+                                 float threshold, std::size_t cap,
+                                 std::vector<std::uint64_t>& keys) {
   std::size_t i = begin;
 #if FEDSPARSE_VEC_EXT
   namespace vec = util::vec;
@@ -92,9 +72,11 @@ bool scan_range(const float* v, std::size_t begin, std::size_t end, float thresh
 // positive threshold already excludes, and surviving chunks are scanned in
 // ascending order, so the appended key sequence is identical to the dense
 // scan's.
-bool scan_keys(std::span<const float> v, std::span<const float> chunk_max, float threshold,
-               std::size_t cap, std::vector<std::uint64_t>& keys) {
-  if (chunk_max.empty()) return scan_range(v.data(), 0, v.size(), threshold, cap, keys);
+bool threshold_scan_append(std::span<const float> v, std::span<const float> chunk_max,
+                           float threshold, std::size_t cap, std::vector<std::uint64_t>& keys) {
+  if (chunk_max.empty()) {
+    return threshold_scan_range_append(v.data(), 0, v.size(), threshold, cap, keys);
+  }
   // Pruning policy: the chunk walk only pays when chunks actually skip — at
   // high survivor fractions its data-dependent skip branch mispredicts
   // (~50/50 on a dense Gaussian accumulator with k = D/100, measured +7%
@@ -108,16 +90,18 @@ bool scan_keys(std::span<const float> v, std::span<const float> chunk_max, float
     passing += chunk_max[c] >= threshold ? 1 : 0;
   }
   if (10 * passing >= 4 * sampled) {
-    return scan_range(v.data(), 0, v.size(), threshold, cap, keys);
+    return threshold_scan_range_append(v.data(), 0, v.size(), threshold, cap, keys);
   }
   for (std::size_t c = 0; c < chunk_max.size(); ++c) {
     if (chunk_max[c] < threshold) continue;
     const std::size_t begin = c * kAccumulatorChunk;
     const std::size_t end = std::min(v.size(), begin + kAccumulatorChunk);
-    if (!scan_range(v.data(), begin, end, threshold, cap, keys)) return false;
+    if (!threshold_scan_range_append(v.data(), begin, end, threshold, cap, keys)) return false;
   }
   return true;
 }
+
+namespace {
 
 // Estimates an |value| threshold from a strided sample such that roughly
 // 2.5*k of the D entries survive, then keeps only entries >= threshold.
@@ -143,7 +127,7 @@ bool prefilter(std::span<const float> v, std::size_t k, std::span<const float> c
   if (threshold <= 0.0f) return false;
 
   keys.clear();
-  scan_keys(v, chunk_max, threshold, std::numeric_limits<std::size_t>::max(), keys);
+  threshold_scan_append(v, chunk_max, threshold, std::numeric_limits<std::size_t>::max(), keys);
   if (keys.size() >= k) return true;
   keys.clear();
   return false;
@@ -163,9 +147,9 @@ bool prefilter(std::span<const float> v, std::size_t k, std::span<const float> c
 bool hint_filter(std::span<const float> v, std::size_t k, float hint,
                  std::span<const float> chunk_max, std::vector<std::uint64_t>& keys) {
   if (hint <= 0.0f) return false;
-  const std::size_t cap = 8 * k + 64;
+  const std::size_t cap = topk_hint_cap(k);
   keys.clear();
-  if (!scan_keys(v, chunk_max, hint, cap, keys)) {
+  if (!threshold_scan_append(v, chunk_max, hint, cap, keys)) {
     keys.clear();
     return false;
   }
@@ -185,6 +169,8 @@ bool hint_filter(std::span<const float> v, std::size_t k, float hint,
 // range). Small inputs stay on std::sort: below a few hundred elements the
 // 256-bucket bookkeeping costs more than the comparisons.
 constexpr std::size_t kRadixMinSize = 512;
+
+}  // namespace
 
 void sort_keys_desc(std::vector<std::uint64_t>& keys, std::vector<std::uint64_t>& scratch) {
   const std::size_t n = keys.size();
@@ -215,6 +201,8 @@ void sort_keys_desc(std::vector<std::uint64_t>& keys, std::vector<std::uint64_t>
   if (src != keys.data()) std::memcpy(keys.data(), src, n * sizeof(std::uint64_t));
 }
 
+namespace {
+
 // Dense fallback when summaries exist: clean chunks (bound 0) hold only
 // (±)zeros, so collect every |v| > 0 entry from the dirty chunks first —
 // O(dirty) instead of O(D). If fewer than k such entries exist the full
@@ -229,7 +217,7 @@ void collect_tiered_dense(std::span<const float> v, std::span<const float> chunk
     const std::size_t begin = c * kAccumulatorChunk;
     const std::size_t end = std::min(v.size(), begin + kAccumulatorChunk);
     for (std::size_t i = begin; i < end; ++i) {
-      if (abs_bits(v[i]) != 0) keys.push_back(make_key(v[i], i));
+      if (key_abs_bits(v[i]) != 0) keys.push_back(make_key(v[i], i));
     }
   }
   if (keys.size() >= k) return;
@@ -246,7 +234,7 @@ void collect_tiered_dense(std::span<const float> v, std::span<const float> chunk
       }
     } else {
       for (std::size_t i = begin; i < end && need > 0; ++i) {
-        if (abs_bits(v[i]) == 0) {
+        if (key_abs_bits(v[i]) == 0) {
           keys.push_back(make_key(v[i], i));
           --need;
         }
@@ -259,7 +247,7 @@ void collect_tiered_dense(std::span<const float> v, std::span<const float> chunk
 
 // Leaves the k strongest entries in ws.candidates, sorted strongest first.
 void select(std::span<const float> v, std::span<const float> chunk_max, std::size_t k,
-            TopKWorkspace& ws) {
+            TopKWorkspace& ws, const PrescanView* pre = nullptr) {
   if (!chunk_max.empty() && chunk_max.size() != accumulator_chunks(v.size())) {
     throw std::invalid_argument("top_k: chunk summary size does not cover the vector");
   }
@@ -272,8 +260,24 @@ void select(std::span<const float> v, std::span<const float> chunk_max, std::siz
 
   bool hint_ok = false;
   bool filtered = false;
-  if (k < v.size() && v.size() >= kPrefilterMinDim) {
-    hint_ok = hint_filter(v, k, ws.threshold_hint, chunk_max, keys);
+  if (k < v.size() && v.size() >= kTopKPrefilterMinDim) {
+    // A fused prescan stands in for the hinted scan when it ran with exactly
+    // the threshold and depth this call would use: a complete prescan with
+    // >= k survivors IS hint_filter's key sequence (same threshold, same
+    // topk_hint_cap(k) bail-out, same ascending chunk order), and an
+    // incomplete or short one is exactly the case where hint_filter would
+    // have failed — skip straight to the sampled prefilter without paying
+    // the scan a second time.
+    bool pre_used = false;
+    if (pre != nullptr && pre->threshold > 0.0f && pre->threshold == ws.threshold_hint &&
+        static_cast<std::size_t>(pre->k) == k) {
+      pre_used = true;
+      if (pre->complete && pre->keys.size() >= k) {
+        keys.assign(pre->keys.begin(), pre->keys.end());
+        hint_ok = true;
+      }
+    }
+    if (!pre_used) hint_ok = hint_filter(v, k, ws.threshold_hint, chunk_max, keys);
     filtered = hint_ok || prefilter(v, k, chunk_max, keys);
   }
   if (!filtered) {
@@ -314,8 +318,8 @@ void top_k_entries(std::span<const float> v, std::size_t k, TopKWorkspace& ws, S
 }
 
 void top_k_entries(std::span<const float> v, std::span<const float> chunk_max, std::size_t k,
-                   TopKWorkspace& ws, SparseVector& out) {
-  select(v, chunk_max, k, ws);
+                   TopKWorkspace& ws, SparseVector& out, const PrescanView* pre) {
+  select(v, chunk_max, k, ws, pre);
   out.assign(ws.candidates.begin(), ws.candidates.end());
 }
 
@@ -326,40 +330,95 @@ void top_k_indices(std::span<const float> v, std::size_t k, TopKWorkspace& ws,
   for (const auto& e : ws.candidates) out.push_back(e.index);
 }
 
+namespace {
+
+// Shared fan-out skeleton of the upload variants: runs sel(s) for every slot,
+// across the pool when the work is large enough to amortize the dispatch.
+void for_each_upload_slot(std::size_t n, std::size_t total_elems,
+                          const std::function<void(std::size_t)>& sel) {
+  // Below ~64k total elements the pool dispatch costs more than the
+  // selections; the FAB round this threads (N=10, D=128k) is far above it.
+  constexpr std::size_t kParallelElemThreshold = 1u << 16;
+  util::ThreadPool* pool = tensor::parallel_pool();
+  if (pool != nullptr && pool->size() > 1 && n > 1 && total_elems >= kParallelElemThreshold) {
+    pool->parallel_for(n, sel, /*grain=*/1);
+  } else {
+    for (std::size_t s = 0; s < n; ++s) sel(s);
+  }
+}
+
+std::span<const float> upload_summary(const std::vector<std::span<const float>>& chunk_maxes,
+                                      std::size_t s) {
+  return chunk_maxes.empty() ? std::span<const float>{} : chunk_maxes[s];
+}
+
+const PrescanView* upload_prescan(const std::vector<PrescanView>* prescan, std::size_t s) {
+  return prescan == nullptr ? nullptr : &(*prescan)[s];
+}
+
+}  // namespace
+
 void top_k_uploads(const std::vector<std::span<const float>>& vecs,
                    const std::vector<std::span<const float>>& chunk_maxes, std::size_t k,
                    std::span<const std::size_t> ids, std::vector<TopKWorkspace>& workspaces,
-                   std::vector<SparseVector>& uploads) {
+                   std::vector<SparseVector>& uploads,
+                   const std::vector<PrescanView>* prescan) {
   const std::size_t n = vecs.size();
   if (!chunk_maxes.empty() && chunk_maxes.size() != n) {
     throw std::invalid_argument("top_k_uploads: chunk_maxes size mismatch");
+  }
+  if (prescan != nullptr && prescan->size() != n) {
+    throw std::invalid_argument("top_k_uploads: prescan size mismatch");
   }
   uploads.resize(n);  // shrink-to-n keeps callers' per-client views exact
   std::size_t ws_needed = n;
   for (const std::size_t id : ids) ws_needed = std::max(ws_needed, id + 1);
   if (workspaces.size() < ws_needed) workspaces.resize(ws_needed);
   const auto ws_slot = [&](std::size_t s) { return ids.empty() ? s : ids[s]; };
-  const auto summary = [&](std::size_t s) {
-    return chunk_maxes.empty() ? std::span<const float>{} : chunk_maxes[s];
-  };
   std::size_t total = 0;
   for (const auto& v : vecs) total += v.size();
-  // Below ~64k total elements the pool dispatch costs more than the
-  // selections; the FAB round this threads (N=10, D=128k) is far above it.
-  constexpr std::size_t kParallelElemThreshold = 1u << 16;
-  util::ThreadPool* pool = tensor::parallel_pool();
-  if (pool != nullptr && pool->size() > 1 && n > 1 && total >= kParallelElemThreshold) {
-    pool->parallel_for(
-        n,
-        [&](std::size_t s) {
-          top_k_entries(vecs[s], summary(s), k, workspaces[ws_slot(s)], uploads[s]);
-        },
-        /*grain=*/1);
-  } else {
-    for (std::size_t s = 0; s < n; ++s) {
-      top_k_entries(vecs[s], summary(s), k, workspaces[ws_slot(s)], uploads[s]);
-    }
+  for_each_upload_slot(n, total, [&](std::size_t s) {
+    top_k_entries(vecs[s], upload_summary(chunk_maxes, s), k, workspaces[ws_slot(s)],
+                  uploads[s], upload_prescan(prescan, s));
+  });
+}
+
+void top_k_uploads_fleet(const std::vector<std::span<const float>>& vecs,
+                         const std::vector<std::span<const float>>& chunk_maxes, std::size_t k,
+                         std::span<const std::size_t> ids,
+                         std::vector<TopKWorkspace>& slot_workspaces,
+                         std::vector<ClientHint>& hints, std::vector<SparseVector>& uploads,
+                         const std::vector<PrescanView>* prescan) {
+  const std::size_t n = vecs.size();
+  if (!chunk_maxes.empty() && chunk_maxes.size() != n) {
+    throw std::invalid_argument("top_k_uploads_fleet: chunk_maxes size mismatch");
   }
+  if (prescan != nullptr && prescan->size() != n) {
+    throw std::invalid_argument("top_k_uploads_fleet: prescan size mismatch");
+  }
+  uploads.resize(n);
+  std::size_t hints_needed = n;
+  for (const std::size_t id : ids) hints_needed = std::max(hints_needed, id + 1);
+  if (hints.size() < hints_needed) hints.resize(hints_needed);
+  util::ThreadPool* pool = tensor::parallel_pool();
+  const std::size_t slots = pool != nullptr ? pool->slot_count() : 1;
+  if (slot_workspaces.size() < slots) slot_workspaces.resize(slots);
+  const auto hint_slot = [&](std::size_t s) { return ids.empty() ? s : ids[s]; };
+  std::size_t total = 0;
+  for (const auto& v : vecs) total += v.size();
+  for_each_upload_slot(n, total, [&](std::size_t s) {
+    // The workspace is pure scratch except for (threshold_hint, hint_k);
+    // round-tripping that pair through the per-client store makes this
+    // byte-identical to a dedicated per-client workspace.
+    TopKWorkspace& ws = slot_workspaces[pool != nullptr ? pool->current_slot() : 0];
+    ClientHint& hint = hints[hint_slot(s)];
+    ws.threshold_hint = hint.threshold;
+    ws.hint_k = hint.k;
+    top_k_entries(vecs[s], upload_summary(chunk_maxes, s), k, ws, uploads[s],
+                  upload_prescan(prescan, s));
+    hint.threshold = ws.threshold_hint;
+    hint.k = static_cast<std::uint32_t>(ws.hint_k);
+  });
 }
 
 void top_k_uploads(const std::vector<std::span<const float>>& vecs, std::size_t k,

@@ -33,6 +33,41 @@
 
 namespace fedsparse::sparsify {
 
+/// Below this dimension the prefilter's sampling pass is not worth its scan;
+/// quickselect over all D entries is already cheap. Exported so the
+/// simulation's fused-prescan gate matches the selection's engage condition
+/// exactly — a prescan below this dimension would never be consumed.
+constexpr std::size_t kTopKPrefilterMinDim = 4096;
+
+/// Survivor cap of the hinted threshold scan for a depth-k selection. The
+/// fused accumulator prescan (GradientAccumulator::add_scan) must use the
+/// same cap so its bail-out point is bit-identical to hint_filter's.
+constexpr std::size_t topk_hint_cap(std::size_t k) { return 8 * k + 64; }
+
+/// Compact per-client selection hint: the k-th |value| of the client's last
+/// selection and the k that produced it. This is the only part of a
+/// TopKWorkspace whose content affects future selections, so sharded fleets
+/// persist one ClientHint per client (8 bytes) and share full workspaces per
+/// thread slot instead of holding N of them.
+struct ClientHint {
+  float threshold = 0.0f;
+  std::uint32_t k = 0;
+};
+
+/// Result of a client-side fused prescan (accumulate + summarize + threshold
+/// scan in one pass, GradientAccumulator::add_scan). `keys` are the
+/// survivors of |v| >= threshold in ascending index order, capped at
+/// topk_hint_cap(k); `complete` is false when the scan bailed at the cap.
+/// select() consumes a view only when (threshold, k) still match the
+/// workspace hint it would have scanned with — making the fused path
+/// byte-identical to the separate hint_filter scan it replaces.
+struct PrescanView {
+  std::span<const std::uint64_t> keys;
+  float threshold = 0.0f;
+  std::uint32_t k = 0;
+  bool complete = false;
+};
+
 /// Reusable scratch for the quickselect path. One workspace per caller
 /// (not thread-safe); capacity grows to the largest candidate set seen and
 /// is then reused, so steady-state rounds allocate nothing.
@@ -79,8 +114,10 @@ void top_k_entries(std::span<const float> v, std::size_t k, TopKWorkspace& ws, S
 /// Chunk-aware variant: `chunk_max` is the per-chunk |v| upper-bound summary
 /// (GradientAccumulator::chunk_max; empty = no summaries, dense scans). Must
 /// cover v exactly: chunk_max.size() == accumulator_chunks(v.size()).
+/// `pre` optionally supplies a fused prescan (see PrescanView); nullptr or a
+/// stale view (threshold/k mismatch) runs the normal hinted scan.
 void top_k_entries(std::span<const float> v, std::span<const float> chunk_max, std::size_t k,
-                   TopKWorkspace& ws, SparseVector& out);
+                   TopKWorkspace& ws, SparseVector& out, const PrescanView* pre = nullptr);
 
 /// Same selection, indices only.
 void top_k_indices(std::span<const float> v, std::size_t k, TopKWorkspace& ws,
@@ -98,10 +135,28 @@ void top_k_indices(std::span<const float> v, std::size_t k, TopKWorkspace& ws,
 /// independent selections run across the pool — each slot has its own
 /// workspace and output slot, so the result is byte-identical to the serial
 /// loop regardless of scheduling.
+/// `prescan` optionally supplies slot-aligned fused prescan views (nullptr =
+/// none; stale views are ignored per slot).
 void top_k_uploads(const std::vector<std::span<const float>>& vecs,
                    const std::vector<std::span<const float>>& chunk_maxes, std::size_t k,
                    std::span<const std::size_t> ids, std::vector<TopKWorkspace>& workspaces,
-                   std::vector<SparseVector>& uploads);
+                   std::vector<SparseVector>& uploads,
+                   const std::vector<PrescanView>* prescan = nullptr);
+
+/// Fleet variant for sharded rounds: selections run through per-thread-slot
+/// workspaces (one per ThreadPool slot, shared across clients) plus a compact
+/// per-client hint store, instead of one full workspace per client — at
+/// N=100k that is S workspaces + 8 bytes per client instead of N multi-KB
+/// workspaces. Byte-identical to the per-client-workspace path: a selection
+/// depends on workspace state only through (threshold_hint, hint_k), which is
+/// loaded from hints[ids[s]] before each select and stored back after.
+/// `hints` grows as needed and persists across rounds.
+void top_k_uploads_fleet(const std::vector<std::span<const float>>& vecs,
+                         const std::vector<std::span<const float>>& chunk_maxes, std::size_t k,
+                         std::span<const std::size_t> ids,
+                         std::vector<TopKWorkspace>& slot_workspaces,
+                         std::vector<ClientHint>& hints, std::vector<SparseVector>& uploads,
+                         const std::vector<PrescanView>* prescan = nullptr);
 
 /// Dense convenience (no summaries).
 void top_k_uploads(const std::vector<std::span<const float>>& vecs, std::size_t k,
@@ -120,5 +175,26 @@ SparseVector top_k_entries(std::span<const float> v, std::size_t k);
 /// reference for equivalence tests and as the "before" side of the
 /// BENCH_micro.json kernel comparison.
 SparseVector top_k_entries_heap(std::span<const float> v, std::size_t k);
+
+/// Sorts keys descending (LSD radix above ~512 elements, std::sort below).
+/// Keys are assumed unique; `scratch` is the radix ping-pong buffer.
+/// Exported for the sharded engine's per-shard candidate runs.
+void sort_keys_desc(std::vector<std::uint64_t>& keys, std::vector<std::uint64_t>& scratch);
+
+/// Appends the key of every entry in [begin, end) with |v[i]| >= threshold,
+/// in ascending index order (indices are global, not range-relative).
+/// Returns false — leaving keys valid but incomplete — as soon as a survivor
+/// would exceed `cap`. This is the building block the fused accumulator pass
+/// shares with the hinted selection scan.
+bool threshold_scan_range_append(const float* v, std::size_t begin, std::size_t end,
+                                 float threshold, std::size_t cap,
+                                 std::vector<std::uint64_t>& keys);
+
+/// Chunk-pruned full-vector threshold scan (the non-fused reference for the
+/// add_scan property tests): appends keys of survivors in ascending index
+/// order, pruning chunks whose `chunk_max` bound is below the threshold.
+bool threshold_scan_append(std::span<const float> v, std::span<const float> chunk_max,
+                           float threshold, std::size_t cap,
+                           std::vector<std::uint64_t>& keys);
 
 }  // namespace fedsparse::sparsify

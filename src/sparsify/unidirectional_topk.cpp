@@ -3,21 +3,30 @@
 #include <algorithm>
 
 #include "sparsify/topk.h"
+#include "tensor/matrix.h"
+#include "util/thread_pool.h"
 
 namespace fedsparse::sparsify {
 
 UnidirectionalTopK::UnidirectionalTopK(std::size_t dim)
     : dim_(dim), agg_(dim, 0.0f), stamp_(dim, 0) {}
 
+float UnidirectionalTopK::upload_threshold_hint(std::size_t client_id) const {
+  if (shards_ > 1) return client_id < hints_.size() ? hints_[client_id].threshold : 0.0f;
+  return client_id < topk_ws_.size() ? topk_ws_[client_id].threshold_hint : 0.0f;
+}
+
 RoundOutcome UnidirectionalTopK::round(const RoundInput& in, std::size_t k) {
   validate_round_input(in);
   const std::size_t n = in.client_vectors.size();
   k = std::clamp<std::size_t>(k, 1, dim_);
+  if (shards_ > 1) return round_sharded(in, k);
 
   // Per-client selections threaded across the registered pool (deterministic:
   // each client owns its workspace and output slot), chunk-pruned when the
   // caller provides accumulator summaries.
-  top_k_uploads(in.client_vectors, in.client_chunk_max, k, in.client_ids, topk_ws_, uploads_);
+  top_k_uploads(in.client_vectors, in.client_chunk_max, k, in.client_ids, topk_ws_, uploads_,
+                in.client_prescan.empty() ? nullptr : &in.client_prescan);
 
   ++stamp_token_;
   const std::uint32_t touched = stamp_token_;
@@ -61,6 +70,53 @@ RoundOutcome UnidirectionalTopK::round(const RoundInput& in, std::size_t k) {
   // the per-client distribution feeds the heterogeneous straggler max.
   set_uplink_from_uploads(uploads_, out);
   out.downlink_values = 2.0 * static_cast<double>(out.update.size());  // up to 2kN
+  return out;
+}
+
+// Sharded round: bucketed aggregation of the whole union (bit-identical
+// sums), per-bucket index sort concatenated into the globally index-sorted
+// update, and full-upload CSR resets via the parallel builder. Nothing here
+// is selective, so the only equivalence obligations are the aggregation
+// order (see shard_engine.h) and the update's index order (buckets are
+// ascending disjoint index ranges).
+RoundOutcome UnidirectionalTopK::round_sharded(const RoundInput& in, std::size_t k) {
+  const std::size_t n = in.client_vectors.size();
+  util::ThreadPool* pool = tensor::parallel_pool();
+  const ShardPlan plan = make_shard_plan(n, shards_);
+  const std::size_t S = plan.shards();
+
+  top_k_uploads_fleet(in.client_vectors, in.client_chunk_max, k, in.client_ids, slot_ws_,
+                      hints_, uploads_,
+                      in.client_prescan.empty() ? nullptr : &in.client_prescan);
+
+  ++stamp_token_;
+  aggregator_.run(uploads_, in.data_weights, dim_, S, pool, /*filter=*/{}, agg_.data(),
+                  stamp_.data(), stamp_token_);
+
+  RoundOutcome out;
+  out.kind = RoundOutcome::Kind::kSparseUpdate;
+  const std::size_t B = aggregator_.buckets();
+  if (arenas_.size() < B) arenas_.resize(B);
+  bucket_offsets_.resize(B + 1);
+  bucket_offsets_[0] = 0;
+  for (std::size_t b = 0; b < B; ++b) {
+    bucket_offsets_[b + 1] = bucket_offsets_[b] + aggregator_.touched(b).size();
+  }
+  out.update.resize(bucket_offsets_[B]);
+  for_each_shard(pool, B, [&](std::size_t b) {
+    ShardArena& ar = arenas_[b];
+    const auto touched = aggregator_.touched(b);
+    ar.touched.assign(touched.begin(), touched.end());
+    std::sort(ar.touched.begin(), ar.touched.end());
+    std::size_t pos = bucket_offsets_[b];
+    for (const std::int32_t j : ar.touched) {
+      out.update[pos++] = SparseEntry{j, agg_[static_cast<std::size_t>(j)]};
+    }
+  });
+
+  resets_.run(uploads_, S, pool, /*filter=*/{}, out);
+  set_uplink_from_uploads(uploads_, out);
+  out.downlink_values = 2.0 * static_cast<double>(out.update.size());
   return out;
 }
 

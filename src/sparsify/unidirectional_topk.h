@@ -6,6 +6,7 @@
 #pragma once
 
 #include "sparsify/method.h"
+#include "sparsify/shard_engine.h"
 #include "sparsify/topk.h"
 
 namespace fedsparse::sparsify {
@@ -17,7 +18,16 @@ class UnidirectionalTopK final : public Method {
   std::string name() const override { return "unidirectional_topk"; }
   RoundOutcome round(const RoundInput& in, std::size_t k) override;
 
+  /// See FabTopK::set_sharding — byte-identical at every shard count.
+  void set_sharding(std::size_t shards) override {
+    shards_ = std::max<std::size_t>(1, shards);
+  }
+
+  float upload_threshold_hint(std::size_t client_id) const override;
+
  private:
+  RoundOutcome round_sharded(const RoundInput& in, std::size_t k);
+
   std::size_t dim_;
   std::vector<float> agg_;
   std::vector<std::uint32_t> stamp_;
@@ -27,6 +37,14 @@ class UnidirectionalTopK final : public Method {
   std::vector<TopKWorkspace> topk_ws_;
   std::vector<SparseVector> uploads_;
   std::vector<std::int32_t> union_indices_;
+  // Sharded-engine state (unused while shards_ == 1).
+  std::size_t shards_ = 1;
+  std::vector<TopKWorkspace> slot_ws_;
+  std::vector<ClientHint> hints_;
+  std::vector<ShardArena> arenas_;
+  std::vector<std::size_t> bucket_offsets_;
+  BucketAggregator aggregator_;
+  CsrResetBuilder resets_;
 };
 
 }  // namespace fedsparse::sparsify

@@ -231,6 +231,147 @@ TEST(TieredVsDense, ChurnedRoundsAreByteIdentical) {
   }
 }
 
+// ---------------- sharded round engine ---------------------------------------
+
+// The sharded engine (per-shard arenas, fused sweeps, keyed tree merge) is a
+// pure execution-strategy change: every trace must be byte-identical to the
+// single-shard reference at every shard count, for every top-k method, under
+// churn, partial participation, and the adaptive probe.
+
+SimulationConfig sharded_sim(std::size_t shards, std::size_t threads = 2) {
+  SimulationConfig cfg = engine_sim(ReplicaMode::kShared, threads);
+  cfg.shards = shards;
+  return cfg;
+}
+
+class ShardedVsSingleShard : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ShardedVsSingleShard, FixedKTraceIsByteIdentical) {
+  const std::string method = GetParam();
+  const auto ref = run_fixed_k(method, 20.0, sharded_sim(1));
+  for (const std::size_t shards : {2u, 8u}) {
+    const auto sharded = run_fixed_k(method, 20.0, sharded_sim(shards));
+    expect_identical(ref, sharded, method + "/shards=" + std::to_string(shards));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopKMethods, ShardedVsSingleShard,
+                         ::testing::Values("fab_topk", "fub_topk", "unidirectional_topk"));
+
+TEST(ShardedEngine, AdaptiveProbePathIsByteIdentical) {
+  // Probe rounds rerun the sharded selection with k' ≠ k right after the real
+  // round; the per-client hint evolution must match the reference exactly.
+  for (const char* method : {"fab_topk", "fub_topk", "unidirectional_topk"}) {
+    SimulationConfig cfg = sharded_sim(1);
+    cfg.max_rounds = 50;
+    const auto ref = run_adaptive(method, cfg);
+    cfg.shards = 8;
+    const auto sharded = run_adaptive(method, cfg);
+    expect_identical(ref, sharded, std::string(method) + " adaptive shards 1 vs 8");
+  }
+}
+
+TEST(ShardedEngine, ChurnAndPartialParticipationAreByteIdentical) {
+  // Fluctuating participant counts cross shard-plan boundaries every round
+  // (some rounds have fewer participants than shards).
+  for (const std::size_t shards : {2u, 8u}) {
+    SimulationConfig cfg = sharded_sim(1);
+    cfg.max_rounds = 50;
+    cfg.network.p_drop = 0.35;
+    cfg.network.p_recover = 0.3;
+    cfg.network.rate_jitter_sigma = 0.2;
+    cfg.participation = 0.7;
+    const auto ref = run_fixed_k("fab_topk", 15.0, cfg);
+    cfg.shards = shards;
+    const auto sharded = run_fixed_k("fab_topk", 15.0, cfg);
+    expect_identical(ref, sharded, "churn/shards=" + std::to_string(shards));
+  }
+}
+
+TEST(ShardedEngine, AutoShardSelectionIsDeterministicAcrossThreadCounts) {
+  // shards = 0 (auto) tracks the pool size: 1 / 2 / 8 threads resolve to
+  // 1 / 3 / 9 shards. Identical traces required regardless.
+  const auto t1 = run_fixed_k("fab_topk", 20.0, engine_sim(ReplicaMode::kShared, 1));
+  const auto t2 = run_fixed_k("fab_topk", 20.0, engine_sim(ReplicaMode::kShared, 2));
+  const auto t8 = run_fixed_k("fab_topk", 20.0, engine_sim(ReplicaMode::kShared, 8));
+  expect_identical(t1, t2, "auto shards, threads 1 vs 2");
+  expect_identical(t1, t8, "auto shards, threads 1 vs 8");
+}
+
+// ---------------- fused accumulate + prescan ---------------------------------
+
+// The fused single-pass sweep only arms above the selection prefilter gate
+// (dim >= sparsify::kTopKPrefilterMinDim), so these runs need a model wider
+// than the tiny 256-dim MLP above.
+
+data::SyntheticConfig wide_dataset(std::uint64_t seed = 3) {
+  data::SyntheticConfig cfg;
+  cfg.num_classes = 10;
+  cfg.channels = 1;
+  cfg.height = 16;
+  cfg.width = 16;
+  cfg.num_clients = 6;
+  cfg.samples_per_client = 20;
+  cfg.samples_spread = 0.3;
+  cfg.test_samples = 64;
+  cfg.class_sep = 2.5;
+  cfg.noise_std = 0.6;
+  cfg.partition = data::PartitionKind::kByWriter;
+  cfg.classes_per_writer = 3;
+  cfg.seed = seed;
+  return cfg;
+}
+
+SimulationResult run_wide(const std::string& method, double k, SimulationConfig cfg) {
+  auto dataset = data::make_synthetic(wide_dataset());
+  auto factory = nn::mlp(256, {64}, 10);  // dim 17098 >= prefilter gate
+  util::Rng probe(1);
+  const std::size_t dim = factory(probe)->dim();
+  Simulation sim(cfg, std::move(dataset), factory, sparsify::make_method(method, dim, 5),
+                 std::make_unique<online::FixedK>(k));
+  return sim.run();
+}
+
+class FusedPrescan : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FusedPrescan, TraceIsByteIdenticalToSeparatePasses) {
+  // The fused sweep IS the hint filter's scan, executed one pass earlier:
+  // switching it off must not move a bit, sharded or not.
+  const std::string method = GetParam();
+  for (const std::size_t shards : {1u, 3u}) {
+    SimulationConfig cfg = sharded_sim(shards);
+    cfg.max_rounds = 15;
+    const auto fused = run_wide(method, 64.0, cfg);
+    cfg.fused_prescan = false;
+    const auto separate = run_wide(method, 64.0, cfg);
+    expect_identical(fused, separate,
+                     method + "/fused shards=" + std::to_string(shards));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopKMethods, FusedPrescan,
+                         ::testing::Values("fab_topk", "fub_topk", "unidirectional_topk"));
+
+TEST(FusedPrescanTest, AdaptiveProbeInvalidatesStaleViews) {
+  // Probe selections rerun with k' != k in the same round: the prescan view
+  // must be ignored there (its k mismatch) without corrupting hint state.
+  auto run = [](bool fused) {
+    auto dataset = data::make_synthetic(wide_dataset());
+    auto factory = nn::mlp(256, {64}, 10);
+    util::Rng probe(1);
+    const std::size_t dim = factory(probe)->dim();
+    SimulationConfig cfg = sharded_sim(3);
+    cfg.max_rounds = 15;
+    cfg.fused_prescan = fused;
+    auto controller = std::make_unique<online::ExtendedSignOgd>(
+        online::ExtendedSignOgd::Config{2.0, static_cast<double>(dim), 0.0, 1.5, 64});
+    Simulation sim(cfg, std::move(dataset), factory, sparsify::make_method("fab_topk", dim, 5),
+                   std::move(controller));
+    return sim.run();
+  };
+  expect_identical(run(true), run(false), "adaptive fused vs separate");
+}
+
 // ---------------- weight-layout invariants ----------------------------------
 
 TEST(SharedReplicaEngine, SynchronizedClientsResolveToTheSharedStore) {

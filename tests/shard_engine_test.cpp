@@ -1,0 +1,214 @@
+// Property tests for the sharded round engine's building blocks: the
+// k-bounded keyed tree merge must reproduce the global top-k of the union of
+// per-shard top-k runs (including ties and index order), the fused
+// accumulate+scan must be indistinguishable from the separate reference
+// passes, and the shard plan must stay a balanced contiguous partition.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "sparsify/accumulator.h"
+#include "sparsify/keys.h"
+#include "sparsify/shard_engine.h"
+#include "sparsify/topk.h"
+#include "util/rng.h"
+
+namespace fedsparse::sparsify {
+namespace {
+
+std::vector<float> random_values(std::size_t n, util::Rng& rng, double zero_prob = 0.3) {
+  std::vector<float> v(n);
+  for (auto& x : v) {
+    x = rng.bernoulli(zero_prob) ? 0.0f : static_cast<float>(rng.normal(0.0, 1.0));
+  }
+  return v;
+}
+
+// Global reference: all keys of v, sorted by the total (|v| desc, idx asc)
+// order, truncated to k.
+std::vector<std::uint64_t> global_topk_keys(const std::vector<float>& v, std::size_t k) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) keys.push_back(make_key(v[i], i));
+  std::sort(keys.begin(), keys.end(), std::greater<std::uint64_t>());
+  if (keys.size() > k) keys.resize(k);
+  return keys;
+}
+
+// ---------------- keyed tree merge ------------------------------------------
+
+TEST(KeyMergeTest, MergedShardTopKEqualsGlobalTopK) {
+  // Any global-top-k element is inside its own shard's top-k, so merging the
+  // per-shard top-k runs and keeping k must equal the global top-k — for any
+  // partition, any shard count, any k.
+  util::Rng rng(42);
+  for (const std::size_t n : {1u, 7u, 64u, 1000u}) {
+    for (const std::size_t shards : {1u, 2u, 3u, 8u, 16u}) {
+      for (const std::size_t k : {1u, 5u, 32u, 2000u}) {
+        const auto v = random_values(n, rng);
+        const ShardPlan plan = make_shard_plan(n, shards);
+        std::vector<std::vector<std::uint64_t>> runs(plan.shards());
+        for (std::size_t s = 0; s < plan.shards(); ++s) {
+          for (std::size_t i = plan.begin(s); i < plan.end(s); ++i) {
+            runs[s].push_back(make_key(v[i], i));
+          }
+          std::sort(runs[s].begin(), runs[s].end(), std::greater<std::uint64_t>());
+          if (runs[s].size() > k) runs[s].resize(k);
+        }
+        const auto merged = merge_topk_sorted_runs(runs, k);
+        const auto ref = global_topk_keys(v, k);
+        ASSERT_EQ(merged, ref) << "n=" << n << " shards=" << shards << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(KeyMergeTest, TiedMagnitudesMergeInIndexOrder) {
+  // Equal |value| across indices must come out ascending by index — the key
+  // encoding's complemented low word — regardless of which shard holds which.
+  std::vector<float> v(40, 0.0f);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = (i % 2 == 0) ? 0.5f : -0.5f;
+  std::vector<std::vector<std::uint64_t>> runs(4);
+  for (std::size_t i = 0; i < v.size(); ++i) runs[i % 4].push_back(make_key(v[i], i));
+  for (auto& r : runs) std::sort(r.begin(), r.end(), std::greater<std::uint64_t>());
+  const auto merged = merge_topk_sorted_runs(runs, 10);
+  ASSERT_EQ(merged.size(), 10u);
+  for (std::size_t p = 0; p < merged.size(); ++p) {
+    EXPECT_EQ(key_index(merged[p]), p) << "tie order broken at position " << p;
+  }
+}
+
+TEST(KeyMergeTest, EmptyAndAllZeroRunsAreHarmless) {
+  const auto none = merge_topk_sorted_runs({}, 5);
+  EXPECT_TRUE(none.empty());
+  const auto empties = merge_topk_sorted_runs({{}, {}, {}}, 5);
+  EXPECT_TRUE(empties.empty());
+  // One real run among empties — any k cap, including k > total.
+  std::vector<std::uint64_t> run = {make_key(2.0f, 3), make_key(1.0f, 1)};
+  const auto merged = merge_topk_sorted_runs({{}, run, {}}, 99);
+  EXPECT_EQ(merged, run);
+}
+
+TEST(KeyMergeTest, MergerReuseAcrossDifferentRunCounts) {
+  // The KeyMerger's per-level buffers are reused across calls with varying
+  // run counts (odd counts carry a run across levels — the aliasing trap).
+  util::Rng rng(7);
+  KeyMerger merger;
+  for (const std::size_t shards : {5u, 2u, 9u, 16u, 3u, 1u}) {
+    const std::size_t n = 200;
+    const auto v = random_values(n, rng);
+    const ShardPlan plan = make_shard_plan(n, shards);
+    std::vector<std::vector<std::uint64_t>> owned(plan.shards());
+    std::vector<std::span<const std::uint64_t>> runs;
+    for (std::size_t s = 0; s < plan.shards(); ++s) {
+      for (std::size_t i = plan.begin(s); i < plan.end(s); ++i) {
+        owned[s].push_back(make_key(v[i], i));
+      }
+      std::sort(owned[s].begin(), owned[s].end(), std::greater<std::uint64_t>());
+      runs.push_back({owned[s].data(), owned[s].size()});
+    }
+    std::vector<std::uint64_t> out;
+    merger.merge({runs.data(), runs.size()}, 25, out);
+    EXPECT_EQ(out, global_topk_keys(v, 25)) << "shards=" << shards;
+  }
+}
+
+// ---------------- fused accumulate + scan -----------------------------------
+
+TEST(FusedScanTest, AddScanMatchesSeparatePasses) {
+  // add_scan(grad, t, cap, keys) must leave the accumulator in exactly the
+  // state add(grad) would, and emit exactly the keys that
+  // threshold_scan_append(value(), chunk_max(), t, cap, keys) then would —
+  // same sequence, same bail point, same return.
+  util::Rng rng(123);
+  for (const std::size_t dim : {64u, 200u, 4096u}) {
+    for (int trial = 0; trial < 8; ++trial) {
+      GradientAccumulator fused(dim), ref(dim);
+      // Warm both with identical history (several rounds, partial resets).
+      for (int r = 0; r < 3; ++r) {
+        const auto g = random_values(dim, rng, 0.6);
+        fused.add({g.data(), g.size()});
+        ref.add({g.data(), g.size()});
+      }
+      const auto grad = random_values(dim, rng, 0.6);
+      // Threshold drawn from the realized magnitudes so some trials pass
+      // many entries and some pass few; cap small enough to bail sometimes.
+      const float threshold =
+          0.1f + 0.4f * static_cast<float>(rng.normal(1.0, 0.3) * rng.normal(1.0, 0.3));
+      const std::size_t cap = (trial % 2 == 0) ? 16 : 100000;
+
+      std::vector<std::uint64_t> fused_keys, ref_keys;
+      const bool fused_complete =
+          fused.add_scan({grad.data(), grad.size()}, threshold, cap, fused_keys);
+      ref.add({grad.data(), grad.size()});
+      const bool ref_complete =
+          threshold_scan_append(ref.value(), ref.chunk_max(), threshold, cap, ref_keys);
+
+      EXPECT_EQ(fused_complete, ref_complete) << "dim=" << dim << " trial=" << trial;
+      EXPECT_EQ(fused_keys, ref_keys) << "dim=" << dim << " trial=" << trial;
+      // Accumulator state must be bit-identical too (values AND summaries).
+      const auto fv = fused.value(), rv = ref.value();
+      ASSERT_EQ(fv.size(), rv.size());
+      for (std::size_t i = 0; i < fv.size(); ++i) {
+        ASSERT_EQ(fv[i], rv[i]) << "value diverged at " << i;
+      }
+      const auto fc = fused.chunk_max(), rc = ref.chunk_max();
+      ASSERT_EQ(fc.size(), rc.size());
+      for (std::size_t c = 0; c < fc.size(); ++c) {
+        ASSERT_EQ(fc[c], rc[c]) << "chunk summary diverged at " << c;
+      }
+    }
+  }
+}
+
+TEST(FusedScanTest, CapBailStillCompletesTheAdds) {
+  // A bailed scan must not leave the accumulation half-done: every chunk is
+  // still added and summarized, only the key emission stops.
+  const std::size_t dim = 512;
+  GradientAccumulator fused(dim), ref(dim);
+  std::vector<float> grad(dim, 1.0f);
+  std::vector<std::uint64_t> keys;
+  const bool complete = fused.add_scan({grad.data(), grad.size()}, 0.5f, 4, keys);
+  ref.add({grad.data(), grad.size()});
+  EXPECT_FALSE(complete);
+  EXPECT_LE(keys.size(), 4u + kAccumulatorChunk);  // bails within one chunk
+  const auto fv = fused.value(), rv = ref.value();
+  for (std::size_t i = 0; i < dim; ++i) ASSERT_EQ(fv[i], rv[i]);
+}
+
+TEST(FusedScanTest, RejectsNonPositiveThreshold) {
+  GradientAccumulator acc(64);
+  std::vector<float> grad(64, 0.0f);
+  std::vector<std::uint64_t> keys;
+  EXPECT_THROW((void)acc.add_scan({grad.data(), grad.size()}, 0.0f, 10, keys),
+               std::invalid_argument);
+}
+
+// ---------------- shard plan -------------------------------------------------
+
+TEST(ShardPlanTest, BalancedContiguousPartition) {
+  for (const std::size_t n : {0u, 1u, 2u, 7u, 100u, 1001u}) {
+    for (const std::size_t shards : {1u, 2u, 3u, 8u, 200u}) {
+      const ShardPlan plan = make_shard_plan(n, shards);
+      ASSERT_GE(plan.shards(), 1u);
+      EXPECT_LE(plan.shards(), std::max<std::size_t>(1, std::min(shards, std::max<std::size_t>(1, n))));
+      EXPECT_EQ(plan.begin(0), 0u);
+      EXPECT_EQ(plan.end(plan.shards() - 1), n);
+      std::size_t lo = n, hi = 0;
+      for (std::size_t s = 0; s < plan.shards(); ++s) {
+        ASSERT_LE(plan.begin(s), plan.end(s));
+        const std::size_t size = plan.end(s) - plan.begin(s);
+        lo = std::min(lo, size);
+        hi = std::max(hi, size);
+        if (s + 1 < plan.shards()) ASSERT_EQ(plan.end(s), plan.begin(s + 1));
+      }
+      if (n > 0) EXPECT_LE(hi - lo, 1u) << "n=" << n << " shards=" << shards;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fedsparse::sparsify
