@@ -116,6 +116,72 @@ void fleet_smoke() {
   }
 }
 
+// Buffered-async smoke at N=1000 under longtail_mobile, also run under
+// --smoke so tier-1 CI drives the event-driven engine end to end on a real
+// Simulation: timeline build + seal, first-M flush, deferred uploads
+// carrying staleness into later rounds, event-triggered uploads armed.
+// Throws when the async bookkeeping breaks.
+void async_smoke() {
+  std::printf("\n== buffered-async smoke: 3 longtail_mobile rounds at N=1000, M=40 ==\n");
+  data::SyntheticConfig dc;
+  dc.num_classes = 4;
+  dc.channels = 1;
+  dc.height = 4;
+  dc.width = 4;
+  dc.num_clients = 1000;
+  dc.samples_per_client = 2;
+  dc.test_samples = 32;
+  dc.seed = 13;
+  fl::SimulationConfig cfg;
+  cfg.batch = 2;
+  cfg.max_rounds = 3;
+  cfg.eval_every = 10;  // no mid-run evals; the final backfill still runs
+  cfg.eval_samples_per_client = 1;
+  cfg.eval_test_samples = 16;
+  cfg.participation = 0.1;  // 100 sampled per round, buffer flushes at 40
+  cfg.seed = 13;
+  cfg.threads = 2;
+  fl::apply_scenario(fl::make_scenario("longtail_mobile", dc.num_clients, cfg.seed), cfg);
+  cfg.aggregation = fl::AggregationMode::kBufferedAsync;
+  cfg.async.buffer_size = 40;
+  cfg.async.staleness_lambda = 0.25;
+  cfg.async.trigger_scale = 4.0;  // arm event-triggered uploads too
+  auto dataset = data::make_synthetic(dc);
+  auto factory = nn::mlp(16, {12}, 4);
+  util::Rng probe(1);
+  const std::size_t dim = factory(probe)->dim();
+  fl::Simulation sim(cfg, std::move(dataset), factory, sparsify::make_method("fab_topk", dim, 5),
+                     std::make_unique<online::FixedK>(20.0));
+  const fl::SimulationResult res = sim.run();
+  if (res.records.size() != 3) {
+    throw std::runtime_error("async smoke: expected 3 round records");
+  }
+  // Round 1: nothing buffered yet, so the flush is exactly the first M
+  // arrivals. Later rounds fold catch-ups on top.
+  if (res.records.front().participants != cfg.async.buffer_size) {
+    throw std::runtime_error("async smoke: first flush is not the first-M arrivals");
+  }
+  bool saw_staleness = false;
+  for (const auto& r : res.records) {
+    if (r.participants < cfg.async.buffer_size) {
+      throw std::runtime_error("async smoke: flush smaller than the accept buffer");
+    }
+    if (!(r.mean_staleness >= 0.0)) {
+      throw std::runtime_error("async smoke: mean staleness not finite");
+    }
+    saw_staleness = saw_staleness || r.mean_staleness > 0.0;
+  }
+  if (!saw_staleness) {
+    throw std::runtime_error("async smoke: deferred uploads never carried staleness");
+  }
+  if (sim.pending_uploads() != res.records.back().buffered_stale) {
+    throw std::runtime_error("async smoke: pending-upload count diverged from the round record");
+  }
+  std::printf("async smoke: flushes %zu/%zu/%zu, final buffered uploads %zu\n",
+              res.records[0].participants, res.records[1].participants,
+              res.records[2].participants, sim.pending_uploads());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -155,7 +221,10 @@ int main(int argc, char** argv) {
       runs.emplace(name, std::move(run));
     }
 
-    if (smoke) fleet_smoke();
+    if (smoke) {
+      fleet_smoke();
+      async_smoke();
+    }
 
     if (!smoke) {
       // The acceptance comparison: equal-loss runs, bimodal should settle on

@@ -74,6 +74,21 @@ Simulation::Simulation(SimulationConfig cfg, data::FederatedDataset dataset,
   // methods; FedAvg-style methods (diverging local weights) and the
   // per-replica reference engine give every client its own vector.
   fedavg_style_ = method_->local_update_style();
+  if (cfg_.aggregation == AggregationMode::kBufferedAsync) {
+    if (fedavg_style_) {
+      throw std::invalid_argument(
+          "Simulation: buffered-async aggregation requires gradient-accumulating methods "
+          "(FedAvg-style local weights diverge between flushes)");
+    }
+    if (cfg_.async.staleness_lambda < 0.0) {
+      throw std::invalid_argument("Simulation: staleness_lambda must be >= 0");
+    }
+    if (cfg_.async.trigger_scale < 0.0) {
+      throw std::invalid_argument("Simulation: trigger_scale must be >= 0");
+    }
+  }
+  pending_.assign(clients_.size(), 0);
+  pending_round_.assign(clients_.size(), 0);
   per_client_weights_ = fedavg_style_ || cfg.replica_mode == ReplicaMode::kPerReplica;
   shared_weights_.assign(master->weights().begin(), master->weights().end());
   if (per_client_weights_) {
@@ -164,8 +179,31 @@ const std::vector<std::size_t>& Simulation::sample_participants() {
   return part_ids_;
 }
 
+void staleness_weighting(std::vector<double>& weights, std::span<const std::size_t> staleness,
+                         double lambda) {
+  // All-fresh flushes skip the fold entirely so the weights stay bitwise
+  // untouched — this is what pins zero-staleness async ≡ sync byte-identity.
+  bool any_stale = false;
+  for (const std::size_t s : staleness) {
+    if (s != 0) {
+      any_stale = true;
+      break;
+    }
+  }
+  if (!any_stale) return;
+  double total = 0.0;
+  for (std::size_t s = 0; s < weights.size(); ++s) {
+    weights[s] *= 1.0 / (1.0 + lambda * static_cast<double>(staleness[s]));
+    total += weights[s];
+  }
+  if (total > 0.0) {
+    for (double& w : weights) w /= total;
+  }
+}
+
 const sparsify::RoundInput& Simulation::make_round_input(
-    std::size_t round, const std::vector<std::size_t>& selected) {
+    std::size_t round, const std::vector<std::size_t>& selected,
+    std::span<const std::size_t> staleness) {
   round_input_.dim = dim_;
   round_input_.round = round;
   // Stable ids so methods key cross-round per-client state (e.g. top-k
@@ -195,6 +233,11 @@ const sparsify::RoundInput& Simulation::make_round_input(
     if (prescan_round_) {
       round_input_.client_prescan.push_back(clients_[i]->prescan_view(round));
     }
+  }
+  // Buffered-async flushes discount stale contributions before the methods
+  // ever see the weights; methods stay staleness-oblivious (sparsify/method.h).
+  if (!staleness.empty()) {
+    staleness_weighting(weight_storage_, staleness, cfg_.async.staleness_lambda);
   }
   round_input_.data_weights = {weight_storage_.data(), weight_storage_.size()};
   return round_input_;
@@ -250,6 +293,556 @@ void Simulation::evaluate(RoundRecord& rec) {
   rec.accuracy = evaluator_.accuracy(test_set_, cfg_.eval_test_samples, rng_);
 }
 
+// ---------------------------------------------------------------------------
+// The staged round pipeline. One round is one pass through the stages below.
+// The synchronized barrier is the degenerate schedule of the same pipeline —
+// the flush fires after the last arrival — so both aggregation modes share
+// every stage, and zero-staleness async ≡ sync byte-identity falls out of the
+// shared code path instead of being re-proved per feature.
+// ---------------------------------------------------------------------------
+
+void Simulation::stage_begin(RoundContext& ctx) {
+  ctx.k_cont = controller_->current_k();
+  ctx.probe_k_cont = controller_->probe_k();
+  ctx.k_int = cfg_.stochastic_rounding ? online::stochastic_round_k(ctx.k_cont, dim_, rng_)
+                                       : online::deterministic_round_k(ctx.k_cont, dim_);
+
+  // Advance the network fluctuation state (rate jitter + availability
+  // chain) before anything reads it. A trivial network is a no-op.
+  network_.begin_round(ctx.m);
+}
+
+void Simulation::stage_schedule(RoundContext& ctx) {
+  const bool async = cfg_.aggregation == AggregationMode::kBufferedAsync;
+
+  // Participants feed the server round; offline clients keep training
+  // locally — their gradients pile up in the accumulator until they rejoin
+  // (the FAB/FUB catch-up dynamic) — but cannot upload, be waited on, or be
+  // sampled. Client RNG streams are keyed by (client, round), so who
+  // computes never perturbs anyone else's draw.
+  const std::vector<std::size_t>& part = sample_participants();
+  compute_ids_.assign(part.begin(), part.end());
+
+  // Event-triggered uploads: an online client that was NOT sampled this
+  // round volunteers an upload when its accumulator mass already clears the
+  // method's selection threshold — it is demonstrably holding entries the
+  // server would have picked. Triggered clients compute and upload exactly
+  // like sampled ones. The scan is an early-exit walk over chunk summaries:
+  // O(chunks) per unsampled online client, nothing when disabled.
+  triggered_ids_.clear();
+  if (async && cfg_.async.trigger_scale > 0.0 && cfg_.tiered_accumulators && !fedavg_style_) {
+    const auto scale = static_cast<float>(cfg_.async.trigger_scale);
+    std::size_t next = 0;
+    for (const std::size_t i : network_.online_ids()) {
+      if (next < part.size() && part[next] == i) {
+        ++next;
+        continue;
+      }
+      if (pending_[i]) continue;  // already buffered — joins the flush anyway
+      const float hint = method_->upload_threshold_hint(i, ctx.k_int);
+      if (hint <= 0.0f) continue;
+      const float bar = scale * hint;
+      for (const float cm : clients_[i]->accumulator().chunk_max()) {
+        if (cm >= bar) {
+          triggered_ids_.push_back(i);
+          break;
+        }
+      }
+    }
+    compute_ids_.insert(compute_ids_.end(), triggered_ids_.begin(), triggered_ids_.end());
+  }
+  if (network_.has_churn()) {
+    const auto offline = network_.offline_ids();
+    compute_ids_.insert(compute_ids_.end(), offline.begin(), offline.end());
+  }
+
+  // --- the round's event schedule ------------------------------------------
+  // Built serially in BOTH modes from the network model alone (no RNG, no
+  // thread-pool state), totally ordered by (time, kind, client) at seal():
+  // the event order is identical at every thread count, which the async
+  // engine tests pin.
+  timeline_.clear();
+  if (network_.has_churn()) {
+    // Diff the sorted offline sets of the previous and current round with
+    // one merge walk: present only now = went offline, present only before =
+    // came back online.
+    const auto cur = network_.offline_ids();
+    std::size_t a = 0, b = 0;
+    while (a < prev_offline_.size() || b < cur.size()) {
+      if (b == cur.size() || (a < prev_offline_.size() && prev_offline_[a] < cur[b])) {
+        timeline_.push(0.0, EventKind::kClientOnline, prev_offline_[a++]);
+      } else if (a == prev_offline_.size() || cur[b] < prev_offline_[a]) {
+        timeline_.push(0.0, EventKind::kClientOffline, cur[b++]);
+      } else {
+        ++a;
+        ++b;
+      }
+    }
+    prev_offline_.assign(cur.begin(), cur.end());
+  }
+
+  // Upload arrivals: each uploader lands at compute + own-payload-over-own-
+  // link, the payload estimated at the full 2k it may send. Ties (the
+  // homogeneous network) resolve by client id via the sort's second key.
+  arrival_scratch_.clear();
+  const double est_payload = 2.0 * static_cast<double>(std::min(ctx.k_int, dim_));
+  for (const std::size_t i : part) {
+    arrival_scratch_.emplace_back(network_.compute_time(i) + network_.uplink_time(i, est_payload),
+                                  i);
+  }
+  for (const std::size_t i : triggered_ids_) {
+    arrival_scratch_.emplace_back(network_.compute_time(i) + network_.uplink_time(i, est_payload),
+                                  i);
+  }
+  std::sort(arrival_scratch_.begin(), arrival_scratch_.end());
+  for (const auto& [t, i] : arrival_scratch_) timeline_.push(t, EventKind::kUploadReady, i);
+
+  const std::size_t arrivals = arrival_scratch_.size();
+  std::size_t accept = arrivals;
+  if (async && cfg_.async.buffer_size > 0) accept = std::min(cfg_.async.buffer_size, arrivals);
+  const double flush_time = accept > 0 ? arrival_scratch_[accept - 1].first : 0.0;
+
+  if (!async) {
+    // Barrier: the flush is the whole participant set, all fresh, fired
+    // after the last arrival — arrival order is unobservable by
+    // construction, which is exactly what makes it the degenerate case.
+    timeline_.push(flush_time, EventKind::kBufferFlush, part.size());
+    timeline_.seal();
+    ctx.flush = &part_ids_;
+    ctx.staleness = {};
+    ctx.mean_staleness = 0.0;
+    return;
+  }
+
+  accepted_ids_.clear();
+  for (std::size_t s = 0; s < accept; ++s) accepted_ids_.push_back(arrival_scratch_[s].second);
+  std::sort(accepted_ids_.begin(), accepted_ids_.end());
+
+  // The flush = accepted arrivals ∪ online buffered catch-ups: every
+  // contribution deferred at an earlier flush joins the next flush its
+  // client is reachable for (the rejoin catch-up — no starvation, buffered
+  // mass waits at most one flush once its client is back online).
+  flush_ids_.assign(accepted_ids_.begin(), accepted_ids_.end());
+  for (const std::size_t i : pending_ids_) {
+    if (!network_.available(i)) continue;
+    if (std::binary_search(accepted_ids_.begin(), accepted_ids_.end(), i)) continue;
+    flush_ids_.push_back(i);
+  }
+  std::sort(flush_ids_.begin(), flush_ids_.end());
+
+  // Slot-aligned staleness + freshness; flushed members leave the buffer.
+  // Staleness counts whole flush windows waited: m − first-deferral round.
+  // A re-sampled pending client flushes its accumulated (old + new) mass
+  // with that staleness but counts as fresh for timing — it did upload now.
+  flush_staleness_.resize(flush_ids_.size());
+  fresh_mask_.resize(flush_ids_.size());
+  ctx.mean_staleness = 0.0;
+  for (std::size_t s = 0; s < flush_ids_.size(); ++s) {
+    const std::size_t i = flush_ids_[s];
+    flush_staleness_[s] = pending_[i] ? ctx.m - pending_round_[i] : 0;
+    fresh_mask_[s] = std::binary_search(accepted_ids_.begin(), accepted_ids_.end(), i) ? 1 : 0;
+    pending_[i] = 0;
+    ctx.mean_staleness += static_cast<double>(flush_staleness_[s]);
+  }
+  if (!flush_ids_.empty()) ctx.mean_staleness /= static_cast<double>(flush_ids_.size());
+
+  // Enter this round's deferrals into the buffer. An arrival beyond the
+  // buffer whose client just flushed anyway (as a catch-up) defers nothing —
+  // its whole accumulator, this round's gradient included, was folded. The
+  // FIRST deferral round sticks (staleness measures total wait). Then drop
+  // flushed members from the pending list and restore id order.
+  for (std::size_t s = accept; s < arrivals; ++s) {
+    const std::size_t i = arrival_scratch_[s].second;
+    if (std::binary_search(flush_ids_.begin(), flush_ids_.end(), i)) continue;
+    if (!pending_[i]) {
+      pending_[i] = 1;
+      pending_round_[i] = ctx.m;
+      pending_ids_.push_back(i);
+    }
+  }
+  std::erase_if(pending_ids_, [&](std::size_t i) { return pending_[i] == 0; });
+  std::sort(pending_ids_.begin(), pending_ids_.end());
+
+  timeline_.push(flush_time, EventKind::kBufferFlush, flush_ids_.size());
+  timeline_.seal();
+  ctx.flush = &flush_ids_;
+  ctx.staleness = {flush_staleness_.data(), flush_staleness_.size()};
+}
+
+void Simulation::stage_compute(RoundContext& ctx) {
+  // (A) Local computation at w(m−1) in parallel over the per-thread
+  // workspaces.
+  //
+  // Fused prescan: arm each uploader whose method hint is live so its
+  // gradient accumulation below emits this round's selection candidates in
+  // the same pass (Client::request_prescan). The gate mirrors the selection
+  // prefilter gate exactly — when select() would not run the hint filter,
+  // there is nothing to fuse. Buffered catch-ups do not recompute, so they
+  // carry no prescan; selection falls back to scanning their chunks.
+  prescan_round_ = false;
+  if (cfg_.fused_prescan && cfg_.tiered_accumulators && !fedavg_style_ &&
+      dim_ >= sparsify::kTopKPrefilterMinDim && ctx.k_int >= 1 && ctx.k_int < dim_) {
+    const std::size_t cap = sparsify::topk_hint_cap(ctx.k_int);
+    for (const std::size_t i : part_ids_) {
+      const float t = method_->upload_threshold_hint(i, ctx.k_int);
+      if (t > 0.0f) {
+        clients_[i]->request_prescan(t, ctx.k_int, cap, ctx.m);
+        prescan_round_ = true;
+      }
+    }
+    for (const std::size_t i : triggered_ids_) {
+      const float t = method_->upload_threshold_hint(i, ctx.k_int);
+      if (t > 0.0f) {
+        clients_[i]->request_prescan(t, ctx.k_int, cap, ctx.m);
+        prescan_round_ = true;
+      }
+    }
+  }
+  pool_.parallel_for(
+      compute_ids_.size(),
+      [&](std::size_t s) {
+        const std::size_t i = compute_ids_[s];
+        nn::Sequential& ws = bound_workspace(i);
+        mb_losses_[i] = fedavg_style_
+                            ? clients_[i]->local_update(ws, ctx.m, cfg_.batch, cfg_.lr)
+                            : clients_[i]->compute_round_gradient(ws, ctx.m, cfg_.batch);
+      },
+      /*grain=*/1);
+}
+
+void Simulation::stage_server_round(RoundContext& ctx) {
+  const std::vector<std::size_t>& flush = *ctx.flush;
+
+  // Per-round compute-bound resources (e.g. energy per computation) scale
+  // with the slowest flushed client's realized device speed. An empty round
+  // (every client offline) skips the server exchange entirely and falls
+  // through the shared record/eval/stop tail as one idle compute round.
+  ctx.round_resource = resource_;
+  if (network_.heterogeneous() && !flush.empty()) {
+    ctx.round_resource.energy_per_compute =
+        resource_.energy_per_compute * network_.max_compute_multiplier(flush);
+  }
+
+  // (1)–(2) Server round: selection + aggregation over the flush set.
+  // An empty round leaves the default outcome: zero payloads, no resets.
+  if (!flush.empty()) {
+    ctx.outcome = method_->round(make_round_input(ctx.m, flush, ctx.staleness), ctx.k_int);
+  }
+}
+
+void Simulation::stage_probe(RoundContext& ctx) {
+  // (3) Probe selection k'_m (derived before resets touch the accumulators).
+  const std::vector<std::size_t>& flush = *ctx.flush;
+  ctx.want_probe = !flush.empty() && ctx.probe_k_cont > 0.0 && !fedavg_style_ &&
+                   ctx.outcome.kind == sparsify::RoundOutcome::Kind::kSparseUpdate;
+  if (!ctx.want_probe) return;
+  std::size_t probe_k_int = cfg_.stochastic_rounding
+                                ? online::stochastic_round_k(ctx.probe_k_cont, dim_, rng_)
+                                : online::deterministic_round_k(ctx.probe_k_cont, dim_);
+  if (probe_k_int >= ctx.k_int) probe_k_int = ctx.k_int > 1 ? ctx.k_int - 1 : 0;
+  if (probe_k_int >= 1) {
+    // round_input_ still holds this round's view (want_probe implies a
+    // non-empty flush set built it above).
+    const sparsify::RoundOutcome probe_outcome = method_->probe_round(round_input_, probe_k_int);
+    ctx.probe_diff = sparsify::sparse_subtract(ctx.outcome.update, probe_outcome.update);
+  } else {
+    ctx.want_probe = false;
+  }
+}
+
+void Simulation::stage_apply(RoundContext& ctx, SimulationResult& res) {
+  const std::vector<std::size_t>& flush = *ctx.flush;
+  const sparsify::RoundOutcome& outcome = ctx.outcome;
+  const std::size_t n = clients_.size();
+
+  // (B)/(C) Apply the global update and consume transmitted accumulator
+  // entries. An empty round exchanged nothing and touches nobody. Resets run
+  // only for flushed slots, so a deferred client's accumulator keeps every
+  // gradient until the flush that folds it — buffered mass cannot be lost.
+  if (!flush.empty() && per_client_weights_) {
+    // FedAvg / per-replica reference engine: every client's own vector is
+    // touched in one fused parallel pass (apply + reset per client).
+    part_slot_.assign(n, -1);
+    for (std::size_t s = 0; s < flush.size(); ++s) {
+      part_slot_[flush[s]] = static_cast<std::int32_t>(s);
+    }
+    // kLocalOnly with a local-update method means no apply AND no resets —
+    // skip the barrier entirely instead of forking n no-op tasks.
+    const bool round_touches_clients =
+        outcome.kind != sparsify::RoundOutcome::Kind::kLocalOnly || !fedavg_style_;
+    if (round_touches_clients) {
+      pool_.parallel_for(
+          n,
+          [&](std::size_t i) {
+            switch (outcome.kind) {
+              case sparsify::RoundOutcome::Kind::kSparseUpdate:
+                clients_[i]->apply_sparse_update(outcome.update, cfg_.lr);
+                break;
+              case sparsify::RoundOutcome::Kind::kDenseUpdate:
+                clients_[i]->apply_dense_update(outcome.dense, cfg_.lr);
+                break;
+              case sparsify::RoundOutcome::Kind::kWeightAverage:
+                // An offline FedAvg client misses the synchronization and
+                // keeps its diverging local weights until it rejoins.
+                // (Synchronized methods never emit kWeightAverage; their
+                // per-replica layout must mirror the shared store exactly.)
+                if (!fedavg_style_ || network_.available(i)) {
+                  clients_[i]->set_weights({outcome.dense.data(), outcome.dense.size()});
+                }
+                break;
+              case sparsify::RoundOutcome::Kind::kLocalOnly:
+                break;
+            }
+            const std::int32_t s = part_slot_[i];
+            if (!fedavg_style_ && s >= 0) {
+              apply_reset(outcome, i, static_cast<std::size_t>(s));
+            }
+          },
+          /*grain=*/1);
+    }
+  } else if (!flush.empty()) {
+    // Shared store: the synchronized update is applied ONCE — O(k) sparse,
+    // O(D) dense — independent of the client count. Only the flushed
+    // clients' accumulators need per-client work.
+    const std::span<float> sw{shared_weights_.data(), shared_weights_.size()};
+    switch (outcome.kind) {
+      case sparsify::RoundOutcome::Kind::kSparseUpdate:
+        sparsify::axpy_sparse(-cfg_.lr, outcome.update, sw);
+        break;
+      case sparsify::RoundOutcome::Kind::kDenseUpdate:
+        if (outcome.dense.size() != sw.size()) {
+          throw std::invalid_argument("Simulation: dense update dimension mismatch");
+        }
+        for (std::size_t j = 0; j < sw.size(); ++j) sw[j] -= cfg_.lr * outcome.dense[j];
+        break;
+      case sparsify::RoundOutcome::Kind::kWeightAverage:
+        if (outcome.dense.size() != sw.size()) {
+          throw std::invalid_argument("Simulation: weight average dimension mismatch");
+        }
+        std::copy(outcome.dense.begin(), outcome.dense.end(), sw.begin());
+        break;
+      case sparsify::RoundOutcome::Kind::kLocalOnly:
+        break;
+    }
+    pool_.parallel_for(
+        flush.size(), [&](std::size_t s) { apply_reset(outcome, flush[s], s); },
+        /*grain=*/1);
+  }
+  for (std::size_t s = 0; s < flush.size(); ++s) {
+    res.contributed_totals[flush[s]] += outcome.contributed[s];
+  }
+}
+
+void Simulation::stage_account(RoundContext& ctx, SimulationResult& res, double& time) {
+  const std::vector<std::size_t>& flush = *ctx.flush;
+  const sparsify::RoundOutcome& outcome = ctx.outcome;
+
+  // Straggler-correct round timing. Synchronized: τ_m maxes each
+  // participant's compute + own-payload-over-own-link, then adds the
+  // broadcast over the slowest participating downlink (the homogeneous fast
+  // path inside round_time() reproduces the legacy TimingModel expression
+  // bit-for-bit). Buffered async: τ_m waits only on FRESH arrivals — a
+  // buffered contribution's transit overlapped an earlier round's window and
+  // costs this flush nothing. That is the wall-clock win over the barrier;
+  // with every slot fresh the subset IS the flush and the legacy max below
+  // reproduces outcome.uplink_values exactly (2·|J| payloads are integers,
+  // exact in double), keeping the degenerate case bitwise synchronized.
+  uplink_slots_.resize(flush.size());
+  for (std::size_t s = 0; s < flush.size(); ++s) uplink_slots_[s] = outcome.client_uplink(s);
+  if (cfg_.aggregation == AggregationMode::kSynchronized) {
+    ctx.round_timing =
+        network_.round_time(flush, uplink_slots_, outcome.uplink_values, outcome.downlink_values);
+  } else {
+    fresh_ids_.clear();
+    fresh_uplink_.clear();
+    double fresh_legacy = 0.0;
+    for (std::size_t s = 0; s < flush.size(); ++s) {
+      if (!fresh_mask_[s]) continue;
+      fresh_ids_.push_back(flush[s]);
+      fresh_uplink_.push_back(uplink_slots_[s]);
+      fresh_legacy = std::max(fresh_legacy, uplink_slots_[s]);
+    }
+    ctx.round_timing =
+        network_.round_time(fresh_ids_, fresh_uplink_, fresh_legacy, outcome.downlink_values);
+  }
+
+  // Composite-resource payload totals: round *time* maxes over the parallel
+  // uplinks, but additive resources (energy, money) price the whole fleet —
+  // every flushed upload (buffered ones are charged at the flush that folds
+  // them, exactly once), plus the broadcast every ONLINE client receives
+  // (non-participants still listen so their weights stay synchronized).
+  // Pure-time objectives (the default) are untouched: the payload arguments
+  // only feed the zero-weighted terms.
+  double fleet_uplink = 0.0;
+  for (std::size_t s = 0; s < flush.size(); ++s) fleet_uplink += uplink_slots_[s];
+  const double n_part = static_cast<double>(flush.size());
+  const std::size_t online = network_.online_ids().size();
+  const double n_online = static_cast<double>(online);
+  const double fleet_downlink = n_online * outcome.downlink_values;
+
+  // Realized per-client traffic: flushed clients pay their own uplink
+  // payload and the broadcast downlink; online non-participants receive the
+  // broadcast too (they stay synchronized) but upload nothing; offline
+  // clients exchange nothing. FedAvg's kLocalOnly rounds exchange nothing —
+  // they are not server rounds and do not count as participation.
+  if (outcome.kind != sparsify::RoundOutcome::Kind::kLocalOnly) {
+    for (std::size_t s = 0; s < flush.size(); ++s) {
+      clients_[flush[s]]->note_round(uplink_slots_[s], outcome.downlink_values);
+    }
+    if (outcome.downlink_values > 0.0 && flush.size() < online) {
+      // Both lists are sorted ascending and flush ⊆ online, so one merge
+      // walk charges every online non-participant — O(online), not O(N).
+      std::size_t next = 0;
+      for (const std::size_t i : network_.online_ids()) {
+        if (next < flush.size() && flush[next] == i) {
+          ++next;
+          continue;
+        }
+        clients_[i]->note_broadcast(outcome.downlink_values);
+      }
+    }
+  }
+
+  // (B)–(D) One-sample probe losses over the flush set, averaged by the
+  // server (Sec. IV-E). The controller minimizes the composite round cost
+  // (pure time under the paper's defaults).
+  online::RoundFeedback& fb = ctx.fb;
+  fb.round_time = ctx.round_resource.round_cost_given_time(ctx.round_timing.time, fleet_uplink,
+                                                           fleet_downlink);
+  fb.mean_staleness = ctx.mean_staleness;
+  ctx.wall_time = fb.round_time;
+  if (!fedavg_style_ && !flush.empty()) {
+    probe_prev_.resize(flush.size());
+    probe_cur_.resize(flush.size());
+    probe_shift_.resize(flush.size());
+    if (per_client_weights_) {
+      pool_.parallel_for(
+          flush.size(),
+          [&](std::size_t s) {
+            Client& c = *clients_[flush[s]];
+            nn::Sequential& ws = bound_workspace(flush[s]);
+            probe_prev_[s] = c.probe_loss_prev();
+            probe_cur_[s] = c.probe_loss_now(ws);
+            if (ctx.want_probe) probe_shift_[s] = c.probe_loss_shifted(ws, ctx.probe_diff, cfg_.lr);
+          },
+          /*grain=*/1);
+    } else {
+      pool_.parallel_for(
+          flush.size(),
+          [&](std::size_t s) {
+            Client& c = *clients_[flush[s]];
+            probe_prev_[s] = c.probe_loss_prev();
+            probe_cur_[s] = c.probe_loss_now(bound_workspace(flush[s]));
+          },
+          /*grain=*/1);
+      if (ctx.want_probe) {
+        // Shift the shared store to w'(m) once, let every participant read
+        // it concurrently, then restore the saved values exactly — the
+        // same save/evaluate/restore a per-replica client performs, done
+        // once instead of n times.
+        const std::span<float> sw{shared_weights_.data(), shared_weights_.size()};
+        shift_saved_.resize(ctx.probe_diff.size());
+        for (std::size_t i = 0; i < ctx.probe_diff.size(); ++i) {
+          const auto idx = static_cast<std::size_t>(ctx.probe_diff[i].index);
+          shift_saved_[i] = sw[idx];
+          sw[idx] += cfg_.lr * ctx.probe_diff[i].value;
+        }
+        pool_.parallel_for(
+            flush.size(),
+            [&](std::size_t s) {
+              probe_shift_[s] = clients_[flush[s]]->probe_loss_now(bound_workspace(flush[s]));
+            },
+            /*grain=*/1);
+        for (std::size_t i = 0; i < ctx.probe_diff.size(); ++i) {
+          sw[static_cast<std::size_t>(ctx.probe_diff[i].index)] = shift_saved_[i];
+        }
+      }
+    }
+    fb.loss_prev = util::mean_of(probe_prev_);
+    fb.loss_cur = util::mean_of(probe_cur_);
+    if (ctx.want_probe) {
+      fb.loss_probe = util::mean_of(probe_shift_);
+      fb.probe_available = true;
+      // θ_m(k') from the SAME heterogeneous model that produced τ_m, so
+      // Algorithms 2/3 compare like with like under stragglers; value-based
+      // resource terms price the same fleet totals as τ_m (n uplinks of 2k'
+      // values, the 2k'-value broadcast to n participants).
+      fb.theta_probe = ctx.round_resource.round_cost_given_time(
+          network_.theta(ctx.probe_k_cont, flush), n_part * 2.0 * ctx.probe_k_cont,
+          n_online * 2.0 * ctx.probe_k_cont);
+      if (cfg_.charge_probe_overhead) {
+        // Step ③ of Fig. 3: the k/k' difference entries on the downlink,
+        // carried by the slowest participating link.
+        const double extra = 2.0 * static_cast<double>(ctx.probe_diff.size());
+        const double t_full = network_.heterogeneous()
+                                  ? timing_.compute_time + network_.broadcast_time(flush, extra)
+                                  : timing_.round_time(0.0, extra);
+        ctx.wall_time += ctx.round_resource.round_cost_given_time(t_full, 0.0, n_online * extra) -
+                         ctx.round_resource.round_cost(0.0, 0.0);
+      }
+      const auto est = online::estimate_derivative_sign(fb, ctx.k_cont, ctx.probe_k_cont);
+      if (!est.valid) ++res.invalid_probe_rounds;
+    }
+  }
+  time += ctx.wall_time;
+  // An all-offline round exercised no choice of k: feeding its zero/NaN
+  // losses to a controller would punish whatever arm or perturbation it
+  // happened to be playing (EXP3, continuous bandit) for churn k cannot
+  // influence. The round still elapsed in time; k simply carries over.
+  if (!flush.empty()) controller_->observe(fb);
+}
+
+bool Simulation::stage_record(RoundContext& ctx, SimulationResult& res, double time) {
+  const std::vector<std::size_t>& flush = *ctx.flush;
+
+  // Record + periodic evaluation.
+  RoundRecord rec;
+  rec.round = ctx.m;
+  rec.time = time;
+  rec.k_continuous = ctx.k_cont;
+  rec.k_used = ctx.k_int;
+  rec.uplink_values = ctx.outcome.uplink_values;
+  rec.downlink_values = ctx.outcome.downlink_values;
+  rec.participants = flush.size();
+  rec.slowest_client = ctx.round_timing.slowest_client;
+  rec.mean_staleness = ctx.mean_staleness;
+  rec.buffered_stale = pending_ids_.size();
+  if (flush.empty()) {
+    rec.train_loss = std::numeric_limits<double>::quiet_NaN();  // no server round
+  } else {
+    // weight_storage_ still holds the flush's normalized (and, under async,
+    // staleness-discounted) data weights from make_round_input.
+    double tl = 0.0;
+    for (std::size_t s = 0; s < flush.size(); ++s) tl += weight_storage_[s] * mb_losses_[flush[s]];
+    rec.train_loss = tl;
+  }
+  const bool out_of_time = time >= cfg_.max_time;
+  const bool eval_round = (cfg_.eval_every > 0 && ctx.m % cfg_.eval_every == 0) ||
+                          ctx.m == cfg_.max_rounds || out_of_time;
+  if (eval_round) evaluate(rec);
+  res.k_sequence.push_back(ctx.k_cont);
+  res.records.push_back(rec);
+  res.rounds_run = ctx.m;
+  res.total_time = time;
+
+  if (eval_round && !std::isnan(rec.global_loss)) {
+    res.final_loss = rec.global_loss;
+    res.final_accuracy = rec.accuracy;
+    // Fig. 1: switch to a fixed k once the target loss ψ is reached.
+    if (!switched_ && cfg_.switch_at_loss > 0.0 && rec.global_loss <= cfg_.switch_at_loss) {
+      controller_ = std::make_unique<online::FixedK>(cfg_.switch_to_k);
+      switched_ = true;
+      util::log_debug() << "round " << ctx.m << ": loss " << rec.global_loss
+                        << " reached psi; switching to k=" << cfg_.switch_to_k;
+    }
+    if (cfg_.target_loss > 0.0 && rec.global_loss <= cfg_.target_loss) {
+      res.reached_target = true;
+      return true;
+    }
+  }
+  return out_of_time;
+}
+
 SimulationResult Simulation::run() {
   const std::size_t n = clients_.size();
   SimulationResult res;
@@ -259,344 +852,16 @@ SimulationResult Simulation::run() {
   double time = 0.0;
 
   for (std::size_t m = 1; m <= cfg_.max_rounds; ++m) {
-    const double k_cont = controller_->current_k();
-    const double probe_k_cont = controller_->probe_k();
-    const std::size_t k_int = cfg_.stochastic_rounding
-                                  ? online::stochastic_round_k(k_cont, dim_, rng_)
-                                  : online::deterministic_round_k(k_cont, dim_);
-
-    // Advance the network fluctuation state (rate jitter + availability
-    // chain) before anything reads it. A trivial network is a no-op.
-    network_.begin_round(m);
-
-    // (A) Local computation at w(m−1) in parallel over the per-thread
-    // workspaces. Participants feed the server round; offline clients keep
-    // training locally — their gradients pile up in the accumulator until
-    // they rejoin (the FAB/FUB catch-up dynamic) — but cannot upload, be
-    // waited on, or be sampled. Client RNG streams are keyed by (client,
-    // round), so who computes never perturbs anyone else's draw.
-    const std::vector<std::size_t>& part = sample_participants();
-    compute_ids_.assign(part.begin(), part.end());
-    if (network_.has_churn()) {
-      const auto offline = network_.offline_ids();
-      compute_ids_.insert(compute_ids_.end(), offline.begin(), offline.end());
-    }
-
-    // Fused prescan: arm each participant whose method hint is live so its
-    // gradient accumulation below emits this round's selection candidates in
-    // the same pass (Client::request_prescan). The gate mirrors the selection
-    // prefilter gate exactly — when select() would not run the hint filter,
-    // there is nothing to fuse.
-    prescan_round_ = false;
-    if (cfg_.fused_prescan && cfg_.tiered_accumulators && !fedavg_style_ &&
-        dim_ >= sparsify::kTopKPrefilterMinDim && k_int >= 1 && k_int < dim_) {
-      const std::size_t cap = sparsify::topk_hint_cap(k_int);
-      for (const std::size_t i : part) {
-        const float t = method_->upload_threshold_hint(i);
-        if (t > 0.0f) {
-          clients_[i]->request_prescan(t, k_int, cap, m);
-          prescan_round_ = true;
-        }
-      }
-    }
-    pool_.parallel_for(
-        compute_ids_.size(),
-        [&](std::size_t s) {
-          const std::size_t i = compute_ids_[s];
-          nn::Sequential& ws = bound_workspace(i);
-          mb_losses_[i] = fedavg_style_
-                              ? clients_[i]->local_update(ws, m, cfg_.batch, cfg_.lr)
-                              : clients_[i]->compute_round_gradient(ws, m, cfg_.batch);
-        },
-        /*grain=*/1);
-
-    // Per-round compute-bound resources (e.g. energy per computation) scale
-    // with the slowest participant's realized device speed. An empty round
-    // (every client offline) skips the server exchange entirely and falls
-    // through the shared record/eval/stop tail as one idle compute round.
-    ResourceModel round_resource = resource_;
-    if (network_.heterogeneous() && !part.empty()) {
-      round_resource.energy_per_compute =
-          resource_.energy_per_compute * network_.max_compute_multiplier(part);
-    }
-
-    // (1)–(2) Server round: selection + aggregation over the participants.
-    // An empty round leaves the default outcome: zero payloads, no resets.
-    sparsify::RoundOutcome outcome;
-    if (!part.empty()) {
-      outcome = method_->round(make_round_input(m, part), k_int);
-    }
-
-    // (3) Probe selection k'_m (derived before resets touch the accumulators).
-    bool want_probe = !part.empty() && probe_k_cont > 0.0 && !fedavg_style_ &&
-                      outcome.kind == sparsify::RoundOutcome::Kind::kSparseUpdate;
-    sparsify::SparseVector probe_diff;
-    if (want_probe) {
-      std::size_t probe_k_int = cfg_.stochastic_rounding
-                                    ? online::stochastic_round_k(probe_k_cont, dim_, rng_)
-                                    : online::deterministic_round_k(probe_k_cont, dim_);
-      if (probe_k_int >= k_int) probe_k_int = k_int > 1 ? k_int - 1 : 0;
-      if (probe_k_int >= 1) {
-        // round_input_ still holds this round's view (want_probe implies a
-        // non-empty participant set built it above).
-        const sparsify::RoundOutcome probe_outcome =
-            method_->probe_round(round_input_, probe_k_int);
-        probe_diff = sparsify::sparse_subtract(outcome.update, probe_outcome.update);
-      } else {
-        want_probe = false;
-      }
-    }
-
-    // (B)/(C) Apply the global update and consume transmitted accumulator
-    // entries. An empty round exchanged nothing and touches nobody.
-    if (!part.empty() && per_client_weights_) {
-      // FedAvg / per-replica reference engine: every client's own vector is
-      // touched in one fused parallel pass (apply + reset per client).
-      part_slot_.assign(n, -1);
-      for (std::size_t s = 0; s < part.size(); ++s) {
-        part_slot_[part[s]] = static_cast<std::int32_t>(s);
-      }
-      // kLocalOnly with a local-update method means no apply AND no resets —
-      // skip the barrier entirely instead of forking n no-op tasks.
-      const bool round_touches_clients =
-          outcome.kind != sparsify::RoundOutcome::Kind::kLocalOnly || !fedavg_style_;
-      if (round_touches_clients) {
-        pool_.parallel_for(
-            n,
-            [&](std::size_t i) {
-              switch (outcome.kind) {
-                case sparsify::RoundOutcome::Kind::kSparseUpdate:
-                  clients_[i]->apply_sparse_update(outcome.update, cfg_.lr);
-                  break;
-                case sparsify::RoundOutcome::Kind::kDenseUpdate:
-                  clients_[i]->apply_dense_update(outcome.dense, cfg_.lr);
-                  break;
-                case sparsify::RoundOutcome::Kind::kWeightAverage:
-                  // An offline FedAvg client misses the synchronization and
-                  // keeps its diverging local weights until it rejoins.
-                  // (Synchronized methods never emit kWeightAverage; their
-                  // per-replica layout must mirror the shared store exactly.)
-                  if (!fedavg_style_ || network_.available(i)) {
-                    clients_[i]->set_weights({outcome.dense.data(), outcome.dense.size()});
-                  }
-                  break;
-                case sparsify::RoundOutcome::Kind::kLocalOnly:
-                  break;
-              }
-              const std::int32_t s = part_slot_[i];
-              if (!fedavg_style_ && s >= 0) {
-                apply_reset(outcome, i, static_cast<std::size_t>(s));
-              }
-            },
-            /*grain=*/1);
-      }
-    } else if (!part.empty()) {
-      // Shared store: the synchronized update is applied ONCE — O(k) sparse,
-      // O(D) dense — independent of the client count. Only the participants'
-      // accumulators need per-client work.
-      const std::span<float> sw{shared_weights_.data(), shared_weights_.size()};
-      switch (outcome.kind) {
-        case sparsify::RoundOutcome::Kind::kSparseUpdate:
-          sparsify::axpy_sparse(-cfg_.lr, outcome.update, sw);
-          break;
-        case sparsify::RoundOutcome::Kind::kDenseUpdate:
-          if (outcome.dense.size() != sw.size()) {
-            throw std::invalid_argument("Simulation: dense update dimension mismatch");
-          }
-          for (std::size_t j = 0; j < sw.size(); ++j) sw[j] -= cfg_.lr * outcome.dense[j];
-          break;
-        case sparsify::RoundOutcome::Kind::kWeightAverage:
-          if (outcome.dense.size() != sw.size()) {
-            throw std::invalid_argument("Simulation: weight average dimension mismatch");
-          }
-          std::copy(outcome.dense.begin(), outcome.dense.end(), sw.begin());
-          break;
-        case sparsify::RoundOutcome::Kind::kLocalOnly:
-          break;
-      }
-      pool_.parallel_for(
-          part.size(), [&](std::size_t s) { apply_reset(outcome, part[s], s); },
-          /*grain=*/1);
-    }
-    for (std::size_t s = 0; s < part.size(); ++s) {
-      res.contributed_totals[part[s]] += outcome.contributed[s];
-    }
-
-    // Straggler-correct synchronized timing: τ_m maxes each participant's
-    // compute + own-payload-over-own-link, then adds the broadcast over the
-    // slowest participating downlink. The homogeneous fast path inside
-    // round_time() reproduces the legacy TimingModel expression bit-for-bit.
-    uplink_slots_.resize(part.size());
-    for (std::size_t s = 0; s < part.size(); ++s) uplink_slots_[s] = outcome.client_uplink(s);
-    const RoundTiming round_timing = network_.round_time(
-        part, uplink_slots_, outcome.uplink_values, outcome.downlink_values);
-
-    // Composite-resource payload totals: synchronized *time* maxes over the
-    // parallel uplinks, but additive resources (energy, money) price the
-    // whole fleet — every participant's own uplink, plus the broadcast every
-    // ONLINE client receives (non-participants still listen so their weights
-    // stay synchronized). Pure-time objectives (the default) are untouched:
-    // the payload arguments only feed the zero-weighted terms.
-    double fleet_uplink = 0.0;
-    for (std::size_t s = 0; s < part.size(); ++s) fleet_uplink += uplink_slots_[s];
-    const double n_part = static_cast<double>(part.size());
-    const std::size_t online = network_.online_ids().size();
-    const double n_online = static_cast<double>(online);
-    const double fleet_downlink = n_online * outcome.downlink_values;
-
-    // Realized per-client traffic: participants pay their own uplink payload
-    // and the broadcast downlink; online non-participants receive the
-    // broadcast too (they stay synchronized) but upload nothing; offline
-    // clients exchange nothing. FedAvg's kLocalOnly rounds exchange nothing —
-    // they are not server rounds and do not count as participation.
-    if (outcome.kind != sparsify::RoundOutcome::Kind::kLocalOnly) {
-      for (std::size_t s = 0; s < part.size(); ++s) {
-        clients_[part[s]]->note_round(uplink_slots_[s], outcome.downlink_values);
-      }
-      if (outcome.downlink_values > 0.0 && part.size() < online) {
-        // Both lists are sorted ascending and part ⊆ online, so one merge
-        // walk charges every online non-participant — O(online), not O(N).
-        std::size_t next = 0;
-        for (const std::size_t i : network_.online_ids()) {
-          if (next < part.size() && part[next] == i) {
-            ++next;
-            continue;
-          }
-          clients_[i]->note_broadcast(outcome.downlink_values);
-        }
-      }
-    }
-
-    // (B)–(D) One-sample probe losses over participants, averaged by the
-    // server (Sec. IV-E). The controller minimizes the composite round cost
-    // (pure time under the paper's defaults).
-    online::RoundFeedback fb;
-    fb.round_time =
-        round_resource.round_cost_given_time(round_timing.time, fleet_uplink, fleet_downlink);
-    double wall_time = fb.round_time;
-    if (!fedavg_style_ && !part.empty()) {
-      probe_prev_.resize(part.size());
-      probe_cur_.resize(part.size());
-      probe_shift_.resize(part.size());
-      if (per_client_weights_) {
-        pool_.parallel_for(
-            part.size(),
-            [&](std::size_t s) {
-              Client& c = *clients_[part[s]];
-              nn::Sequential& ws = bound_workspace(part[s]);
-              probe_prev_[s] = c.probe_loss_prev();
-              probe_cur_[s] = c.probe_loss_now(ws);
-              if (want_probe) probe_shift_[s] = c.probe_loss_shifted(ws, probe_diff, cfg_.lr);
-            },
-            /*grain=*/1);
-      } else {
-        pool_.parallel_for(
-            part.size(),
-            [&](std::size_t s) {
-              Client& c = *clients_[part[s]];
-              probe_prev_[s] = c.probe_loss_prev();
-              probe_cur_[s] = c.probe_loss_now(bound_workspace(part[s]));
-            },
-            /*grain=*/1);
-        if (want_probe) {
-          // Shift the shared store to w'(m) once, let every participant read
-          // it concurrently, then restore the saved values exactly — the
-          // same save/evaluate/restore a per-replica client performs, done
-          // once instead of n times.
-          const std::span<float> sw{shared_weights_.data(), shared_weights_.size()};
-          shift_saved_.resize(probe_diff.size());
-          for (std::size_t i = 0; i < probe_diff.size(); ++i) {
-            const auto idx = static_cast<std::size_t>(probe_diff[i].index);
-            shift_saved_[i] = sw[idx];
-            sw[idx] += cfg_.lr * probe_diff[i].value;
-          }
-          pool_.parallel_for(
-              part.size(),
-              [&](std::size_t s) {
-                probe_shift_[s] = clients_[part[s]]->probe_loss_now(bound_workspace(part[s]));
-              },
-              /*grain=*/1);
-          for (std::size_t i = 0; i < probe_diff.size(); ++i) {
-            sw[static_cast<std::size_t>(probe_diff[i].index)] = shift_saved_[i];
-          }
-        }
-      }
-      fb.loss_prev = util::mean_of(probe_prev_);
-      fb.loss_cur = util::mean_of(probe_cur_);
-      if (want_probe) {
-        fb.loss_probe = util::mean_of(probe_shift_);
-        fb.probe_available = true;
-        // θ_m(k') from the SAME heterogeneous model that produced τ_m, so
-        // Algorithms 2/3 compare like with like under stragglers; value-based
-        // resource terms price the same fleet totals as τ_m (n uplinks of 2k'
-        // values, the 2k'-value broadcast to n participants).
-        fb.theta_probe = round_resource.round_cost_given_time(
-            network_.theta(probe_k_cont, part), n_part * 2.0 * probe_k_cont,
-            n_online * 2.0 * probe_k_cont);
-        if (cfg_.charge_probe_overhead) {
-          // Step ③ of Fig. 3: the k/k' difference entries on the downlink,
-          // carried by the slowest participating link.
-          const double extra = 2.0 * static_cast<double>(probe_diff.size());
-          const double t_full =
-              network_.heterogeneous()
-                  ? timing_.compute_time + network_.broadcast_time(part, extra)
-                  : timing_.round_time(0.0, extra);
-          wall_time += round_resource.round_cost_given_time(t_full, 0.0, n_online * extra) -
-                       round_resource.round_cost(0.0, 0.0);
-        }
-        const auto est = online::estimate_derivative_sign(fb, k_cont, probe_k_cont);
-        if (!est.valid) ++res.invalid_probe_rounds;
-      }
-    }
-    time += wall_time;
-    // An all-offline round exercised no choice of k: feeding its zero/NaN
-    // losses to a controller would punish whatever arm or perturbation it
-    // happened to be playing (EXP3, continuous bandit) for churn k cannot
-    // influence. The round still elapsed in time; k simply carries over.
-    if (!part.empty()) controller_->observe(fb);
-
-    // Record + periodic evaluation.
-    RoundRecord rec;
-    rec.round = m;
-    rec.time = time;
-    rec.k_continuous = k_cont;
-    rec.k_used = k_int;
-    rec.uplink_values = outcome.uplink_values;
-    rec.downlink_values = outcome.downlink_values;
-    rec.participants = part.size();
-    rec.slowest_client = round_timing.slowest_client;
-    if (part.empty()) {
-      rec.train_loss = std::numeric_limits<double>::quiet_NaN();  // no server round
-    } else {
-      double tl = 0.0;
-      for (std::size_t s = 0; s < part.size(); ++s) tl += weight_storage_[s] * mb_losses_[part[s]];
-      rec.train_loss = tl;
-    }
-    const bool out_of_time = time >= cfg_.max_time;
-    const bool eval_round =
-        (cfg_.eval_every > 0 && m % cfg_.eval_every == 0) || m == cfg_.max_rounds || out_of_time;
-    if (eval_round) evaluate(rec);
-    res.k_sequence.push_back(k_cont);
-    res.records.push_back(rec);
-    res.rounds_run = m;
-    res.total_time = time;
-
-    if (eval_round && !std::isnan(rec.global_loss)) {
-      res.final_loss = rec.global_loss;
-      res.final_accuracy = rec.accuracy;
-      // Fig. 1: switch to a fixed k once the target loss ψ is reached.
-      if (!switched_ && cfg_.switch_at_loss > 0.0 && rec.global_loss <= cfg_.switch_at_loss) {
-        controller_ = std::make_unique<online::FixedK>(cfg_.switch_to_k);
-        switched_ = true;
-        util::log_debug() << "round " << m << ": loss " << rec.global_loss
-                          << " reached psi; switching to k=" << cfg_.switch_to_k;
-      }
-      if (cfg_.target_loss > 0.0 && rec.global_loss <= cfg_.target_loss) {
-        res.reached_target = true;
-        break;
-      }
-    }
-    if (out_of_time) break;
+    RoundContext ctx;
+    ctx.m = m;
+    stage_begin(ctx);
+    stage_schedule(ctx);
+    stage_compute(ctx);
+    stage_server_round(ctx);
+    stage_probe(ctx);
+    stage_apply(ctx, res);
+    stage_account(ctx, res, time);
+    if (stage_record(ctx, res, time)) break;
   }
 
   // Guarantee final metrics even if the last round was not an eval round.

@@ -27,6 +27,7 @@
 
 #include "data/synthetic.h"
 #include "fl/client.h"
+#include "fl/event_timeline.h"
 #include "fl/metrics.h"
 #include "fl/network.h"
 #include "fl/resource.h"
@@ -47,6 +48,54 @@ enum class ReplicaMode {
   /// retained for equivalence tests and the round-scaling benchmark.
   kPerReplica,
 };
+
+/// How the server folds client uploads into global updates.
+enum class AggregationMode {
+  /// Algorithm 1's barrier: every sampled participant's upload is awaited and
+  /// folded together; τ_m pays the slowest participant. The default, and the
+  /// degenerate schedule of the event timeline (flush after the last arrival).
+  kSynchronized,
+  /// Buffered asynchrony (FedBuff-style): the server folds the first M
+  /// arrivals of the round into the flush; later arrivals are buffered and
+  /// join the NEXT flush with a staleness discount on their data weight.
+  /// τ_m pays only the arrivals it waited for, which is where the wall-clock
+  /// win over the barrier comes from under long-tail stragglers. With
+  /// M = 0 (take everything) and no event triggering the flush IS the
+  /// barrier: traces are byte-identical to kSynchronized (pinned by
+  /// tests/async_engine_test.cpp).
+  kBufferedAsync,
+};
+
+/// Knobs of AggregationMode::kBufferedAsync (ignored under kSynchronized).
+struct AsyncConfig {
+  /// Flush after this many arrivals per round; later arrivals defer to the
+  /// next flush. 0 = accept every arrival (the degenerate barrier).
+  std::size_t buffer_size = 0;
+
+  /// λ of the staleness discount 1/(1 + λ·s): a contribution that waited s
+  /// flushes in the buffer enters the aggregation with its data weight scaled
+  /// down by that factor (then renormalized over the flush — see
+  /// staleness_weighting). 0 weights stale and fresh uploads equally.
+  double staleness_lambda = 0.25;
+
+  /// Event-triggered uploads: an online client that was NOT sampled this
+  /// round volunteers an upload when its accumulator mass clears the
+  /// method's selection threshold — max_c chunk_max[c] >= trigger_scale ×
+  /// upload_threshold_hint(i, k) — i.e. it is already holding entries the
+  /// server would have selected. Triggered clients compute and upload
+  /// exactly like sampled ones (fresh, staleness 0). 0 disables; requires
+  /// tiered accumulators for the chunk summaries.
+  double trigger_scale = 0.0;
+};
+
+/// Folds the staleness discount 1/(1 + λ·staleness[s]) into flush data
+/// weights and renormalizes so they sum to 1 again (mass conservation: the
+/// aggregate stays a convex combination of client values). An all-zero
+/// staleness vector returns the weights bitwise unchanged — the ×1.0 path is
+/// skipped entirely — which is what pins async ≡ sync at zero staleness.
+/// Exposed for the async invariant tests.
+void staleness_weighting(std::vector<double>& weights, std::span<const std::size_t> staleness,
+                         double lambda);
 
 struct SimulationConfig {
   float lr = 0.01f;          // η (paper's setting)
@@ -129,6 +178,12 @@ struct SimulationConfig {
   /// filter's scan); false keeps the separate-pass reference for A/B timing.
   bool fused_prescan = true;
 
+  /// Synchronized barrier (default) or buffered-async flushes. FedAvg-style
+  /// methods reject kBufferedAsync (diverging local weights make a buffered
+  /// flush of weight vectors meaningless — the constructor throws).
+  AggregationMode aggregation = AggregationMode::kSynchronized;
+  AsyncConfig async;
+
   std::size_t threads = 0;   // 0 = hardware concurrency
   std::uint64_t seed = 1;
 };
@@ -150,6 +205,8 @@ struct RoundRecord {
   double downlink_values = 0.0;
   std::size_t participants = 0;      // clients in the server round (0: all offline)
   std::int64_t slowest_client = -1;  // straggler that bound τ_m (-1: homogeneous/idle)
+  double mean_staleness = 0.0;       // mean flush staleness (0 under the barrier)
+  std::size_t buffered_stale = 0;    // uploads still deferred after this round
 };
 
 struct SimulationResult {
@@ -200,22 +257,78 @@ class Simulation {
   const TimingModel& timing() const noexcept { return timing_; }
   const NetworkModel& network() const noexcept { return network_; }
 
+  /// The last round's event schedule (transitions, upload arrivals, flush) —
+  /// built serially every round in both aggregation modes, so tests can pin
+  /// the event order across thread counts.
+  const EventTimeline& timeline() const noexcept { return timeline_; }
+
+  /// Uploads currently deferred in the async buffer (0 under kSynchronized
+  /// and after every zero-staleness flush) — the async invariant tests drain
+  /// this to prove deferred mass is never dropped.
+  std::size_t pending_uploads() const noexcept { return pending_ids_.size(); }
+
   /// Client i's current weights — for post-run invariant checks (all clients
   /// must be identical after any GS round; Algorithm 1 Lines 13–15). Under
   /// the shared engine every client resolves to the shared store.
   std::span<const float> client_weights(std::size_t i) const;
 
  private:
+  /// Everything one round's stages hand to the next. The lockstep monolith
+  /// became this staged pipeline: begin → schedule → compute → server round →
+  /// probe → apply → account → record, each stage a method below. `flush`
+  /// points at the server round's participant set — part_ids_ under the
+  /// barrier, flush_ids_ (accepted arrivals + buffered catch-ups) under
+  /// buffered async — and `staleness` is slot-aligned with it (empty = all
+  /// fresh).
+  struct RoundContext {
+    std::size_t m = 0;
+    double k_cont = 0.0;
+    double probe_k_cont = 0.0;
+    std::size_t k_int = 0;
+    const std::vector<std::size_t>* flush = nullptr;
+    std::span<const std::size_t> staleness;
+    double mean_staleness = 0.0;
+    sparsify::RoundOutcome outcome;
+    bool want_probe = false;
+    sparsify::SparseVector probe_diff;
+    ResourceModel round_resource;
+    RoundTiming round_timing;
+    online::RoundFeedback fb;
+    double wall_time = 0.0;
+  };
+
+  // --- pipeline stages (one round = one pass through all of them) ----------
+  /// Controller k + stochastic rounding; advances the network state.
+  void stage_begin(RoundContext& ctx);
+  /// Samples participants, runs the async event-trigger scan, builds the
+  /// round's event timeline, and resolves the flush set + staleness
+  /// (barrier: flush = participants, all fresh).
+  void stage_schedule(RoundContext& ctx);
+  /// Arms fused prescans and runs local computation across the pool.
+  void stage_compute(RoundContext& ctx);
+  /// The server round over the flush set (selection + aggregation).
+  void stage_server_round(RoundContext& ctx);
+  /// The k'_m probe selection (before resets touch the accumulators).
+  void stage_probe(RoundContext& ctx);
+  /// Applies the global update and consumes transmitted accumulator entries.
+  void stage_apply(RoundContext& ctx, SimulationResult& res);
+  /// Timing, traffic accounting, probe losses, controller feedback.
+  void stage_account(RoundContext& ctx, SimulationResult& res, double& time);
+  /// Record + periodic evaluation; returns true when the run should stop.
+  bool stage_record(RoundContext& ctx, SimulationResult& res, double time);
+
   void evaluate(RoundRecord& rec);
   std::span<const float> global_weights();
   /// The executing thread's model workspace, rebound to the weights client
   /// `i` should compute against (shared store, or the client's own vector).
   nn::Sequential& bound_workspace(std::size_t i);
   /// Builds the server's view over the participating clients only, with data
-  /// weights renormalized over the sample (`selected` indexes clients_).
+  /// weights renormalized over the sample (`selected` indexes clients_) and
+  /// the staleness discount folded in when `staleness` is non-empty.
   /// Returns a reference to member scratch reused across rounds.
   const sparsify::RoundInput& make_round_input(std::size_t round,
-                                               const std::vector<std::size_t>& selected);
+                                               const std::vector<std::size_t>& selected,
+                                               std::span<const std::size_t> staleness = {});
   /// Samples the participating client subset for one round into member
   /// scratch (no per-round allocation once warm): availability filters
   /// first (an offline client cannot be reached), then uniform
@@ -262,6 +375,21 @@ class Simulation {
   std::vector<double> probe_prev_, probe_cur_, probe_shift_;
   std::vector<float> shift_saved_;       // shared-store probe shift undo buffer
   bool switched_ = false;
+
+  // Event schedule + buffered-async state (reused across rounds).
+  EventTimeline timeline_;
+  std::vector<std::size_t> prev_offline_;     // last round's offline set (churn diff)
+  std::vector<std::pair<double, std::size_t>> arrival_scratch_;  // (arrival time, id)
+  std::vector<std::size_t> triggered_ids_;    // event-triggered uploaders this round
+  std::vector<std::size_t> flush_ids_;        // async flush set (sorted)
+  std::vector<std::size_t> flush_staleness_;  // slot-aligned with flush_ids_
+  std::vector<std::uint8_t> fresh_mask_;      // flush slot uploaded this round
+  std::vector<std::size_t> fresh_ids_;        // fresh subset for round timing
+  std::vector<double> fresh_uplink_;
+  std::vector<std::size_t> accepted_ids_;     // this round's accepted arrivals (sorted)
+  std::vector<std::uint8_t> pending_;         // client deferred in the buffer
+  std::vector<std::size_t> pending_round_;    // round of FIRST deferral
+  std::vector<std::size_t> pending_ids_;      // sorted ids with pending_ set
 };
 
 }  // namespace fedsparse::fl

@@ -28,6 +28,15 @@ struct RoundFeedback {
   bool probe_available = false;
   double round_time = 0.0;   // τ_m(k_m): measured time of this round
   double theta_probe = 0.0;  // θ_m(k'_m): one-round time had k'_m been used
+
+  /// Mean upload staleness over the flush (buffered-async engine): 0 under
+  /// the synchronized engine and for an all-fresh flush; s rounds for a
+  /// client whose contribution waited s flushes in the buffer. Algorithms
+  /// 2/3 damp their step by 1/(1 + mean_staleness) — a stale flush's probe
+  /// losses mix gradients measured against old weights, so its derivative
+  /// sign is noisier and the controller should trust it less. The damping is
+  /// an exact no-op at 0 (×1.0), so synchronized traces are untouched.
+  double mean_staleness = 0.0;
 };
 
 class KController {

@@ -31,7 +31,13 @@ void SignOgd::observe(const RoundFeedback& fb) {
     ++m_;  // the round still elapsed; k stays as-is
     return;
   }
-  observe_sign(est.sign);
+  // Staleness damping (buffered-async engine): a flush mixing stale uploads
+  // yields a noisier derivative sign, so scale the step by 1/(1 + s̄). At
+  // s̄ = 0 the factor is exactly 1.0 and the update below is bit-identical
+  // to the synchronized observe_sign path.
+  const double damp = 1.0 / (1.0 + fb.mean_staleness);
+  k_ = project(k_ - delta() * damp * static_cast<double>(est.sign));
+  ++m_;
 }
 
 void SignOgd::observe_sign(int sign) {

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 #include <unordered_set>
 
 #include "sparsify/keys.h"
@@ -12,12 +11,7 @@
 
 namespace fedsparse::sparsify {
 
-FabTopK::FabTopK(std::size_t dim) : dim_(dim), agg_(dim, 0.0f), stamp_(dim, 0) {}
-
-float FabTopK::upload_threshold_hint(std::size_t client_id) const {
-  if (shards_ > 1) return client_id < hints_.size() ? hints_[client_id].threshold : 0.0f;
-  return client_id < topk_ws_.size() ? topk_ws_[client_id].threshold_hint : 0.0f;
-}
+FabTopK::FabTopK(std::size_t dim) : pipe_(dim) {}
 
 std::size_t FabTopK::find_kappa(const std::vector<SparseVector>& uploads, std::size_t k) {
   // |∪_i J_i^κ| is nondecreasing in κ, so binary search works. Evaluating the
@@ -47,14 +41,14 @@ std::size_t FabTopK::find_kappa_stamped(std::size_t k) {
   // |∪_i J_i^κ| = growth[0] + … + growth[κ-1]. One stamp pass computes every
   // union size at once; the walk then returns the largest κ with size ≤ k.
   union_growth_.assign(k, 0);
-  ++stamp_token_;
-  const std::uint32_t token = stamp_token_;
+  std::uint32_t* stamp = pipe_.stamp();
+  const std::uint32_t token = pipe_.next_token();
   for (std::size_t j = 0; j < k; ++j) {
-    for (const auto& up : uploads_) {
+    for (const auto& up : pipe_.uploads()) {
       if (up.size() <= j) continue;
       const auto idx = static_cast<std::size_t>(up[j].index);
-      if (stamp_[idx] != token) {
-        stamp_[idx] = token;
+      if (stamp[idx] != token) {
+        stamp[idx] = token;
         ++union_growth_[j];
       }
     }
@@ -71,31 +65,31 @@ std::size_t FabTopK::find_kappa_stamped(std::size_t k) {
 RoundOutcome FabTopK::round(const RoundInput& in, std::size_t k) {
   validate_round_input(in);
   const std::size_t n = in.client_vectors.size();
-  k = std::clamp<std::size_t>(k, 1, dim_);
-  // Dispatch on shards_ alone (not n): the hint store must not flip between
-  // the per-client workspaces and the fleet store across rounds.
-  if (shards_ > 1) return round_sharded(in, k);
+  k = std::clamp<std::size_t>(k, 1, pipe_.dim());
+  // Dispatch on the pipeline's shard count alone (not n): the hint store must
+  // not flip between the per-client workspaces and the fleet store across
+  // rounds.
+  if (pipe_.sharded()) return round_sharded(in, k);
 
-  // Client side: top-k of the accumulated gradient, strongest first — the N
-  // independent selections thread across the registered pool, pruning on the
-  // accumulators' chunk summaries when the caller provides them. uploads_ /
-  // topk_ws_ keep their capacity across rounds — no allocations once warm.
-  top_k_uploads(in.client_vectors, in.client_chunk_max, k, in.client_ids, topk_ws_, uploads_,
-                in.client_prescan.empty() ? nullptr : &in.client_prescan);
+  // Stage: client-side top-k of the accumulated gradient, strongest first —
+  // the N independent selections thread across the registered pool, pruning
+  // on the accumulators' chunk summaries when the caller provides them.
+  const std::vector<SparseVector>& uploads = pipe_.select_uploads(in, k);
 
   // Server side: fairness-aware selection.
   const std::size_t kappa = find_kappa_stamped(k);
 
-  ++stamp_token_;
-  const std::uint32_t in_j = stamp_token_;
+  float* agg = pipe_.agg();
+  std::uint32_t* stamp = pipe_.stamp();
+  const std::uint32_t in_j = pipe_.next_token();
   selected_.clear();
   for (std::size_t i = 0; i < n; ++i) {
-    const auto& up = uploads_[i];
+    const auto& up = uploads[i];
     const std::size_t take = std::min(kappa, up.size());
     for (std::size_t j = 0; j < take; ++j) {
       const auto idx = static_cast<std::size_t>(up[j].index);
-      if (stamp_[idx] != in_j) {
-        stamp_[idx] = in_j;
+      if (stamp[idx] != in_j) {
+        stamp[idx] = in_j;
         selected_.push_back(up[j].index);
       }
     }
@@ -106,10 +100,10 @@ RoundOutcome FabTopK::round(const RoundInput& in, std::size_t k) {
   if (selected_.size() < k) {
     fill_candidates_.clear();
     for (std::size_t i = 0; i < n; ++i) {
-      const auto& up = uploads_[i];
+      const auto& up = uploads[i];
       if (up.size() > kappa) {
         const auto& e = up[kappa];
-        if (stamp_[static_cast<std::size_t>(e.index)] != in_j) fill_candidates_.push_back(e);
+        if (stamp[static_cast<std::size_t>(e.index)] != in_j) fill_candidates_.push_back(e);
       }
     }
     std::sort(fill_candidates_.begin(), fill_candidates_.end(),
@@ -121,50 +115,42 @@ RoundOutcome FabTopK::round(const RoundInput& in, std::size_t k) {
     for (const auto& e : fill_candidates_) {
       if (selected_.size() >= k) break;
       const auto idx = static_cast<std::size_t>(e.index);
-      if (stamp_[idx] != in_j) {
-        stamp_[idx] = in_j;
+      if (stamp[idx] != in_j) {
+        stamp[idx] = in_j;
         selected_.push_back(e.index);
       }
     }
   }
 
-  // Aggregate b_j = Σ_i (C_i/C) a_ij over uploaders, for j ∈ J only, through
-  // the reusable dense accumulator agg_; record per-client resets and
-  // contributions in the same pass.
-  for (const std::int32_t j : selected_) agg_[static_cast<std::size_t>(j)] = 0.0f;
+  // Stage: aggregate b_j = Σ_i (C_i/C) a_ij over uploaders, for j ∈ J only,
+  // through the pipeline's dense arena.
+  for (const std::int32_t j : selected_) agg[static_cast<std::size_t>(j)] = 0.0f;
 
   RoundOutcome out;
   out.kind = RoundOutcome::Kind::kSparseUpdate;
-  out.reset_kind = RoundOutcome::ResetKind::kPerClient;
-  out.reset_indices.reserve(selected_.size());
-  out.reset_offsets.reserve(n + 1);
-  out.reset_offsets.push_back(0);
-  out.contributed.assign(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
     const auto w = static_cast<float>(in.data_weights[i]);
-    for (const auto& e : uploads_[i]) {
+    for (const auto& e : uploads[i]) {
       const auto idx = static_cast<std::size_t>(e.index);
-      if (stamp_[idx] == in_j) {  // j ∈ J and j ∈ J_i
-        agg_[idx] += w * e.value;
-        out.reset_indices.push_back(e.index);
-        ++out.contributed[i];
-      }
+      if (stamp[idx] == in_j) agg[idx] += w * e.value;  // j ∈ J and j ∈ J_i
     }
-    out.reset_offsets.push_back(out.reset_indices.size());
   }
+  // Stage: per-client resets + contributions (an uploaded entry resets iff it
+  // made the broadcast, i.e. carries the in_j stamp).
+  build_reset_lists(uploads, stamp, in_j, out);
 
   out.update.reserve(selected_.size());
   for (const std::int32_t j : selected_) {
-    out.update.push_back(SparseEntry{j, agg_[static_cast<std::size_t>(j)]});
+    out.update.push_back(SparseEntry{j, agg[static_cast<std::size_t>(j)]});
   }
   sort_by_index(out.update);
 
-  // Clients transmit in parallel, so the synchronous round waits on the
-  // largest actual per-client payload — not a flat 2k, which overcharges
-  // whenever a client uploaded fewer than k entries. The full per-client
-  // distribution feeds the heterogeneous network model's straggler max.
-  set_uplink_from_uploads(uploads_, out);
-  out.downlink_values = 2.0 * static_cast<double>(out.update.size());
+  // Stage: payload accounting. Clients transmit in parallel, so the
+  // synchronous round waits on the largest actual per-client payload — not a
+  // flat 2k, which overcharges whenever a client uploaded fewer than k
+  // entries. The full per-client distribution feeds the heterogeneous
+  // network model's straggler max.
+  pipe_.finish_payload(out);
   return out;
 }
 
@@ -196,23 +182,22 @@ RoundOutcome FabTopK::round(const RoundInput& in, std::size_t k) {
 //    token, consuming the in_j membership the filter reads.
 RoundOutcome FabTopK::round_sharded(const RoundInput& in, std::size_t k) {
   const std::size_t n = in.client_vectors.size();
+  const std::size_t dim = pipe_.dim();
   util::ThreadPool* pool = tensor::parallel_pool();
-  const ShardPlan plan = make_shard_plan(n, shards_);
+  const ShardPlan plan = pipe_.make_plan(n);
   const std::size_t S = plan.shards();
 
-  top_k_uploads_fleet(in.client_vectors, in.client_chunk_max, k, in.client_ids, slot_ws_,
-                      hints_, uploads_,
-                      in.client_prescan.empty() ? nullptr : &in.client_prescan);
+  const std::vector<SparseVector>& uploads = pipe_.select_uploads(in, k);
 
   // Per-shard min prefix depth of every index the shard saw.
-  if (arenas_.size() < S) arenas_.resize(S);
+  std::vector<ShardArena>& arenas = pipe_.arenas(S);
   for_each_shard(pool, S, [&](std::size_t s) {
-    ShardArena& ar = arenas_[s];
-    const std::uint32_t tok = ar.begin_pass(dim_);
+    ShardArena& ar = arenas[s];
+    const std::uint32_t tok = ar.begin_pass(dim);
     ar.touched.clear();
     for (std::size_t j = 0; j < k; ++j) {
       for (std::size_t i = plan.begin(s); i < plan.end(s); ++i) {
-        const auto& up = uploads_[i];
+        const auto& up = uploads[i];
         if (up.size() <= j) continue;
         const auto idx = static_cast<std::size_t>(up[j].index);
         if (ar.stamp[idx] != tok) {
@@ -226,17 +211,17 @@ RoundOutcome FabTopK::round_sharded(const RoundInput& in, std::size_t k) {
 
   // Fixed-order min-merge into the global depth map, then the same growth
   // histogram walk as find_kappa_stamped.
-  if (depth_.size() < dim_) depth_.resize(dim_, 0);
-  ++stamp_token_;
-  const std::uint32_t seen = stamp_token_;
+  if (depth_.size() < dim) depth_.resize(dim, 0);
+  std::uint32_t* stamp = pipe_.stamp();
+  const std::uint32_t seen = pipe_.next_token();
   touched_union_.clear();
   for (std::size_t s = 0; s < S; ++s) {
-    const ShardArena& ar = arenas_[s];
+    const ShardArena& ar = arenas[s];
     for (const std::int32_t j : ar.touched) {
       const auto idx = static_cast<std::size_t>(j);
       const std::uint32_t d = ar.aux[idx];
-      if (stamp_[idx] != seen) {
-        stamp_[idx] = seen;
+      if (stamp[idx] != seen) {
+        stamp[idx] = seen;
         depth_[idx] = d;
         touched_union_.push_back(j);
       } else if (d < depth_[idx]) {
@@ -255,13 +240,12 @@ RoundOutcome FabTopK::round_sharded(const RoundInput& in, std::size_t k) {
     kappa = j + 1;
   }
 
-  ++stamp_token_;
-  const std::uint32_t in_j = stamp_token_;
+  const std::uint32_t in_j = pipe_.next_token();
   selected_.clear();
   for (const std::int32_t j : touched_union_) {
     const auto idx = static_cast<std::size_t>(j);
     if (depth_[idx] < kappa) {
-      stamp_[idx] = in_j;
+      stamp[idx] = in_j;
       selected_.push_back(j);
     }
   }
@@ -269,19 +253,19 @@ RoundOutcome FabTopK::round_sharded(const RoundInput& in, std::size_t k) {
   if (selected_.size() < k) {
     const std::size_t need = k - selected_.size();
     for_each_shard(pool, S, [&](std::size_t s) {
-      ShardArena& ar = arenas_[s];
+      ShardArena& ar = arenas[s];
       ar.keys.clear();
       for (std::size_t i = plan.begin(s); i < plan.end(s); ++i) {
-        const auto& up = uploads_[i];
+        const auto& up = uploads[i];
         if (up.size() > kappa) {
           const auto& e = up[kappa];
-          if (stamp_[static_cast<std::size_t>(e.index)] != in_j) {
+          if (stamp[static_cast<std::size_t>(e.index)] != in_j) {
             ar.keys.push_back(make_key(e.value, static_cast<std::size_t>(e.index)));
           }
         }
       }
       sort_keys_desc(ar.keys, ar.key_scratch);
-      const std::uint32_t tok = ar.begin_pass(dim_);
+      const std::uint32_t tok = ar.begin_pass(dim);
       std::size_t kept = 0;
       for (const std::uint64_t key : ar.keys) {
         const std::size_t idx = key_index(key);
@@ -292,18 +276,14 @@ RoundOutcome FabTopK::round_sharded(const RoundInput& in, std::size_t k) {
       }
       ar.keys.resize(kept);
     });
-    runs_.clear();
     std::size_t total_fill = 0;
-    for (std::size_t s = 0; s < S; ++s) {
-      runs_.push_back({arenas_[s].keys.data(), arenas_[s].keys.size()});
-      total_fill += arenas_[s].keys.size();
-    }
-    merger_.merge({runs_.data(), runs_.size()}, total_fill, merged_keys_);
-    for (const std::uint64_t key : merged_keys_) {
+    for (std::size_t s = 0; s < S; ++s) total_fill += arenas[s].keys.size();
+    const auto merged = pipe_.merge_arena_keys(S, total_fill);
+    for (const std::uint64_t key : merged) {
       if (selected_.size() >= k) break;
       const std::size_t idx = key_index(key);
-      if (stamp_[idx] != in_j) {
-        stamp_[idx] = in_j;
+      if (stamp[idx] != in_j) {
+        stamp[idx] = in_j;
         selected_.push_back(static_cast<std::int32_t>(idx));
       }
     }
@@ -311,37 +291,17 @@ RoundOutcome FabTopK::round_sharded(const RoundInput& in, std::size_t k) {
 
   RoundOutcome out;
   out.kind = RoundOutcome::Kind::kSparseUpdate;
-  const BucketAggregator::Filter filter{stamp_.data(), in_j};
-  resets_.run(uploads_, S, pool, filter, out);
-
-  ++stamp_token_;
-  aggregator_.run(uploads_, in.data_weights, dim_, S, pool, filter, agg_.data(),
-                  stamp_.data(), stamp_token_);
+  const BucketAggregator::Filter filter{stamp, in_j};
+  pipe_.build_resets(S, pool, filter, out);
+  pipe_.aggregate(in.data_weights, S, pool, filter);
 
   // Buckets are ascending disjoint index ranges, so per-bucket index sorts
   // concatenate into the globally index-sorted update the reference emits.
   // Every j ∈ J has at least one uploader (prefix members and fill
   // candidates both come from uploads), so the aggregated set IS J.
-  const std::size_t B = aggregator_.buckets();
-  bucket_offsets_.resize(B + 1);
-  bucket_offsets_[0] = 0;
-  for (std::size_t b = 0; b < B; ++b) {
-    bucket_offsets_[b + 1] = bucket_offsets_[b] + aggregator_.touched(b).size();
-  }
-  out.update.resize(bucket_offsets_[B]);
-  for_each_shard(pool, B, [&](std::size_t b) {
-    ShardArena& ar = arenas_[b];
-    const auto touched = aggregator_.touched(b);
-    ar.touched.assign(touched.begin(), touched.end());
-    std::sort(ar.touched.begin(), ar.touched.end());
-    std::size_t pos = bucket_offsets_[b];
-    for (const std::int32_t j : ar.touched) {
-      out.update[pos++] = SparseEntry{j, agg_[static_cast<std::size_t>(j)]};
-    }
-  });
+  pipe_.emit_update_from_buckets(pool, out);
 
-  set_uplink_from_uploads(uploads_, out);
-  out.downlink_values = 2.0 * static_cast<double>(out.update.size());
+  pipe_.finish_payload(out);
   return out;
 }
 

@@ -13,11 +13,14 @@
 //   4. clients reset accumulated entries j ∈ J ∩ J_i.
 //
 // Fairness guarantee: κ never drops below ⌊k/N⌋ because N·⌊k/N⌋ ≤ k.
+//
+// The shared stages (selection, aggregation arena, sharded scratch, reset
+// builder, payload accounting) live in RoundPipeline; this class owns only
+// the FAB-specific middle: the κ search and the fill.
 #pragma once
 
 #include "sparsify/method.h"
-#include "sparsify/shard_engine.h"
-#include "sparsify/topk.h"
+#include "sparsify/round_pipeline.h"
 
 namespace fedsparse::sparsify {
 
@@ -33,11 +36,11 @@ class FabTopK final : public Method {
   /// candidates, bucketed aggregation) with byte-identical outcomes at every
   /// shard count. Selection hints move from per-client workspaces into the
   /// compact per-client hint store, so switch before the first round.
-  void set_sharding(std::size_t shards) override {
-    shards_ = std::max<std::size_t>(1, shards);
-  }
+  void set_sharding(std::size_t shards) override { pipe_.set_sharding(shards); }
 
-  float upload_threshold_hint(std::size_t client_id) const override;
+  float upload_threshold_hint(std::size_t client_id, std::size_t k) const override {
+    return pipe_.threshold_hint(client_id, k);
+  }
 
   /// Reference κ search (hash-set based), exposed for unit tests: given
   /// per-client uploads sorted strongest-first, returns the largest
@@ -53,35 +56,16 @@ class FabTopK final : public Method {
 
   RoundOutcome round_sharded(const RoundInput& in, std::size_t k);
 
-  std::size_t dim_;
-  // Dense scratch reused across rounds (sized D): aggregation buffer and a
-  // membership stamp array (stamped with the round counter to avoid clears).
-  std::vector<float> agg_;
-  std::vector<std::uint32_t> stamp_;
-  std::uint32_t stamp_token_ = 0;
-  // Per-round scratch, reused so steady-state rounds allocate nothing in the
-  // selection path. One workspace per client: the N selections are
-  // independent, so top_k_uploads threads them across the registered pool.
-  std::vector<TopKWorkspace> topk_ws_;
-  std::vector<SparseVector> uploads_;
+  RoundPipeline pipe_;
+  // FAB-specific per-round scratch (reused; steady-state rounds allocate
+  // nothing): the selected downlink set J, the (κ+1)-th fill candidates, the
+  // union-growth histogram of the κ search, and the sharded κ search's merged
+  // per-index min prefix depths.
   std::vector<std::int32_t> selected_;
   SparseVector fill_candidates_;
   std::vector<std::size_t> union_growth_;
-  // Sharded-engine state (unused while shards_ == 1). Selection workspaces
-  // are per thread slot + an 8-byte hint per client instead of a full
-  // workspace per client — the memory knee that matters at N=100k.
-  std::size_t shards_ = 1;
-  std::vector<TopKWorkspace> slot_ws_;
-  std::vector<ClientHint> hints_;
-  std::vector<ShardArena> arenas_;
   std::vector<std::uint32_t> depth_;         // global min prefix depth per index
   std::vector<std::int32_t> touched_union_;  // indices seen by any shard
-  std::vector<std::span<const std::uint64_t>> runs_;
-  std::vector<std::uint64_t> merged_keys_;
-  std::vector<std::size_t> bucket_offsets_;
-  KeyMerger merger_;
-  BucketAggregator aggregator_;
-  CsrResetBuilder resets_;
 };
 
 }  // namespace fedsparse::sparsify

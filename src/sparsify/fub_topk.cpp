@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
 #include "sparsify/keys.h"
 #include "sparsify/topk.h"
@@ -10,48 +11,43 @@
 
 namespace fedsparse::sparsify {
 
-FubTopK::FubTopK(std::size_t dim) : dim_(dim), agg_(dim, 0.0f), stamp_(dim, 0) {}
-
-float FubTopK::upload_threshold_hint(std::size_t client_id) const {
-  if (shards_ > 1) return client_id < hints_.size() ? hints_[client_id].threshold : 0.0f;
-  return client_id < topk_ws_.size() ? topk_ws_[client_id].threshold_hint : 0.0f;
-}
+FubTopK::FubTopK(std::size_t dim) : pipe_(dim) {}
 
 RoundOutcome FubTopK::round(const RoundInput& in, std::size_t k) {
   validate_round_input(in);
   const std::size_t n = in.client_vectors.size();
-  k = std::clamp<std::size_t>(k, 1, dim_);
-  if (shards_ > 1) return round_sharded(in, k);
+  k = std::clamp<std::size_t>(k, 1, pipe_.dim());
+  if (pipe_.sharded()) return round_sharded(in, k);
 
-  // Per-client selections threaded across the registered pool (deterministic:
-  // each client owns its workspace and output slot), chunk-pruned when the
-  // caller provides accumulator summaries.
-  top_k_uploads(in.client_vectors, in.client_chunk_max, k, in.client_ids, topk_ws_, uploads_,
-                in.client_prescan.empty() ? nullptr : &in.client_prescan);
+  // Stage: per-client selections threaded across the registered pool
+  // (deterministic: each client owns its workspace and output slot),
+  // chunk-pruned when the caller provides accumulator summaries.
+  const std::vector<SparseVector>& uploads = pipe_.select_uploads(in, k);
 
   // Aggregate everything uploaded, then keep the top-k by |aggregate|.
-  ++stamp_token_;
-  const std::uint32_t touched = stamp_token_;
+  float* agg = pipe_.agg();
+  std::uint32_t* stamp = pipe_.stamp();
+  const std::uint32_t touched = pipe_.next_token();
   touched_list_.clear();
-  for (const auto& up : uploads_) {
+  for (const auto& up : uploads) {
     for (const auto& e : up) {
       const auto idx = static_cast<std::size_t>(e.index);
-      if (stamp_[idx] != touched) {
-        stamp_[idx] = touched;
-        agg_[idx] = 0.0f;
+      if (stamp[idx] != touched) {
+        stamp[idx] = touched;
+        agg[idx] = 0.0f;
         touched_list_.push_back(e.index);
       }
     }
   }
   for (std::size_t i = 0; i < n; ++i) {
     const auto w = static_cast<float>(in.data_weights[i]);
-    for (const auto& e : uploads_[i]) agg_[static_cast<std::size_t>(e.index)] += w * e.value;
+    for (const auto& e : uploads[i]) agg[static_cast<std::size_t>(e.index)] += w * e.value;
   }
 
   SparseVector aggregated;
   aggregated.reserve(touched_list_.size());
   for (const std::int32_t j : touched_list_) {
-    aggregated.push_back(SparseEntry{j, agg_[static_cast<std::size_t>(j)]});
+    aggregated.push_back(SparseEntry{j, agg[static_cast<std::size_t>(j)]});
   }
   std::sort(aggregated.begin(), aggregated.end(), [](const SparseEntry& a, const SparseEntry& b) {
     const float aa = std::fabs(a.value), bb = std::fabs(b.value);
@@ -61,32 +57,20 @@ RoundOutcome FubTopK::round(const RoundInput& in, std::size_t k) {
   if (aggregated.size() > k) aggregated.resize(k);
 
   // Membership of J for reset/contribution bookkeeping: reuse a fresh stamp.
-  ++stamp_token_;
-  const std::uint32_t in_j = stamp_token_;
-  for (const auto& e : aggregated) stamp_[static_cast<std::size_t>(e.index)] = in_j;
+  const std::uint32_t in_j = pipe_.next_token();
+  for (const auto& e : aggregated) stamp[static_cast<std::size_t>(e.index)] = in_j;
 
   RoundOutcome out;
   out.kind = RoundOutcome::Kind::kSparseUpdate;
   out.update = std::move(aggregated);
   sort_by_index(out.update);
-  out.reset_kind = RoundOutcome::ResetKind::kPerClient;
-  out.reset_offsets.reserve(n + 1);
-  out.reset_offsets.push_back(0);
-  out.contributed.assign(n, 0);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (const auto& e : uploads_[i]) {
-      if (stamp_[static_cast<std::size_t>(e.index)] == in_j) {
-        out.reset_indices.push_back(e.index);
-        ++out.contributed[i];
-      }
-    }
-    out.reset_offsets.push_back(out.reset_indices.size());
-  }
-  // Parallel uplinks: charge the largest actual per-client payload (matches
-  // FabTopK's accounting) rather than assuming every client sent k pairs;
-  // the per-client distribution feeds the heterogeneous straggler max.
-  set_uplink_from_uploads(uploads_, out);
-  out.downlink_values = 2.0 * static_cast<double>(out.update.size());
+  // Stage: per-client resets + contributions (an uploaded entry resets iff it
+  // made the broadcast, i.e. carries the in_j stamp).
+  build_reset_lists(uploads, stamp, in_j, out);
+  // Stage: payload accounting — parallel uplinks charge the largest actual
+  // per-client payload (matches FabTopK) rather than assuming every client
+  // sent k pairs.
+  pipe_.finish_payload(out);
   return out;
 }
 
@@ -98,27 +82,23 @@ RoundOutcome FubTopK::round(const RoundInput& in, std::size_t k) {
 // merged run is the global top-k set; the reference's update/reset passes
 // only consume that set (the update re-sorts by index).
 RoundOutcome FubTopK::round_sharded(const RoundInput& in, std::size_t k) {
-  const std::size_t n = in.client_vectors.size();
   util::ThreadPool* pool = tensor::parallel_pool();
-  const ShardPlan plan = make_shard_plan(n, shards_);
+  const ShardPlan plan = pipe_.make_plan(in.client_vectors.size());
   const std::size_t S = plan.shards();
 
-  top_k_uploads_fleet(in.client_vectors, in.client_chunk_max, k, in.client_ids, slot_ws_,
-                      hints_, uploads_,
-                      in.client_prescan.empty() ? nullptr : &in.client_prescan);
+  pipe_.select_uploads(in, k);
 
-  ++stamp_token_;
-  aggregator_.run(uploads_, in.data_weights, dim_, S, pool, /*filter=*/{}, agg_.data(),
-                  stamp_.data(), stamp_token_);
+  const BucketAggregator& aggregator = pipe_.aggregate(in.data_weights, S, pool, /*f=*/{});
+  float* agg = pipe_.agg();
 
-  const std::size_t B = aggregator_.buckets();
-  if (arenas_.size() < B) arenas_.resize(B);
+  const std::size_t B = aggregator.buckets();
+  std::vector<ShardArena>& arenas = pipe_.arenas(B);
   for_each_shard(pool, B, [&](std::size_t b) {
-    ShardArena& ar = arenas_[b];
+    ShardArena& ar = arenas[b];
     ar.keys.clear();
-    for (const std::int32_t j : aggregator_.touched(b)) {
+    for (const std::int32_t j : aggregator.touched(b)) {
       const auto idx = static_cast<std::size_t>(j);
-      ar.keys.push_back(make_key(agg_[idx], idx));
+      ar.keys.push_back(make_key(agg[idx], idx));
     }
     if (ar.keys.size() > k) {
       std::nth_element(ar.keys.begin(), ar.keys.begin() + static_cast<std::ptrdiff_t>(k),
@@ -127,27 +107,22 @@ RoundOutcome FubTopK::round_sharded(const RoundInput& in, std::size_t k) {
     }
     sort_keys_desc(ar.keys, ar.key_scratch);
   });
-  runs_.clear();
-  for (std::size_t b = 0; b < B; ++b) {
-    runs_.push_back({arenas_[b].keys.data(), arenas_[b].keys.size()});
-  }
-  merger_.merge({runs_.data(), runs_.size()}, k, merged_keys_);
+  const auto merged = pipe_.merge_arena_keys(B, k);
 
-  ++stamp_token_;
-  const std::uint32_t in_j = stamp_token_;
+  std::uint32_t* stamp = pipe_.stamp();
+  const std::uint32_t in_j = pipe_.next_token();
   RoundOutcome out;
   out.kind = RoundOutcome::Kind::kSparseUpdate;
-  out.update.resize(merged_keys_.size());
-  for (std::size_t p = 0; p < merged_keys_.size(); ++p) {
-    const std::size_t idx = key_index(merged_keys_[p]);
-    stamp_[idx] = in_j;
-    out.update[p] = SparseEntry{static_cast<std::int32_t>(idx), agg_[idx]};
+  out.update.resize(merged.size());
+  for (std::size_t p = 0; p < merged.size(); ++p) {
+    const std::size_t idx = key_index(merged[p]);
+    stamp[idx] = in_j;
+    out.update[p] = SparseEntry{static_cast<std::int32_t>(idx), agg[idx]};
   }
   sort_by_index(out.update);
 
-  resets_.run(uploads_, S, pool, {stamp_.data(), in_j}, out);
-  set_uplink_from_uploads(uploads_, out);
-  out.downlink_values = 2.0 * static_cast<double>(out.update.size());
+  pipe_.build_resets(S, pool, {stamp, in_j}, out);
+  pipe_.finish_payload(out);
   return out;
 }
 

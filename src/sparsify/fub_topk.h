@@ -4,11 +4,13 @@
 // largest-|aggregate| indices among everything uploaded — no per-client
 // guarantee, so clients whose gradients are small can be excluded entirely
 // (the bias FAB-top-k exists to prevent; see Fig. 4 right).
+//
+// Shared stages live in RoundPipeline; this class owns only the FUB-specific
+// middle: top-k over the aggregated union.
 #pragma once
 
 #include "sparsify/method.h"
-#include "sparsify/shard_engine.h"
-#include "sparsify/topk.h"
+#include "sparsify/round_pipeline.h"
 
 namespace fedsparse::sparsify {
 
@@ -20,34 +22,18 @@ class FubTopK final : public Method {
   RoundOutcome round(const RoundInput& in, std::size_t k) override;
 
   /// See FabTopK::set_sharding — byte-identical at every shard count.
-  void set_sharding(std::size_t shards) override {
-    shards_ = std::max<std::size_t>(1, shards);
-  }
+  void set_sharding(std::size_t shards) override { pipe_.set_sharding(shards); }
 
-  float upload_threshold_hint(std::size_t client_id) const override;
+  float upload_threshold_hint(std::size_t client_id, std::size_t k) const override {
+    return pipe_.threshold_hint(client_id, k);
+  }
 
  private:
   RoundOutcome round_sharded(const RoundInput& in, std::size_t k);
 
-  std::size_t dim_;
-  std::vector<float> agg_;
-  std::vector<std::uint32_t> stamp_;
-  std::uint32_t stamp_token_ = 0;
-  // Per-round scratch reused across rounds (zero steady-state allocations);
-  // one top-k workspace per client so the selections can run in parallel.
-  std::vector<TopKWorkspace> topk_ws_;
-  std::vector<SparseVector> uploads_;
+  RoundPipeline pipe_;
+  // FUB-specific per-round scratch: the aggregated union's index list.
   std::vector<std::int32_t> touched_list_;
-  // Sharded-engine state (unused while shards_ == 1).
-  std::size_t shards_ = 1;
-  std::vector<TopKWorkspace> slot_ws_;
-  std::vector<ClientHint> hints_;
-  std::vector<ShardArena> arenas_;
-  std::vector<std::span<const std::uint64_t>> runs_;
-  std::vector<std::uint64_t> merged_keys_;
-  KeyMerger merger_;
-  BucketAggregator aggregator_;
-  CsrResetBuilder resets_;
 };
 
 }  // namespace fedsparse::sparsify

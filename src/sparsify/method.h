@@ -33,6 +33,17 @@ struct RoundInput {
   /// per-client local weight vector instead.
   std::vector<std::span<const float>> client_vectors;
   /// C_i / C (sums to 1).
+  ///
+  /// Staleness semantics (buffered-async engine, fl/simulation.h): under
+  /// AggregationMode::kBufferedAsync a "round" is a buffer flush, and a slot
+  /// may carry an upload deferred from an earlier round. The engine folds the
+  /// staleness discount into these weights BEFORE the method sees them —
+  /// slot s's weight is (C_s/C)·1/(1 + λ·staleness_s), renormalized over the
+  /// flush so the sum stays exactly 1 — so methods remain staleness-oblivious
+  /// and every aggregate b_j stays a convex combination of client values
+  /// (mass conservation). At zero staleness the discount is a multiplication
+  /// by 1.0, bitwise invisible: the synchronized engine's weights come out
+  /// identical, which is what pins async ≡ sync traces.
   std::span<const double> data_weights;
   /// Stable client ids, slot-aligned with client_vectors; empty means "slot
   /// s is client s". Methods use them to key per-client state that must
@@ -146,12 +157,19 @@ class Method {
   /// scheduling decision, not a semantic one.
   virtual void set_sharding(std::size_t shards) { (void)shards; }
 
-  /// The |value| threshold the next selection for `client_id` would scan
-  /// with (its persisted hint), or 0 when unknown. The simulation uses this
-  /// to seed the client-side fused prescan; methods without per-client
-  /// selection state return 0 (no prescan).
-  virtual float upload_threshold_hint(std::size_t client_id) const {
+  /// The |value| threshold the next depth-`k` selection for `client_id`
+  /// would scan with (its persisted hint), or 0 when unknown. The simulation
+  /// uses this to seed the client-side fused prescan and the buffered-async
+  /// engine compares accumulator mass against it for event-triggered uploads.
+  /// Implementations must return 0 when the persisted hint was produced for a
+  /// k incompatible with the requested one (hint_compatible in topk.h) — a
+  /// client rejoining after a churn gap during which the controller moved k
+  /// far away must reseed through the prefilter, not scan with a threshold
+  /// from a different regime. Methods without per-client selection state
+  /// return 0 (no prescan, no event triggering).
+  virtual float upload_threshold_hint(std::size_t client_id, std::size_t k) const {
     (void)client_id;
+    (void)k;
     return 0.0f;
   }
 };
@@ -171,5 +189,15 @@ void validate_round_input(const RoundInput& in);
 /// legacy parallel-uplink max. Shared by every upload-based method so the
 /// two fields cannot drift apart.
 void set_uplink_from_uploads(const std::vector<SparseVector>& uploads, RoundOutcome& out);
+
+/// Builds the client-major kPerClient reset lists + contributed counts from
+/// per-client uploads on the single-shard reference path (the sharded engine
+/// uses CsrResetBuilder). `stamp`/`token` give the downlink-membership test:
+/// an uploaded entry is reset (and counts as contributed) iff
+/// stamp[idx] == token — pass stamp == nullptr for methods whose broadcast
+/// contains every uploaded index (unidirectional). Shared by the top-k
+/// methods so the CSR construction cannot drift between them.
+void build_reset_lists(const std::vector<SparseVector>& uploads, const std::uint32_t* stamp,
+                       std::uint32_t token, RoundOutcome& out);
 
 }  // namespace fedsparse::sparsify

@@ -1,0 +1,99 @@
+#include "sparsify/round_pipeline.h"
+
+#include <algorithm>
+
+#include "util/thread_pool.h"
+
+namespace fedsparse::sparsify {
+
+RoundPipeline::RoundPipeline(std::size_t dim) : dim_(dim), agg_(dim, 0.0f), stamp_(dim, 0) {}
+
+void RoundPipeline::set_sharding(std::size_t shards) noexcept {
+  shards_ = std::max<std::size_t>(1, shards);
+}
+
+const std::vector<SparseVector>& RoundPipeline::select_uploads(const RoundInput& in,
+                                                               std::size_t k) {
+  const std::vector<PrescanView>* pre =
+      in.client_prescan.empty() ? nullptr : &in.client_prescan;
+  if (shards_ > 1) {
+    top_k_uploads_fleet(in.client_vectors, in.client_chunk_max, k, in.client_ids, slot_ws_,
+                        hints_, uploads_, pre);
+  } else {
+    top_k_uploads(in.client_vectors, in.client_chunk_max, k, in.client_ids, topk_ws_, uploads_,
+                  pre);
+  }
+  return uploads_;
+}
+
+float RoundPipeline::threshold_hint(std::size_t client_id, std::size_t k) const {
+  float threshold = 0.0f;
+  std::size_t hint_k = 0;
+  if (shards_ > 1) {
+    if (client_id >= hints_.size()) return 0.0f;
+    threshold = hints_[client_id].threshold;
+    hint_k = hints_[client_id].k;
+  } else {
+    if (client_id >= topk_ws_.size()) return 0.0f;
+    threshold = topk_ws_[client_id].threshold_hint;
+    hint_k = topk_ws_[client_id].hint_k;
+  }
+  return hint_compatible(hint_k, k) ? threshold : 0.0f;
+}
+
+std::vector<ShardArena>& RoundPipeline::arenas(std::size_t count) {
+  if (arenas_.size() < count) arenas_.resize(count);
+  return arenas_;
+}
+
+std::span<const std::uint64_t> RoundPipeline::merge_arena_keys(std::size_t count,
+                                                               std::size_t bound) {
+  runs_.clear();
+  for (std::size_t s = 0; s < count; ++s) {
+    runs_.push_back({arenas_[s].keys.data(), arenas_[s].keys.size()});
+  }
+  merger_.merge({runs_.data(), runs_.size()}, bound, merged_keys_);
+  return {merged_keys_.data(), merged_keys_.size()};
+}
+
+const BucketAggregator& RoundPipeline::aggregate(std::span<const double> weights,
+                                                 std::size_t shards, util::ThreadPool* pool,
+                                                 const BucketAggregator::Filter& f) {
+  ++stamp_token_;
+  aggregator_.run(uploads_, weights, dim_, shards, pool, f, agg_.data(), stamp_.data(),
+                  stamp_token_);
+  return aggregator_;
+}
+
+void RoundPipeline::build_resets(std::size_t shards, util::ThreadPool* pool,
+                                 const BucketAggregator::Filter& f, RoundOutcome& out) {
+  resets_.run(uploads_, shards, pool, f, out);
+}
+
+void RoundPipeline::emit_update_from_buckets(util::ThreadPool* pool, RoundOutcome& out) {
+  const std::size_t B = aggregator_.buckets();
+  if (arenas_.size() < B) arenas_.resize(B);
+  bucket_offsets_.resize(B + 1);
+  bucket_offsets_[0] = 0;
+  for (std::size_t b = 0; b < B; ++b) {
+    bucket_offsets_[b + 1] = bucket_offsets_[b] + aggregator_.touched(b).size();
+  }
+  out.update.resize(bucket_offsets_[B]);
+  for_each_shard(pool, B, [&](std::size_t b) {
+    ShardArena& ar = arenas_[b];
+    const auto touched = aggregator_.touched(b);
+    ar.touched.assign(touched.begin(), touched.end());
+    std::sort(ar.touched.begin(), ar.touched.end());
+    std::size_t pos = bucket_offsets_[b];
+    for (const std::int32_t j : ar.touched) {
+      out.update[pos++] = SparseEntry{j, agg_[static_cast<std::size_t>(j)]};
+    }
+  });
+}
+
+void RoundPipeline::finish_payload(RoundOutcome& out) const {
+  set_uplink_from_uploads(uploads_, out);
+  out.downlink_values = 2.0 * static_cast<double>(out.update.size());
+}
+
+}  // namespace fedsparse::sparsify

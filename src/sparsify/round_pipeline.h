@@ -1,0 +1,139 @@
+// RoundPipeline: the staged server-round machinery shared by the top-k
+// methods.
+//
+// Before this refactor FAB / FUB / unidirectional each owned a monolithic
+// round() + round_sharded() pair carrying the same state triple-booked:
+// upload workspaces (per-client AND per-thread-slot + hint store), the dense
+// aggregation arena with its stamp discipline, the sharded arenas / key
+// merger / bucket aggregator / CSR reset builder, and the payload accounting
+// tail. A synchronized round is really one composition of stages —
+//
+//   accumulate/select uploads → (method-specific index selection)
+//     → aggregate → resets → emit update → payload accounting
+//
+// — and only the middle step differs between methods (FAB's κ-search + fill,
+// FUB's top-k over the aggregate, unidirectional's keep-everything). The
+// pipeline owns every shared stage plus the scratch it runs on; methods hold
+// one pipeline and compose. The buffered-async engine (fl/simulation.h)
+// drives the exact same stages — a flush is a round over the arrival buffer —
+// which is what makes async ≡ sync at zero staleness testable method by
+// method.
+//
+// Determinism contract: each stage is bit-identical across shard counts and
+// thread counts (see shard_engine.h for the per-stage arguments); the
+// pipeline adds no ordering decisions of its own.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparsify/method.h"
+#include "sparsify/shard_engine.h"
+#include "sparsify/topk.h"
+
+namespace fedsparse::util {
+class ThreadPool;
+}
+
+namespace fedsparse::sparsify {
+
+class RoundPipeline {
+ public:
+  explicit RoundPipeline(std::size_t dim);
+
+  std::size_t dim() const noexcept { return dim_; }
+
+  /// Shard count for the sharded stages; 1 selects the per-client-workspace
+  /// reference path everywhere. Must not flip between rounds: the hint store
+  /// moves between per-client workspaces and the fleet ClientHint array.
+  void set_sharding(std::size_t shards) noexcept;
+  std::size_t shards() const noexcept { return shards_; }
+  bool sharded() const noexcept { return shards_ > 1; }
+
+  // --- stage: accumulate → prescan/select (per-client top-k uploads) --------
+
+  /// Computes every participant's top-k upload into uploads() — through the
+  /// per-client workspaces (shards == 1) or the per-slot workspaces + compact
+  /// hint store (sharded) — consuming any fused prescan views the input
+  /// carries. Byte-identical across both paths and every thread count.
+  const std::vector<SparseVector>& select_uploads(const RoundInput& in, std::size_t k);
+  std::vector<SparseVector>& uploads() noexcept { return uploads_; }
+
+  /// The |value| threshold the next depth-k selection for `client_id` would
+  /// scan with, or 0 when unknown OR when the persisted hint was produced for
+  /// an incompatible k (see hint_compatible in topk.h): after a churn gap the
+  /// controller may have moved k far from where the client last uploaded, and
+  /// arming a prescan with that stale threshold wastes the fused sweep — the
+  /// hint reseeds through the normal prefilter instead.
+  float threshold_hint(std::size_t client_id, std::size_t k) const;
+
+  // --- dense aggregation arena + stamp discipline ---------------------------
+
+  /// Dim-sized dense aggregation buffer; valid only for indices stamped by
+  /// the current pass (stamp()[j] == the token that wrote them).
+  float* agg() noexcept { return agg_.data(); }
+  std::uint32_t* stamp() noexcept { return stamp_.data(); }
+  /// A fresh stamp token (monotonic; shared by every stage of a round).
+  std::uint32_t next_token() noexcept { return ++stamp_token_; }
+
+  // --- sharded stages -------------------------------------------------------
+
+  ShardPlan make_plan(std::size_t n) const { return make_shard_plan(n, shards_); }
+
+  /// Per-shard arenas, grown to at least `count` (capacity persists).
+  std::vector<ShardArena>& arenas(std::size_t count);
+
+  /// k-bounded fixed-order tree merge of arenas [0, count)'s key runs.
+  std::span<const std::uint64_t> merge_arena_keys(std::size_t count, std::size_t bound);
+
+  /// Stage: sharded weighted aggregation of uploads() into agg() under an
+  /// optional membership filter, stamping touched indices with a fresh token.
+  /// Returns the aggregator for bucket iteration (touched lists).
+  const BucketAggregator& aggregate(std::span<const double> weights, std::size_t shards,
+                                    util::ThreadPool* pool, const BucketAggregator::Filter& f);
+
+  /// Stage: client-major CSR reset lists + contributed counts from uploads()
+  /// under the same optional filter. Must run BEFORE a later stage re-stamps
+  /// the filter's membership tokens.
+  void build_resets(std::size_t shards, util::ThreadPool* pool,
+                    const BucketAggregator::Filter& f, RoundOutcome& out);
+
+  /// Stage: emit the aggregated update from the last aggregate() call's
+  /// buckets, index-sorted (buckets are ascending disjoint index ranges, so
+  /// per-bucket sorts concatenate into the global index order).
+  void emit_update_from_buckets(util::ThreadPool* pool, RoundOutcome& out);
+
+  // --- stage: payload accounting (uplink/downlink values) -------------------
+
+  /// Fills uplink accounting from uploads() and the broadcast downlink from
+  /// the update payload (2 values per (index, value) pair).
+  void finish_payload(RoundOutcome& out) const;
+
+ private:
+  std::size_t dim_;
+  std::size_t shards_ = 1;
+
+  // Dense aggregation arena (sized D) + membership stamps.
+  std::vector<float> agg_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t stamp_token_ = 0;
+
+  // Selection state: per-client workspaces (single-shard) or per-thread-slot
+  // workspaces + 8-byte per-client hints (sharded).
+  std::vector<TopKWorkspace> topk_ws_;
+  std::vector<TopKWorkspace> slot_ws_;
+  std::vector<ClientHint> hints_;
+  std::vector<SparseVector> uploads_;
+
+  // Sharded-stage scratch.
+  std::vector<ShardArena> arenas_;
+  std::vector<std::span<const std::uint64_t>> runs_;
+  std::vector<std::uint64_t> merged_keys_;
+  std::vector<std::size_t> bucket_offsets_;
+  KeyMerger merger_;
+  BucketAggregator aggregator_;
+  CsrResetBuilder resets_;
+};
+
+}  // namespace fedsparse::sparsify

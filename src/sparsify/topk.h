@@ -44,6 +44,18 @@ constexpr std::size_t kTopKPrefilterMinDim = 4096;
 /// same cap so its bail-out point is bit-identical to hint_filter's.
 constexpr std::size_t topk_hint_cap(std::size_t k) { return 8 * k + 64; }
 
+/// Is a persisted threshold hint produced for a depth-`hint_k` selection
+/// still worth seeding a depth-`k` scan with? Within a 2× band either way the
+/// hinted scan usually survives (the cap leaves 8× headroom and a too-deep
+/// hint only over-collects); beyond it the threshold is from a different
+/// regime — a client rejoining after a churn gap during which the controller
+/// moved k far away — and scanning with it either bails at the cap or keeps
+/// fewer than k survivors, costing a wasted pass before the fallback reseeds.
+/// Callers treat an incompatible hint as "no hint" (reseed via prefilter).
+constexpr bool hint_compatible(std::size_t hint_k, std::size_t k) {
+  return hint_k != 0 && hint_k <= 2 * k && k <= 2 * hint_k;
+}
+
 /// Compact per-client selection hint: the k-th |value| of the client's last
 /// selection and the k that produced it. This is the only part of a
 /// TopKWorkspace whose content affects future selections, so sharded fleets

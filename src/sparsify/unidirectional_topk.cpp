@@ -8,68 +8,52 @@
 
 namespace fedsparse::sparsify {
 
-UnidirectionalTopK::UnidirectionalTopK(std::size_t dim)
-    : dim_(dim), agg_(dim, 0.0f), stamp_(dim, 0) {}
-
-float UnidirectionalTopK::upload_threshold_hint(std::size_t client_id) const {
-  if (shards_ > 1) return client_id < hints_.size() ? hints_[client_id].threshold : 0.0f;
-  return client_id < topk_ws_.size() ? topk_ws_[client_id].threshold_hint : 0.0f;
-}
+UnidirectionalTopK::UnidirectionalTopK(std::size_t dim) : pipe_(dim) {}
 
 RoundOutcome UnidirectionalTopK::round(const RoundInput& in, std::size_t k) {
   validate_round_input(in);
   const std::size_t n = in.client_vectors.size();
-  k = std::clamp<std::size_t>(k, 1, dim_);
-  if (shards_ > 1) return round_sharded(in, k);
+  k = std::clamp<std::size_t>(k, 1, pipe_.dim());
+  if (pipe_.sharded()) return round_sharded(in, k);
 
-  // Per-client selections threaded across the registered pool (deterministic:
-  // each client owns its workspace and output slot), chunk-pruned when the
-  // caller provides accumulator summaries.
-  top_k_uploads(in.client_vectors, in.client_chunk_max, k, in.client_ids, topk_ws_, uploads_,
-                in.client_prescan.empty() ? nullptr : &in.client_prescan);
+  // Stage: per-client selections threaded across the registered pool
+  // (deterministic: each client owns its workspace and output slot),
+  // chunk-pruned when the caller provides accumulator summaries.
+  const std::vector<SparseVector>& uploads = pipe_.select_uploads(in, k);
 
-  ++stamp_token_;
-  const std::uint32_t touched = stamp_token_;
+  float* agg = pipe_.agg();
+  std::uint32_t* stamp = pipe_.stamp();
+  const std::uint32_t touched = pipe_.next_token();
   union_indices_.clear();
-  for (const auto& up : uploads_) {
+  for (const auto& up : uploads) {
     for (const auto& e : up) {
       const auto idx = static_cast<std::size_t>(e.index);
-      if (stamp_[idx] != touched) {
-        stamp_[idx] = touched;
-        agg_[idx] = 0.0f;
+      if (stamp[idx] != touched) {
+        stamp[idx] = touched;
+        agg[idx] = 0.0f;
         union_indices_.push_back(e.index);
       }
     }
   }
   for (std::size_t i = 0; i < n; ++i) {
     const auto w = static_cast<float>(in.data_weights[i]);
-    for (const auto& e : uploads_[i]) agg_[static_cast<std::size_t>(e.index)] += w * e.value;
+    for (const auto& e : uploads[i]) agg[static_cast<std::size_t>(e.index)] += w * e.value;
   }
 
   RoundOutcome out;
   out.kind = RoundOutcome::Kind::kSparseUpdate;
   out.update.reserve(union_indices_.size());
   for (const std::int32_t j : union_indices_) {
-    out.update.push_back(SparseEntry{j, agg_[static_cast<std::size_t>(j)]});
+    out.update.push_back(SparseEntry{j, agg[static_cast<std::size_t>(j)]});
   }
   sort_by_index(out.update);
 
-  // Every uploaded element is used, so clients reset their full top-k sets.
-  out.reset_kind = RoundOutcome::ResetKind::kPerClient;
-  out.reset_indices.reserve(union_indices_.size());
-  out.reset_offsets.reserve(n + 1);
-  out.reset_offsets.push_back(0);
-  out.contributed.assign(n, 0);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (const auto& e : uploads_[i]) out.reset_indices.push_back(e.index);
-    out.reset_offsets.push_back(out.reset_indices.size());
-    out.contributed[i] = uploads_[i].size();
-  }
-  // Parallel uplinks: charge the largest actual per-client payload (matches
-  // FabTopK's accounting) rather than assuming every client sent k pairs;
-  // the per-client distribution feeds the heterogeneous straggler max.
-  set_uplink_from_uploads(uploads_, out);
-  out.downlink_values = 2.0 * static_cast<double>(out.update.size());  // up to 2kN
+  // Stage: resets — every uploaded element is used, so clients reset their
+  // full top-k sets (no membership stamp needed).
+  build_reset_lists(uploads, /*stamp=*/nullptr, 0, out);
+  // Stage: payload accounting — parallel uplinks charge the largest actual
+  // per-client payload; downlink is the whole union, up to 2kN values.
+  pipe_.finish_payload(out);
   return out;
 }
 
@@ -80,43 +64,19 @@ RoundOutcome UnidirectionalTopK::round(const RoundInput& in, std::size_t k) {
 // order (see shard_engine.h) and the update's index order (buckets are
 // ascending disjoint index ranges).
 RoundOutcome UnidirectionalTopK::round_sharded(const RoundInput& in, std::size_t k) {
-  const std::size_t n = in.client_vectors.size();
   util::ThreadPool* pool = tensor::parallel_pool();
-  const ShardPlan plan = make_shard_plan(n, shards_);
+  const ShardPlan plan = pipe_.make_plan(in.client_vectors.size());
   const std::size_t S = plan.shards();
 
-  top_k_uploads_fleet(in.client_vectors, in.client_chunk_max, k, in.client_ids, slot_ws_,
-                      hints_, uploads_,
-                      in.client_prescan.empty() ? nullptr : &in.client_prescan);
-
-  ++stamp_token_;
-  aggregator_.run(uploads_, in.data_weights, dim_, S, pool, /*filter=*/{}, agg_.data(),
-                  stamp_.data(), stamp_token_);
+  pipe_.select_uploads(in, k);
+  pipe_.aggregate(in.data_weights, S, pool, /*f=*/{});
 
   RoundOutcome out;
   out.kind = RoundOutcome::Kind::kSparseUpdate;
-  const std::size_t B = aggregator_.buckets();
-  if (arenas_.size() < B) arenas_.resize(B);
-  bucket_offsets_.resize(B + 1);
-  bucket_offsets_[0] = 0;
-  for (std::size_t b = 0; b < B; ++b) {
-    bucket_offsets_[b + 1] = bucket_offsets_[b] + aggregator_.touched(b).size();
-  }
-  out.update.resize(bucket_offsets_[B]);
-  for_each_shard(pool, B, [&](std::size_t b) {
-    ShardArena& ar = arenas_[b];
-    const auto touched = aggregator_.touched(b);
-    ar.touched.assign(touched.begin(), touched.end());
-    std::sort(ar.touched.begin(), ar.touched.end());
-    std::size_t pos = bucket_offsets_[b];
-    for (const std::int32_t j : ar.touched) {
-      out.update[pos++] = SparseEntry{j, agg_[static_cast<std::size_t>(j)]};
-    }
-  });
+  pipe_.emit_update_from_buckets(pool, out);
 
-  resets_.run(uploads_, S, pool, /*filter=*/{}, out);
-  set_uplink_from_uploads(uploads_, out);
-  out.downlink_values = 2.0 * static_cast<double>(out.update.size());
+  pipe_.build_resets(S, pool, /*f=*/{}, out);
+  pipe_.finish_payload(out);
   return out;
 }
 

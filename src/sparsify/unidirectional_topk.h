@@ -3,11 +3,13 @@
 // Clients upload their top-k; the server aggregates and broadcasts the whole
 // union, which can be as large as k·N elements — the downlink blow-up that
 // motivates bidirectional schemes.
+//
+// Shared stages live in RoundPipeline; nothing here is selective, so the
+// method-specific middle is trivial (broadcast the whole aggregated union).
 #pragma once
 
 #include "sparsify/method.h"
-#include "sparsify/shard_engine.h"
-#include "sparsify/topk.h"
+#include "sparsify/round_pipeline.h"
 
 namespace fedsparse::sparsify {
 
@@ -19,32 +21,18 @@ class UnidirectionalTopK final : public Method {
   RoundOutcome round(const RoundInput& in, std::size_t k) override;
 
   /// See FabTopK::set_sharding — byte-identical at every shard count.
-  void set_sharding(std::size_t shards) override {
-    shards_ = std::max<std::size_t>(1, shards);
-  }
+  void set_sharding(std::size_t shards) override { pipe_.set_sharding(shards); }
 
-  float upload_threshold_hint(std::size_t client_id) const override;
+  float upload_threshold_hint(std::size_t client_id, std::size_t k) const override {
+    return pipe_.threshold_hint(client_id, k);
+  }
 
  private:
   RoundOutcome round_sharded(const RoundInput& in, std::size_t k);
 
-  std::size_t dim_;
-  std::vector<float> agg_;
-  std::vector<std::uint32_t> stamp_;
-  std::uint32_t stamp_token_ = 0;
-  // Per-round scratch reused across rounds (zero steady-state allocations);
-  // one top-k workspace per client so the selections can run in parallel.
-  std::vector<TopKWorkspace> topk_ws_;
-  std::vector<SparseVector> uploads_;
+  RoundPipeline pipe_;
+  // Per-round scratch: the uploaded union's index list.
   std::vector<std::int32_t> union_indices_;
-  // Sharded-engine state (unused while shards_ == 1).
-  std::size_t shards_ = 1;
-  std::vector<TopKWorkspace> slot_ws_;
-  std::vector<ClientHint> hints_;
-  std::vector<ShardArena> arenas_;
-  std::vector<std::size_t> bucket_offsets_;
-  BucketAggregator aggregator_;
-  CsrResetBuilder resets_;
 };
 
 }  // namespace fedsparse::sparsify

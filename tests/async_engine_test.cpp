@@ -1,0 +1,351 @@
+// Buffered-async round engine tests (fl/simulation.h, AggregationMode):
+//  * zero-staleness async (accept-everything, no event triggering) must
+//    reproduce the synchronized engine's traces byte-identically for every
+//    upload-based method at every thread count — the barrier is the
+//    degenerate schedule of the same staged pipeline, and this suite is the
+//    proof that nothing on the shared path forked;
+//  * staleness_weighting conserves mass (weights stay a convex combination)
+//    and is a bitwise no-op on all-fresh flushes;
+//  * deferred contributions are never dropped: a client beyond the buffer
+//    catches up at the next flush with the right staleness, and the pending
+//    buffer drains;
+//  * the event timeline is built serially and is identical across thread
+//    counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "fl/event_timeline.h"
+#include "fl/simulation.h"
+#include "nn/models.h"
+#include "online/extended_sign_ogd.h"
+#include "online/factory.h"
+#include "sparsify/method.h"
+
+namespace fedsparse::fl {
+namespace {
+
+data::SyntheticConfig tiny_dataset(std::uint64_t seed = 1) {
+  data::SyntheticConfig cfg;
+  cfg.num_classes = 4;
+  cfg.channels = 1;
+  cfg.height = 4;
+  cfg.width = 4;
+  cfg.num_clients = 10;
+  cfg.samples_per_client = 24;
+  cfg.samples_spread = 0.3;
+  cfg.test_samples = 64;
+  cfg.class_sep = 2.5;
+  cfg.noise_std = 0.6;
+  cfg.partition = data::PartitionKind::kByWriter;
+  cfg.classes_per_writer = 2;
+  cfg.seed = seed;
+  return cfg;
+}
+
+nn::ModelFactory tiny_model() { return nn::mlp(16, {12}, 4); }
+
+SimulationConfig base_sim(std::size_t threads = 2) {
+  SimulationConfig cfg;
+  cfg.lr = 0.05f;
+  cfg.batch = 8;
+  cfg.max_rounds = 40;
+  cfg.comm_time = 5.0;
+  cfg.eval_every = 10;
+  cfg.eval_samples_per_client = 0;
+  cfg.eval_test_samples = 0;
+  cfg.threads = threads;
+  cfg.seed = 7;
+  return cfg;
+}
+
+SimulationResult run_fixed_k(const std::string& method, double k, SimulationConfig cfg,
+                             std::uint64_t data_seed = 1) {
+  auto dataset = data::make_synthetic(tiny_dataset(data_seed));
+  auto factory = tiny_model();
+  util::Rng probe(1);
+  const std::size_t dim = factory(probe)->dim();
+  Simulation sim(cfg, std::move(dataset), factory, sparsify::make_method(method, dim, 5),
+                 std::make_unique<online::FixedK>(k));
+  return sim.run();
+}
+
+SimulationResult run_adaptive(const std::string& method, SimulationConfig cfg,
+                              std::uint64_t data_seed = 2) {
+  auto dataset = data::make_synthetic(tiny_dataset(data_seed));
+  auto factory = tiny_model();
+  util::Rng probe(1);
+  const std::size_t dim = factory(probe)->dim();
+  auto controller = std::make_unique<online::ExtendedSignOgd>(
+      online::ExtendedSignOgd::Config{2.0, static_cast<double>(dim), 0.0, 1.5, 10});
+  Simulation sim(cfg, std::move(dataset), factory, sparsify::make_method(method, dim, 5),
+                 std::move(controller));
+  return sim.run();
+}
+
+// Bitwise trace comparison, including the async-only record fields. The two
+// runs must produce the *same bits*, not merely close values.
+void expect_identical(const SimulationResult& a, const SimulationResult& b,
+                      const std::string& label) {
+  ASSERT_EQ(a.records.size(), b.records.size()) << label;
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const RoundRecord& ra = a.records[i];
+    const RoundRecord& rb = b.records[i];
+    EXPECT_EQ(ra.time, rb.time) << label << " round " << ra.round;
+    EXPECT_EQ(ra.k_continuous, rb.k_continuous) << label << " round " << ra.round;
+    EXPECT_EQ(ra.k_used, rb.k_used) << label << " round " << ra.round;
+    EXPECT_EQ(ra.train_loss, rb.train_loss) << label << " round " << ra.round;
+    EXPECT_EQ(ra.uplink_values, rb.uplink_values) << label << " round " << ra.round;
+    EXPECT_EQ(ra.downlink_values, rb.downlink_values) << label << " round " << ra.round;
+    EXPECT_EQ(ra.participants, rb.participants) << label << " round " << ra.round;
+    EXPECT_EQ(ra.mean_staleness, rb.mean_staleness) << label << " round " << ra.round;
+    EXPECT_EQ(ra.buffered_stale, rb.buffered_stale) << label << " round " << ra.round;
+    if (std::isnan(ra.global_loss)) {
+      EXPECT_TRUE(std::isnan(rb.global_loss)) << label << " round " << ra.round;
+    } else {
+      EXPECT_EQ(ra.global_loss, rb.global_loss) << label << " round " << ra.round;
+      EXPECT_EQ(ra.accuracy, rb.accuracy) << label << " round " << ra.round;
+    }
+  }
+  EXPECT_EQ(a.k_sequence, b.k_sequence) << label;
+  EXPECT_EQ(a.contributed_totals, b.contributed_totals) << label;
+  EXPECT_EQ(a.rounds_run, b.rounds_run) << label;
+  EXPECT_EQ(a.total_time, b.total_time) << label;
+  EXPECT_EQ(a.final_loss, b.final_loss) << label;
+  EXPECT_EQ(a.final_accuracy, b.final_accuracy) << label;
+  EXPECT_EQ(a.invalid_probe_rounds, b.invalid_probe_rounds) << label;
+}
+
+// ---------------- zero-staleness async ≡ sync (the degenerate barrier) ------
+
+class AsyncDegenerateBarrier : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AsyncDegenerateBarrier, FixedKTraceMatchesSyncAtEveryThreadCount) {
+  const std::string method = GetParam();
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    SimulationConfig sync_cfg = base_sim(threads);
+    const auto sync = run_fixed_k(method, 20.0, sync_cfg);
+    SimulationConfig async_cfg = base_sim(threads);
+    async_cfg.aggregation = AggregationMode::kBufferedAsync;
+    async_cfg.async.buffer_size = 0;   // accept every arrival
+    async_cfg.async.trigger_scale = 0.0;
+    const auto async = run_fixed_k(method, 20.0, async_cfg);
+    expect_identical(sync, async, method + "/threads=" + std::to_string(threads));
+    for (const auto& rec : async.records) {
+      EXPECT_EQ(rec.mean_staleness, 0.0) << method;
+      EXPECT_EQ(rec.buffered_stale, 0u) << method;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllUploadMethods, AsyncDegenerateBarrier,
+                         ::testing::Values("fab_topk", "fub_topk", "unidirectional_topk"));
+
+TEST(AsyncDegenerateBarrier, AdaptiveControllerTraceMatchesSync) {
+  // The probe path + controller damping: at zero staleness the damping
+  // factor is exactly 1.0, so Algorithm 3's k-sequence must not move a bit.
+  for (const char* method : {"fab_topk", "fub_topk", "unidirectional_topk"}) {
+    SimulationConfig cfg = base_sim();
+    cfg.max_rounds = 60;
+    const auto sync = run_adaptive(method, cfg);
+    cfg.aggregation = AggregationMode::kBufferedAsync;
+    const auto async = run_adaptive(method, cfg);
+    expect_identical(sync, async, std::string(method) + "/adaptive");
+  }
+}
+
+TEST(AsyncDegenerateBarrier, PartialParticipationAndChurnMatchSync) {
+  // Sampling + churn consume rng_ before the schedule is built; the async
+  // branch must not shift a single draw.
+  SimulationConfig cfg = base_sim();
+  cfg.participation = 0.4;
+  cfg.network.p_drop = 0.2;
+  cfg.network.p_recover = 0.5;
+  const auto sync = run_fixed_k("fab_topk", 12.0, cfg);
+  cfg.aggregation = AggregationMode::kBufferedAsync;
+  const auto async = run_fixed_k("fab_topk", 12.0, cfg);
+  expect_identical(sync, async, "fab_topk/participation+churn");
+}
+
+TEST(AsyncEngine, FedAvgRejectsBufferedAsync) {
+  auto dataset = data::make_synthetic(tiny_dataset());
+  auto factory = tiny_model();
+  util::Rng probe(1);
+  const std::size_t dim = factory(probe)->dim();
+  SimulationConfig cfg = base_sim();
+  cfg.aggregation = AggregationMode::kBufferedAsync;
+  EXPECT_THROW(Simulation(cfg, std::move(dataset), factory, sparsify::make_method("fedavg", dim, 5),
+                          std::make_unique<online::FixedK>(20.0)),
+               std::invalid_argument);
+}
+
+// ---------------- staleness weighting: mass conservation --------------------
+
+TEST(StalenessWeighting, AllFreshIsBitwiseNoOp) {
+  std::vector<double> w{0.3, 0.2, 0.5};
+  const std::vector<double> orig = w;
+  const std::vector<std::size_t> staleness{0, 0, 0};
+  staleness_weighting(w, staleness, 0.25);
+  for (std::size_t i = 0; i < w.size(); ++i) EXPECT_EQ(w[i], orig[i]);
+}
+
+TEST(StalenessWeighting, DiscountedWeightsStillSumToOne) {
+  std::vector<double> w{0.3, 0.2, 0.5};
+  const std::vector<std::size_t> staleness{0, 3, 1};
+  staleness_weighting(w, staleness, 0.25);
+  double total = 0.0;
+  for (const double x : w) total += x;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // The fresh slot gains relative mass, stale slots lose it.
+  EXPECT_GT(w[0], 0.3);
+  EXPECT_LT(w[1], 0.2);
+  EXPECT_LT(w[2], 0.5);
+}
+
+TEST(StalenessWeighting, DiscountIsMonotoneInStaleness) {
+  // Equal raw weights: the staler slot must end strictly lighter.
+  std::vector<double> w{0.25, 0.25, 0.25, 0.25};
+  const std::vector<std::size_t> staleness{0, 1, 2, 5};
+  staleness_weighting(w, staleness, 0.5);
+  EXPECT_GT(w[0], w[1]);
+  EXPECT_GT(w[1], w[2]);
+  EXPECT_GT(w[2], w[3]);
+  double total = 0.0;
+  for (const double x : w) total += x;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+// ---------------- deferral, catch-up and drain ------------------------------
+
+TEST(AsyncEngine, DeferredUploadsCatchUpAtNextFlushWithStaleness) {
+  // Homogeneous network, full participation, N=10, buffer of 4: all ten
+  // arrivals tie, ids 0–3 are accepted, 4–9 defer. Next round they catch up
+  // (staleness 1) alongside the four fresh accepts, emptying the buffer —
+  // the schedule alternates 4-flush / 10-flush deterministically.
+  SimulationConfig cfg = base_sim();
+  cfg.max_rounds = 8;
+  cfg.aggregation = AggregationMode::kBufferedAsync;
+  cfg.async.buffer_size = 4;
+  cfg.async.staleness_lambda = 0.25;
+  auto dataset = data::make_synthetic(tiny_dataset());
+  auto factory = tiny_model();
+  util::Rng probe(1);
+  const std::size_t dim = factory(probe)->dim();
+  Simulation sim(cfg, std::move(dataset), factory, sparsify::make_method("fab_topk", dim, 5),
+                 std::make_unique<online::FixedK>(20.0));
+  const auto res = sim.run();
+  ASSERT_EQ(res.records.size(), 8u);
+  for (std::size_t r = 0; r < res.records.size(); ++r) {
+    const RoundRecord& rec = res.records[r];
+    if (r % 2 == 0) {  // accept-only round
+      EXPECT_EQ(rec.participants, 4u) << "round " << rec.round;
+      EXPECT_EQ(rec.mean_staleness, 0.0) << "round " << rec.round;
+      EXPECT_EQ(rec.buffered_stale, 6u) << "round " << rec.round;
+    } else {  // catch-up round: 4 fresh + 6 stale, buffer drained
+      EXPECT_EQ(rec.participants, 10u) << "round " << rec.round;
+      EXPECT_EQ(rec.mean_staleness, 0.6) << "round " << rec.round;
+      EXPECT_EQ(rec.buffered_stale, 0u) << "round " << rec.round;
+    }
+  }
+  // Mass is never dropped: every client contributed, and the run ends with
+  // an empty buffer (even number of rounds).
+  EXPECT_EQ(sim.pending_uploads(), 0u);
+  for (const std::size_t c : res.contributed_totals) EXPECT_GT(c, 0u);
+}
+
+TEST(AsyncEngine, PendingBufferTracksRecordsUnderChurn) {
+  // Churn + small buffer: offline clients hold their deferred contribution
+  // until they rejoin (the catch-up flush). The recorded buffer depth must
+  // equal the engine's pending count after the last round, and staleness
+  // must actually materialize somewhere.
+  SimulationConfig cfg = base_sim();
+  cfg.max_rounds = 30;
+  cfg.aggregation = AggregationMode::kBufferedAsync;
+  cfg.async.buffer_size = 3;
+  cfg.network.p_drop = 0.25;
+  cfg.network.p_recover = 0.4;
+  auto dataset = data::make_synthetic(tiny_dataset());
+  auto factory = tiny_model();
+  util::Rng probe(1);
+  const std::size_t dim = factory(probe)->dim();
+  Simulation sim(cfg, std::move(dataset), factory, sparsify::make_method("fab_topk", dim, 5),
+                 std::make_unique<online::FixedK>(20.0));
+  const auto res = sim.run();
+  ASSERT_FALSE(res.records.empty());
+  EXPECT_EQ(sim.pending_uploads(), res.records.back().buffered_stale);
+  bool saw_staleness = false;
+  for (const auto& rec : res.records) {
+    if (rec.mean_staleness > 0.0) saw_staleness = true;
+    EXPECT_TRUE(std::isfinite(rec.mean_staleness)) << "round " << rec.round;
+  }
+  EXPECT_TRUE(saw_staleness);
+}
+
+TEST(AsyncEngine, EventTriggeredUploadsJoinTheRound) {
+  // Partial participation with triggering on: unsampled clients whose
+  // accumulator mass clears the selection-threshold hint volunteer uploads,
+  // so some rounds must exceed the sampled count (ceil(0.4 * 10) = 4).
+  SimulationConfig cfg = base_sim();
+  cfg.participation = 0.4;
+  cfg.aggregation = AggregationMode::kBufferedAsync;
+  cfg.async.trigger_scale = 1.0;
+  const auto res = run_fixed_k("fab_topk", 12.0, cfg);
+  bool triggered = false;
+  for (const auto& rec : res.records) {
+    if (rec.participants > 4) triggered = true;
+  }
+  EXPECT_TRUE(triggered);
+}
+
+// ---------------- event-order determinism -----------------------------------
+
+TEST(AsyncEngine, EventTimelineIsIdenticalAcrossThreadCounts) {
+  // The schedule is built serially from the network model alone; runs that
+  // differ only in thread count must produce the same event sequence AND the
+  // same full trace. (timeline() exposes the last round's schedule.)
+  auto run_one = [&](std::size_t threads, std::vector<Event>& events) {
+    SimulationConfig cfg = base_sim(threads);
+    cfg.max_rounds = 20;
+    cfg.participation = 0.6;
+    cfg.aggregation = AggregationMode::kBufferedAsync;
+    cfg.async.buffer_size = 3;
+    cfg.network.p_drop = 0.2;
+    cfg.network.p_recover = 0.5;
+    auto dataset = data::make_synthetic(tiny_dataset());
+    auto factory = tiny_model();
+    util::Rng probe(1);
+    const std::size_t dim = factory(probe)->dim();
+    Simulation sim(cfg, std::move(dataset), factory, sparsify::make_method("fab_topk", dim, 5),
+                   std::make_unique<online::FixedK>(12.0));
+    const auto res = sim.run();
+    const auto span = sim.timeline().events();
+    events.assign(span.begin(), span.end());
+    return res;
+  };
+  std::vector<Event> e1, e2, e8;
+  const auto r1 = run_one(1, e1);
+  const auto r2 = run_one(2, e2);
+  const auto r8 = run_one(8, e8);
+  expect_identical(r1, r2, "async/threads=1vs2");
+  expect_identical(r1, r8, "async/threads=1vs8");
+  ASSERT_EQ(e1.size(), e2.size());
+  ASSERT_EQ(e1.size(), e8.size());
+  ASSERT_FALSE(e1.empty());
+  for (std::size_t i = 0; i < e1.size(); ++i) {
+    EXPECT_EQ(e1[i].time, e2[i].time) << "event " << i;
+    EXPECT_EQ(e1[i].kind, e2[i].kind) << "event " << i;
+    EXPECT_EQ(e1[i].client, e2[i].client) << "event " << i;
+    EXPECT_EQ(e1[i].time, e8[i].time) << "event " << i;
+    EXPECT_EQ(e1[i].kind, e8[i].kind) << "event " << i;
+    EXPECT_EQ(e1[i].client, e8[i].client) << "event " << i;
+  }
+  // The timeline always closes with the flush event.
+  EXPECT_EQ(e1.back().kind, EventKind::kBufferFlush);
+}
+
+}  // namespace
+}  // namespace fedsparse::fl
