@@ -72,15 +72,21 @@ inline core::TrainerConfig base_config(const CommonArgs& a) {
   return cfg;
 }
 
-/// Writes a (time, loss, accuracy) curve for one labelled run.
+/// Writes a (time, loss, accuracy) curve for one labelled run. The trailing
+/// dropped/corrupted/quarantined columns are the per-round fault and defense
+/// counters (fl/faults.h, sparsify/validate.h) — all zero unless the run's
+/// scenario or config injects faults.
 inline void emit_curves(const std::string& out_dir, const std::string& figure,
                         const std::string& label, const fl::SimulationResult& res) {
   util::CsvWriter csv(out_dir + "/" + figure + "/" + label + "_curve.csv",
                       /*echo_stdout=*/true, figure + "/" + label);
-  csv.header({"round", "time", "global_loss", "accuracy", "k"});
+  csv.header({"round", "time", "global_loss", "accuracy", "k", "dropped", "corrupted",
+              "quarantined"});
   for (const auto& r : res.records) {
     if (std::isnan(r.global_loss)) continue;
-    csv.row({static_cast<double>(r.round), r.time, r.global_loss, r.accuracy, r.k_continuous});
+    csv.row({static_cast<double>(r.round), r.time, r.global_loss, r.accuracy, r.k_continuous,
+             static_cast<double>(r.dropped), static_cast<double>(r.corrupted),
+             static_cast<double>(r.quarantined)});
   }
 }
 

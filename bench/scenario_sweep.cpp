@@ -21,6 +21,7 @@
 //   ./bench/scenario_sweep [--rounds=250] [--target_loss=1.2] [--smoke]
 //   --smoke caps every scenario at 2 rounds (the CI tier-1 case: plumbing
 //   only, no convergence claims).
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -31,6 +32,7 @@
 #include "fl/simulation.h"
 #include "nn/models.h"
 #include "online/controller.h"
+#include "online/extended_sign_ogd.h"
 #include "sparsify/method.h"
 
 namespace {
@@ -182,6 +184,64 @@ void async_smoke() {
               res.records[2].participants, sim.pending_uploads());
 }
 
+// Graceful-degradation smoke, run under --smoke so tier-1 CI gates it: FAB
+// under the adaptive controller at 20% upload drops + 5% payload corruption
+// (the acceptance regime) must complete with finite loss and weights while
+// the screening stage visibly does its job — faults observed, poisoned
+// payloads rejected, nothing non-finite reaching the model.
+void faulty_smoke() {
+  std::printf("\n== fault smoke: 12 FAB rounds at 20%% drop / 5%% corruption ==\n");
+  data::SyntheticConfig dc;
+  dc.num_classes = 4;
+  dc.channels = 1;
+  dc.height = 4;
+  dc.width = 4;
+  dc.num_clients = 50;
+  dc.samples_per_client = 4;
+  dc.test_samples = 32;
+  dc.seed = 17;
+  fl::SimulationConfig cfg;
+  cfg.batch = 2;
+  cfg.max_rounds = 12;
+  cfg.eval_every = 10;
+  cfg.eval_samples_per_client = 1;
+  cfg.eval_test_samples = 16;
+  cfg.seed = 17;
+  cfg.threads = 2;
+  cfg.faults.drop_prob = 0.2;
+  cfg.faults.corrupt_prob = 0.05;
+  cfg.validation.enabled = true;
+  auto dataset = data::make_synthetic(dc);
+  auto factory = nn::mlp(16, {12}, 4);
+  util::Rng probe(1);
+  const std::size_t dim = factory(probe)->dim();
+  auto controller = std::make_unique<online::ExtendedSignOgd>(
+      online::ExtendedSignOgd::Config{2.0, static_cast<double>(dim), 0.0, 1.5, 10});
+  fl::Simulation sim(cfg, std::move(dataset), factory, sparsify::make_method("fab_topk", dim, 5),
+                     std::move(controller));
+  const fl::SimulationResult res = sim.run();
+  if (res.rounds_run != 12 || !std::isfinite(res.final_loss)) {
+    throw std::runtime_error("fault smoke: run did not complete with finite loss");
+  }
+  for (const float w : sim.client_weights(0)) {
+    if (!std::isfinite(w)) throw std::runtime_error("fault smoke: non-finite global weight");
+  }
+  std::size_t dropped = 0, corrupted = 0, rejected = 0;
+  for (const auto& r : res.records) {
+    dropped += r.dropped;
+    corrupted += r.corrupted;
+    rejected += r.rejected;
+  }
+  if (dropped == 0 || corrupted == 0) {
+    throw std::runtime_error("fault smoke: fault injection never fired");
+  }
+  if (rejected == 0) {
+    throw std::runtime_error("fault smoke: corrupted payloads were never rejected");
+  }
+  std::printf("fault smoke: dropped %zu, corrupted %zu, rejected %zu, final loss %.3f\n",
+              dropped, corrupted, rejected, res.final_loss);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -224,6 +284,7 @@ int main(int argc, char** argv) {
     if (smoke) {
       fleet_smoke();
       async_smoke();
+      faulty_smoke();
     }
 
     if (!smoke) {

@@ -16,8 +16,10 @@
 #include "data/partition.h"
 #include "data/synthetic.h"
 #include "fl/client.h"
+#include "fl/faults.h"
 #include "fl/metrics.h"
 #include "fl/network.h"
+#include "fl/replay.h"
 #include "fl/simulation.h"
 #include "fl/timing.h"
 #include "nn/models.h"
@@ -37,6 +39,7 @@
 #include "sparsify/method.h"
 #include "sparsify/sparse_vector.h"
 #include "sparsify/topk.h"
+#include "sparsify/validate.h"
 #include "util/csv.h"
 #include "util/flags.h"
 #include "util/logging.h"

@@ -34,12 +34,16 @@ enum class EventKind : std::uint8_t {
   kClientOnline = 1,
   kUploadReady = 2,  // upload arrival at the server
   kBufferFlush = 3,  // server folds the buffer into a global update
+  kUploadLost = 4,   // fault model: upload dropped in transit or past deadline
+  kClientCrash = 5,  // fault model: client died mid-round (no compute)
 };
 
 struct Event {
   double time = 0.0;        // offset from the round start, normalized units
   EventKind kind = EventKind::kUploadReady;
   std::size_t client = 0;   // kBufferFlush: number of arrivals folded
+
+  friend bool operator==(const Event&, const Event&) = default;
 };
 
 class EventTimeline {

@@ -1,0 +1,104 @@
+#include "fl/faults.h"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "util/rng.h"
+
+namespace fedsparse::fl {
+
+FaultModel::FaultModel(const FaultConfig& cfg, std::uint64_t sim_seed) : cfg_(cfg) {
+  std::uint64_t s = cfg.seed != 0 ? cfg.seed : (sim_seed ^ 0xFA017C0DEULL);
+  seed_ = util::splitmix64(s);
+}
+
+std::uint64_t FaultModel::mix(std::size_t round, std::size_t client, std::uint64_t salt) const {
+  // Two SplitMix64 passes over the (seed, round, client, salt) tuple: cheap,
+  // stateless, and well-mixed enough that per-salt streams are independent.
+  std::uint64_t s = seed_ ^ (0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(round) + 1)) ^
+                    (0xC2B2AE3D27D4EB4FULL * (static_cast<std::uint64_t>(client) + 1)) ^ salt;
+  (void)util::splitmix64(s);
+  return util::splitmix64(s);
+}
+
+double FaultModel::draw(std::size_t round, std::size_t client, std::uint64_t salt) const {
+  return static_cast<double>(mix(round, client, salt) >> 11) * 0x1.0p-53;
+}
+
+bool FaultModel::crashes(std::size_t round, std::size_t client) const {
+  return cfg_.crash_prob > 0.0 && draw(round, client, 0x11) < cfg_.crash_prob;
+}
+
+bool FaultModel::drops_upload(std::size_t round, std::size_t client) const {
+  return cfg_.drop_prob > 0.0 && draw(round, client, 0x22) < cfg_.drop_prob;
+}
+
+bool FaultModel::corrupts(std::size_t round, std::size_t client) const {
+  return cfg_.corrupt_prob > 0.0 && draw(round, client, 0x33) < cfg_.corrupt_prob;
+}
+
+CorruptionMode FaultModel::corruption_mode(std::size_t round, std::size_t client) const {
+  double total = 0.0;
+  for (const double w : cfg_.corrupt_weights) total += w > 0.0 ? w : 0.0;
+  const double u = draw(round, client, 0x44);
+  if (total <= 0.0) return static_cast<CorruptionMode>(static_cast<int>(u * 4.0) & 3);
+  double acc = 0.0;
+  for (int m = 0; m < 4; ++m) {
+    acc += cfg_.corrupt_weights[m] > 0.0 ? cfg_.corrupt_weights[m] : 0.0;
+    if (u * total < acc) return static_cast<CorruptionMode>(m);
+  }
+  return CorruptionMode::kMagnitudeBlowup;
+}
+
+std::size_t FaultModel::backoff_rounds(std::size_t strikes) const noexcept {
+  if (strikes == 0) return 0;
+  std::size_t b = cfg_.retry_backoff_base;
+  for (std::size_t s = 1; s < strikes && b < cfg_.retry_backoff_max; ++s) b *= 2;
+  return b < cfg_.retry_backoff_max ? b : cfg_.retry_backoff_max;
+}
+
+void FaultModel::apply(std::size_t round, std::size_t client,
+                       sparsify::SparseVector& payload) const {
+  if (payload.empty() || !corrupts(round, client)) return;
+  corrupt_payload(round, client, payload);
+}
+
+void FaultModel::corrupt_payload(std::size_t round, std::size_t client,
+                                 sparsify::SparseVector& payload) const {
+  if (payload.empty()) return;
+  const std::uint64_t r = mix(round, client, 0x55);
+  auto& entry = payload[r % payload.size()];
+  switch (corruption_mode(round, client)) {
+    case CorruptionMode::kNaN:
+      entry.value = std::numeric_limits<float>::quiet_NaN();
+      break;
+    case CorruptionMode::kInf:
+      entry.value = (r & 0x100) ? std::numeric_limits<float>::infinity()
+                                : -std::numeric_limits<float>::infinity();
+      break;
+    case CorruptionMode::kBitFlip: {
+      // Flip one random bit of the entry: low 32 choices hit the value, the
+      // rest hit the index — modeling single-event upsets anywhere in the
+      // (index, value) pair. Either way the screening stage must catch the
+      // structurally broken results (out-of-range / duplicate index, NaN/Inf
+      // value) and clipping bounds the finite ones.
+      const unsigned bit = static_cast<unsigned>((r >> 32) % 64);
+      if (bit < 32) {
+        auto bits = std::bit_cast<std::uint32_t>(entry.value);
+        bits ^= 1u << bit;
+        entry.value = std::bit_cast<float>(bits);
+      } else {
+        auto bits = static_cast<std::uint32_t>(entry.index);
+        bits ^= 1u << (bit - 32);
+        entry.index = static_cast<std::int32_t>(bits);
+      }
+      break;
+    }
+    case CorruptionMode::kMagnitudeBlowup:
+      entry.value *= 1.0e12f;
+      break;
+  }
+}
+
+}  // namespace fedsparse::fl

@@ -1,0 +1,128 @@
+// Seeded, deterministic fault injection for the federated round engine.
+//
+// The paper's Algorithms 2/3 assume every sampled client delivers an intact
+// top-k payload; at fleet scale lost, late, and corrupted uploads are the
+// common case. FaultModel composes with fl::NetworkModel: the network decides
+// who is online and how long transfers take, the fault model decides which of
+// those transfers fail or arrive poisoned —
+//
+//   * kClientCrash  — the client dies mid-round: no local step, no upload
+//                     (its accumulator and rng stream are simply not touched);
+//   * kUploadDrop   — the local step ran (mass accumulated) but the payload
+//                     never reached the server: the client is excluded from
+//                     the flush, gets no reset, and the accumulated mass rides
+//                     to its next successful upload (mass conservation holds
+//                     under any fault schedule);
+//   * kFlushTimeout — the payload exists but its arrival estimate exceeds the
+//                     server's flush deadline; treated like a drop, charged to
+//                     the server's impatience rather than the wire;
+//   * kPayloadCorrupt — the payload arrives tampered (NaN / Inf / bit-flip /
+//                     magnitude-blowup): injected through the
+//                     sparsify::UploadTamper seam after selection, caught by
+//                     the screening stage (sparsify/validate.h) before it can
+//                     reach the aggregation arena.
+//
+// Failed uploaders retry with exponential backoff: after `s` consecutive
+// failures a client sits out min(base · 2^(s-1), max) rounds before it is
+// eligible for sampling again, then flushes everything it accumulated.
+//
+// Determinism contract: every draw is a pure function of
+// (seed, round, client) — no shared RNG stream — so the fault schedule is
+// identical across thread counts, shard counts, and the sync/async engines,
+// which is what makes faulted runs replayable (fl/replay.h). A trivial()
+// config short-circuits every hook: the zero-fault configuration is
+// byte-identical to a build without this subsystem.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+#include "sparsify/validate.h"
+
+namespace fedsparse::fl {
+
+enum class FaultKind : std::uint8_t {
+  kUploadDrop = 0,
+  kPayloadCorrupt = 1,
+  kClientCrash = 2,
+  kFlushTimeout = 3,
+};
+
+enum class CorruptionMode : std::uint8_t {
+  kNaN = 0,
+  kInf = 1,
+  kBitFlip = 2,
+  kMagnitudeBlowup = 3,
+};
+
+struct FaultConfig {
+  double drop_prob = 0.0;     // per (round, uploader): payload lost in transit
+  double corrupt_prob = 0.0;  // per (round, uploader): payload tampered in transit
+  double crash_prob = 0.0;    // per (round, participant): client dies mid-round
+  /// Server flush deadline in timing-model units; an upload whose arrival
+  /// estimate exceeds it is dropped. 0 disables.
+  double flush_timeout = 0.0;
+  /// Relative mix of corruption modes, indexed by CorruptionMode. Need not
+  /// sum to 1; all-zero falls back to uniform.
+  double corrupt_weights[4] = {1.0, 1.0, 1.0, 1.0};
+  std::size_t retry_backoff_base = 1;  // rounds out after the first failure
+  std::size_t retry_backoff_max = 8;   // exponential backoff cap, in rounds
+  /// Fault-stream seed; 0 derives one from the simulation seed.
+  std::uint64_t seed = 0;
+
+  bool trivial() const noexcept {
+    return drop_prob == 0.0 && corrupt_prob == 0.0 && crash_prob == 0.0 && flush_timeout == 0.0;
+  }
+};
+
+/// One injected fault, as recorded per round for metrics and replay.
+struct FaultEvent {
+  std::uint32_t round = 0;
+  std::uint32_t client = 0;
+  FaultKind kind = FaultKind::kUploadDrop;
+  CorruptionMode mode = CorruptionMode::kNaN;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+class FaultModel final : public sparsify::UploadTamper {
+ public:
+  FaultModel() = default;
+  FaultModel(const FaultConfig& cfg, std::uint64_t sim_seed);
+
+  const FaultConfig& config() const noexcept { return cfg_; }
+  bool trivial() const noexcept { return cfg_.trivial(); }
+
+  // Stateless draws — pure in (seed, round, client).
+  bool crashes(std::size_t round, std::size_t client) const;
+  bool drops_upload(std::size_t round, std::size_t client) const;
+  bool corrupts(std::size_t round, std::size_t client) const;
+  CorruptionMode corruption_mode(std::size_t round, std::size_t client) const;
+
+  /// Arrival-deadline check: true when the upload's arrival estimate misses
+  /// the server's flush deadline (0 deadline = never).
+  bool times_out(double arrival_time) const noexcept {
+    return cfg_.flush_timeout > 0.0 && arrival_time > cfg_.flush_timeout;
+  }
+
+  /// Backoff after the `strikes`-th consecutive failed upload (strikes >= 1).
+  std::size_t backoff_rounds(std::size_t strikes) const noexcept;
+
+  /// sparsify::UploadTamper: corrupts `payload` in place when the
+  /// (round, client) corruption draw fires. Pure — probe rounds and replays
+  /// tamper identically.
+  void apply(std::size_t round, std::size_t client, sparsify::SparseVector& payload) const override;
+
+  /// The corruption itself, unconditionally applied (exposed for tests).
+  void corrupt_payload(std::size_t round, std::size_t client,
+                       sparsify::SparseVector& payload) const;
+
+ private:
+  std::uint64_t mix(std::size_t round, std::size_t client, std::uint64_t salt) const;
+  double draw(std::size_t round, std::size_t client, std::uint64_t salt) const;
+
+  FaultConfig cfg_;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace fedsparse::fl

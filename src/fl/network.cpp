@@ -195,7 +195,8 @@ double NetworkModel::max_compute_multiplier(std::span<const std::size_t> ids) co
 // ---------------------------------------------------------------- scenarios
 
 std::vector<std::string> scenario_names() {
-  return {"uniform", "bimodal", "longtail_mobile", "metered_wan", "churn_heavy"};
+  return {"uniform",     "bimodal",     "longtail_mobile",
+          "metered_wan", "churn_heavy", "faulty_wan"};
 }
 
 Scenario make_scenario(const std::string& name, std::size_t n, std::uint64_t seed) {
@@ -252,10 +253,20 @@ Scenario make_scenario(const std::string& name, std::size_t n, std::uint64_t see
     s.network.rate_jitter_sigma = 0.4;
     s.network.p_drop = 0.4;
     s.network.p_recover = 0.15;
+  } else if (name == "faulty_wan") {
+    // The metered-WAN link shape under an unreliable transport: one upload
+    // in twenty is lost in transit and one in a hundred arrives tampered.
+    // apply_scenario turns the server-side screening stage on with it.
+    s.description = "half-rate WAN with 5% upload drops and 1% payload corruption";
+    s.network.profiles.assign(n, ClientProfile{0.5, 0.5, 1.0});
+    s.money_per_value = 0.002;
+    s.weight_money = 1.0;
+    s.faults.drop_prob = 0.05;
+    s.faults.corrupt_prob = 0.01;
   } else {
     throw std::invalid_argument(
         "make_scenario: unknown scenario '" + name +
-        "' (expected uniform|bimodal|longtail_mobile|metered_wan|churn_heavy)");
+        "' (expected uniform|bimodal|longtail_mobile|metered_wan|churn_heavy|faulty_wan)");
   }
   return s;
 }

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "fl/faults.h"
 #include "fl/timing.h"
 #include "util/rng.h"
 
@@ -181,12 +182,16 @@ struct Scenario {
   /// Composite-objective overrides; 0 keeps the pure-time objective.
   double money_per_value = 0.0;
   double weight_money = 0.0;
+  /// Fault injection (fl/faults.h); trivial by default. apply_scenario also
+  /// enables server-side upload screening when this is non-trivial.
+  FaultConfig faults;
 };
 
 /// Registry names: "uniform", "bimodal", "longtail_mobile", "metered_wan",
 /// "churn_heavy" (long-tail links, aggressive Markov off-rate — most clients
 /// offline per round, the regime the tiered accumulators' dirty-chunk
-/// pruning targets).
+/// pruning targets), "faulty_wan" (metered WAN links plus upload drops and
+/// payload corruption — the fault-injection + screening regime).
 std::vector<std::string> scenario_names();
 
 /// Builds the preset for an n-client population. `seed` shapes the sampled

@@ -1,0 +1,243 @@
+#include "fl/replay.h"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace fedsparse::fl {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+void fnv(std::uint64_t& h, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+
+template <typename T>
+void fnv_vec(std::uint64_t& h, const std::vector<T>& v) {
+  const std::uint64_t n = v.size();
+  fnv(h, &n, sizeof n);
+  if (!v.empty()) fnv(h, v.data(), v.size() * sizeof(T));
+}
+
+// --- binary io ------------------------------------------------------------
+
+constexpr std::uint32_t kMagic = 0x46524C31;  // "FRL1"
+
+struct Writer {
+  std::FILE* f;
+  void raw(const void* p, std::size_t n) {
+    if (std::fwrite(p, 1, n, f) != n) throw std::runtime_error("replay log: short write");
+  }
+  template <typename T>
+  void pod(const T& v) {
+    raw(&v, sizeof v);
+  }
+  template <typename T>
+  void vec(const std::vector<T>& v) {
+    pod(static_cast<std::uint64_t>(v.size()));
+    if (!v.empty()) raw(v.data(), v.size() * sizeof(T));
+  }
+  void str(const std::string& s) {
+    pod(static_cast<std::uint64_t>(s.size()));
+    if (!s.empty()) raw(s.data(), s.size());
+  }
+};
+
+struct Reader {
+  std::FILE* f;
+  void raw(void* p, std::size_t n) {
+    if (std::fread(p, 1, n, f) != n) throw std::runtime_error("replay log: short read");
+  }
+  template <typename T>
+  void pod(T& v) {
+    raw(&v, sizeof v);
+  }
+  template <typename T>
+  void vec(std::vector<T>& v) {
+    std::uint64_t n = 0;
+    pod(n);
+    v.resize(n);
+    if (n != 0) raw(v.data(), n * sizeof(T));
+  }
+  void str(std::string& s) {
+    std::uint64_t n = 0;
+    pod(n);
+    s.resize(n);
+    if (n != 0) raw(s.data(), n);
+  }
+};
+
+}  // namespace
+
+std::uint64_t outcome_digest(const sparsify::RoundOutcome& out) {
+  std::uint64_t h = kFnvOffset;
+  const auto kind = static_cast<std::uint32_t>(out.kind);
+  fnv(h, &kind, sizeof kind);
+  fnv_vec(h, out.update);
+  fnv_vec(h, out.dense);
+  const auto reset = static_cast<std::uint32_t>(out.reset_kind);
+  fnv(h, &reset, sizeof reset);
+  fnv_vec(h, out.reset_indices);
+  fnv_vec(h, out.reset_offsets);
+  fnv_vec(h, out.uniform_reset);
+  fnv_vec(h, out.contributed);
+  return h;
+}
+
+RoundRecorder::RoundRecorder(std::size_t dim, std::string method, std::uint64_t seed,
+                             const FaultConfig& faults,
+                             const sparsify::ValidationConfig& validation) {
+  log_.dim = dim;
+  log_.seed = seed;
+  log_.method = std::move(method);
+  log_.fault_config = faults;
+  log_.validation = validation;
+}
+
+void RoundRecorder::record(const sparsify::RoundInput& in, std::size_t k,
+                           std::span<const FaultEvent> faults, std::span<const Event> timeline,
+                           const sparsify::RoundOutcome& out) {
+  ReplayRound r;
+  r.round = static_cast<std::uint32_t>(in.round);
+  r.k = static_cast<std::uint32_t>(k);
+  const std::size_t n = in.client_vectors.size();
+  r.client_ids.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    r.client_ids.push_back(
+        static_cast<std::uint32_t>(in.client_ids.empty() ? s : in.client_ids[s]));
+  }
+  r.data_weights.assign(in.data_weights.begin(), in.data_weights.end());
+  r.vec_offsets.reserve(n + 1);
+  r.vec_offsets.push_back(0);
+  for (std::size_t s = 0; s < n; ++s) {
+    const auto vec = in.client_vectors[s];
+    for (std::size_t j = 0; j < vec.size(); ++j) {
+      if (vec[j] != 0.0f) {
+        r.vec_indices.push_back(static_cast<std::int32_t>(j));
+        r.vec_values.push_back(vec[j]);
+      }
+    }
+    r.vec_offsets.push_back(r.vec_indices.size());
+  }
+  r.faults.assign(faults.begin(), faults.end());
+  r.timeline.assign(timeline.begin(), timeline.end());
+  r.digest = outcome_digest(out);
+  log_.rounds.push_back(std::move(r));
+}
+
+void ReplayLog::save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw std::runtime_error("replay log: cannot open " + path);
+  try {
+    Writer w{f};
+    w.pod(kMagic);
+    w.pod(dim);
+    w.pod(seed);
+    w.str(method);
+    w.pod(fault_config);
+    w.pod(validation);
+    w.pod(static_cast<std::uint64_t>(rounds.size()));
+    for (const ReplayRound& r : rounds) {
+      w.pod(r.round);
+      w.pod(r.k);
+      w.vec(r.client_ids);
+      w.vec(r.data_weights);
+      w.vec(r.vec_offsets);
+      w.vec(r.vec_indices);
+      w.vec(r.vec_values);
+      w.vec(r.faults);
+      w.vec(r.timeline);
+      w.pod(r.digest);
+    }
+  } catch (...) {
+    std::fclose(f);
+    throw;
+  }
+  std::fclose(f);
+}
+
+ReplayLog ReplayLog::load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw std::runtime_error("replay log: cannot open " + path);
+  ReplayLog log;
+  try {
+    Reader rd{f};
+    std::uint32_t magic = 0;
+    rd.pod(magic);
+    if (magic != kMagic) throw std::runtime_error("replay log: bad magic in " + path);
+    rd.pod(log.dim);
+    rd.pod(log.seed);
+    rd.str(log.method);
+    rd.pod(log.fault_config);
+    rd.pod(log.validation);
+    std::uint64_t n = 0;
+    rd.pod(n);
+    log.rounds.resize(n);
+    for (ReplayRound& r : log.rounds) {
+      rd.pod(r.round);
+      rd.pod(r.k);
+      rd.vec(r.client_ids);
+      rd.vec(r.data_weights);
+      rd.vec(r.vec_offsets);
+      rd.vec(r.vec_indices);
+      rd.vec(r.vec_values);
+      rd.vec(r.faults);
+      rd.vec(r.timeline);
+      rd.pod(r.digest);
+    }
+  } catch (...) {
+    std::fclose(f);
+    throw;
+  }
+  std::fclose(f);
+  return log;
+}
+
+ReplayResult replay(const ReplayLog& log, std::size_t shards) {
+  auto method = sparsify::make_method(log.method, log.dim, log.seed);
+  method->set_sharding(shards);
+  method->set_validation(log.validation);
+  const FaultModel faults(log.fault_config, log.seed);
+
+  ReplayResult res;
+  std::vector<float> dense;                       // slot-major dense vectors
+  std::vector<std::size_t> ids;
+  sparsify::RoundInput in;
+  for (const ReplayRound& r : log.rounds) {
+    const std::size_t n = r.client_ids.size();
+    dense.assign(n * log.dim, 0.0f);
+    for (std::size_t s = 0; s < n; ++s) {
+      float* vec = dense.data() + s * log.dim;
+      for (std::uint64_t p = r.vec_offsets[s]; p < r.vec_offsets[s + 1]; ++p) {
+        vec[static_cast<std::size_t>(r.vec_indices[p])] = r.vec_values[p];
+      }
+    }
+    ids.assign(r.client_ids.begin(), r.client_ids.end());
+    in.client_vectors.clear();
+    for (std::size_t s = 0; s < n; ++s) {
+      in.client_vectors.emplace_back(dense.data() + s * log.dim, log.dim);
+    }
+    in.data_weights = {r.data_weights.data(), r.data_weights.size()};
+    in.client_ids = {ids.data(), ids.size()};
+    in.client_chunk_max.clear();
+    in.client_prescan.clear();
+    in.tamper = faults.trivial() ? nullptr : &faults;
+    in.dim = log.dim;
+    in.round = r.round;
+    const sparsify::RoundOutcome out = method->round(in, r.k);
+    const std::uint64_t d = outcome_digest(out);
+    res.digests.push_back(d);
+    if (d != r.digest) ++res.mismatches;
+    ++res.rounds;
+  }
+  return res;
+}
+
+}  // namespace fedsparse::fl

@@ -5,6 +5,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "fl/replay.h"
 #include "online/estimator.h"
 #include "online/rounding.h"
 #include "sparsify/topk.h"
@@ -123,6 +124,15 @@ Simulation::Simulation(SimulationConfig cfg, data::FederatedDataset dataset,
                        : (pool_.size() > 1 ? std::min<std::size_t>(16, pool_.slot_count()) : 1);
   method_->set_sharding(eff_shards);
 
+  // Fault injection + server-side screening. Both default to no-ops: a
+  // trivial fault model short-circuits every hook and a disabled validator
+  // returns uploads untouched, so the zero-fault configuration stays
+  // byte-identical to a build without either (tests/fault_test.cpp).
+  fault_model_ = FaultModel(cfg_.faults, cfg.seed);
+  method_->set_validation(cfg_.validation);
+  fault_strikes_.assign(clients_.size(), 0);
+  retry_after_.assign(clients_.size(), 0);
+
   util::log_info() << "Simulation: " << clients_.size() << " clients, D=" << dim_
                    << ", method=" << method_->name() << ", controller=" << controller_->name()
                    << ", beta=" << cfg.comm_time << ", engine="
@@ -206,6 +216,10 @@ const sparsify::RoundInput& Simulation::make_round_input(
     std::span<const std::size_t> staleness) {
   round_input_.dim = dim_;
   round_input_.round = round;
+  // In-transit tampering seam: the pipeline invokes it on each upload after
+  // selection. Pure in (seed, round, client), so probe re-selections and
+  // replays corrupt identically; nullptr when no faults are configured.
+  round_input_.tamper = fault_model_.trivial() ? nullptr : &fault_model_;
   // Stable ids so methods key cross-round per-client state (e.g. top-k
   // threshold hints) by client, not by participant slot.
   round_input_.client_ids = {selected.data(), selected.size()};
@@ -321,6 +335,28 @@ void Simulation::stage_schedule(RoundContext& ctx) {
   // sampled. Client RNG streams are keyed by (client, round), so who
   // computes never perturbs anyone else's draw.
   const std::vector<std::size_t>& part = sample_participants();
+
+  // Fault pre-pass (dormant under a trivial model): clients serving a retry
+  // backoff sit the round out, and crash draws kill participants before
+  // their local step — no compute, no upload, accumulator and RNG stream
+  // untouched. Both filters run on the sampled set, so the sampling RNG
+  // consumption is identical with and without faults.
+  fault_events_.clear();
+  lost_ids_.clear();
+  const auto note_failure = [&](std::size_t i) {
+    ++fault_strikes_[i];
+    retry_after_[i] = ctx.m + fault_model_.backoff_rounds(fault_strikes_[i]);
+  };
+  if (!fault_model_.trivial()) {
+    std::erase_if(part_ids_, [&](std::size_t i) { return retry_after_[i] >= ctx.m; });
+    std::erase_if(part_ids_, [&](std::size_t i) {
+      if (!fault_model_.crashes(ctx.m, i)) return false;
+      fault_events_.push_back({static_cast<std::uint32_t>(ctx.m), static_cast<std::uint32_t>(i),
+                               FaultKind::kClientCrash, CorruptionMode::kNaN});
+      note_failure(i);
+      return true;
+    });
+  }
   compute_ids_.assign(part.begin(), part.end());
 
   // Event-triggered uploads: an online client that was NOT sampled this
@@ -380,6 +416,10 @@ void Simulation::stage_schedule(RoundContext& ctx) {
     }
     prev_offline_.assign(cur.begin(), cur.end());
   }
+  // Crashes happened before any compute: they anchor at the round start.
+  for (const FaultEvent& e : fault_events_) {
+    timeline_.push(0.0, EventKind::kClientCrash, e.client);
+  }
 
   // Upload arrivals: each uploader lands at compute + own-payload-over-own-
   // link, the payload estimated at the full 2k it may send. Ties (the
@@ -395,6 +435,33 @@ void Simulation::stage_schedule(RoundContext& ctx) {
                                   i);
   }
   std::sort(arrival_scratch_.begin(), arrival_scratch_.end());
+
+  // Upload losses: the local step ran (mass accumulated) but the payload
+  // either dropped in transit or missed the server's flush deadline. Either
+  // way the client leaves the flush set, gets no reset — its mass rides to
+  // the next successful upload — and starts its retry backoff.
+  if (!fault_model_.trivial()) {
+    std::erase_if(arrival_scratch_, [&](const std::pair<double, std::size_t>& a) {
+      const std::size_t i = a.second;
+      FaultKind kind;
+      if (fault_model_.drops_upload(ctx.m, i)) {
+        kind = FaultKind::kUploadDrop;
+      } else if (fault_model_.times_out(a.first)) {
+        kind = FaultKind::kFlushTimeout;
+      } else {
+        return false;
+      }
+      fault_events_.push_back({static_cast<std::uint32_t>(ctx.m), static_cast<std::uint32_t>(i),
+                               kind, CorruptionMode::kNaN});
+      timeline_.push(a.first, EventKind::kUploadLost, i);
+      lost_ids_.push_back(i);
+      note_failure(i);
+      return true;
+    });
+    std::sort(lost_ids_.begin(), lost_ids_.end());
+    // A delivered upload clears its client's consecutive-failure streak.
+    for (const auto& [t, i] : arrival_scratch_) fault_strikes_[i] = 0;
+  }
   for (const auto& [t, i] : arrival_scratch_) timeline_.push(t, EventKind::kUploadReady, i);
 
   const std::size_t arrivals = arrival_scratch_.size();
@@ -403,9 +470,16 @@ void Simulation::stage_schedule(RoundContext& ctx) {
   const double flush_time = accept > 0 ? arrival_scratch_[accept - 1].first : 0.0;
 
   if (!async) {
-    // Barrier: the flush is the whole participant set, all fresh, fired
-    // after the last arrival — arrival order is unobservable by
-    // construction, which is exactly what makes it the degenerate case.
+    // Barrier: the flush is the whole participant set minus lost uploaders
+    // (they computed — compute_ids_ keeps them — but never reached the
+    // server), all fresh, fired after the last surviving arrival — arrival
+    // order is unobservable by construction, which is exactly what makes it
+    // the degenerate case.
+    if (!lost_ids_.empty()) {
+      std::erase_if(part_ids_, [&](std::size_t i) {
+        return std::binary_search(lost_ids_.begin(), lost_ids_.end(), i);
+      });
+    }
     timeline_.push(flush_time, EventKind::kBufferFlush, part.size());
     timeline_.seal();
     ctx.flush = &part_ids_;
@@ -443,6 +517,7 @@ void Simulation::stage_schedule(RoundContext& ctx) {
     fresh_mask_[s] = std::binary_search(accepted_ids_.begin(), accepted_ids_.end(), i) ? 1 : 0;
     pending_[i] = 0;
     ctx.mean_staleness += static_cast<double>(flush_staleness_[s]);
+    ctx.max_staleness = std::max(ctx.max_staleness, flush_staleness_[s]);
   }
   if (!flush_ids_.empty()) ctx.mean_staleness /= static_cast<double>(flush_ids_.size());
 
@@ -525,16 +600,36 @@ void Simulation::stage_server_round(RoundContext& ctx) {
 
   // (1)–(2) Server round: selection + aggregation over the flush set.
   // An empty round leaves the default outcome: zero payloads, no resets.
+  ctx.dropped = fault_events_.size();  // schedule-stage events are all losses
   if (!flush.empty()) {
+    // Corruption draws are counted here (pure per (round, client), so this
+    // mirrors exactly what the tamper hook does inside the pipeline) and
+    // recorded as fault events for metrics and replay.
+    if (!fault_model_.trivial() && fault_model_.config().corrupt_prob > 0.0) {
+      for (const std::size_t i : flush) {
+        if (!fault_model_.corrupts(ctx.m, i)) continue;
+        fault_events_.push_back({static_cast<std::uint32_t>(ctx.m), static_cast<std::uint32_t>(i),
+                                 FaultKind::kPayloadCorrupt,
+                                 fault_model_.corruption_mode(ctx.m, i)});
+        ++ctx.corrupted;
+      }
+    }
     ctx.outcome = method_->round(make_round_input(ctx.m, flush, ctx.staleness), ctx.k_int);
+    if (recorder_ != nullptr) {
+      // round_input_ still holds this round's (pre-tamper) method input.
+      recorder_->record(round_input_, ctx.k_int, fault_events(), timeline_.events(), ctx.outcome);
+    }
   }
 }
 
 void Simulation::stage_probe(RoundContext& ctx) {
   // (3) Probe selection k'_m (derived before resets touch the accumulators).
   const std::vector<std::size_t>& flush = *ctx.flush;
+  // A degraded round (screening rejected too many uploads) held the weights:
+  // there is no meaningful k vs k' comparison to probe.
   ctx.want_probe = !flush.empty() && ctx.probe_k_cont > 0.0 && !fedavg_style_ &&
-                   ctx.outcome.kind == sparsify::RoundOutcome::Kind::kSparseUpdate;
+                   ctx.outcome.kind == sparsify::RoundOutcome::Kind::kSparseUpdate &&
+                   !ctx.outcome.validation.degraded;
   if (!ctx.want_probe) return;
   std::size_t probe_k_int = cfg_.stochastic_rounding
                                 ? online::stochastic_round_k(ctx.probe_k_cont, dim_, rng_)
@@ -710,6 +805,7 @@ void Simulation::stage_account(RoundContext& ctx, SimulationResult& res, double&
   fb.round_time = ctx.round_resource.round_cost_given_time(ctx.round_timing.time, fleet_uplink,
                                                            fleet_downlink);
   fb.mean_staleness = ctx.mean_staleness;
+  fb.validity = ctx.outcome.validation.valid_fraction;
   ctx.wall_time = fb.round_time;
   if (!fedavg_style_ && !flush.empty()) {
     probe_prev_.resize(flush.size());
@@ -806,7 +902,13 @@ bool Simulation::stage_record(RoundContext& ctx, SimulationResult& res, double t
   rec.participants = flush.size();
   rec.slowest_client = ctx.round_timing.slowest_client;
   rec.mean_staleness = ctx.mean_staleness;
+  rec.max_staleness = ctx.max_staleness;
   rec.buffered_stale = pending_ids_.size();
+  rec.dropped = ctx.dropped;
+  rec.corrupted = ctx.corrupted;
+  rec.rejected = ctx.outcome.validation.rejected;
+  rec.quarantined = ctx.outcome.validation.quarantined;
+  rec.degraded = ctx.outcome.validation.degraded;
   if (flush.empty()) {
     rec.train_loss = std::numeric_limits<double>::quiet_NaN();  // no server round
   } else {
@@ -890,6 +992,10 @@ void apply_scenario(const Scenario& s, SimulationConfig& cfg) {
     cfg.weight_money = s.weight_money;
     cfg.money_per_value = s.money_per_value;
   }
+  cfg.faults = s.faults;
+  // A faulty scenario without the screen would feed corrupted payloads
+  // straight into the aggregation arena; turn the defense on with it.
+  if (!s.faults.trivial()) cfg.validation.enabled = true;
 }
 
 std::vector<std::pair<double, double>> SimulationResult::loss_curve() const {

@@ -28,6 +28,7 @@
 #include "data/synthetic.h"
 #include "fl/client.h"
 #include "fl/event_timeline.h"
+#include "fl/faults.h"
 #include "fl/metrics.h"
 #include "fl/network.h"
 #include "fl/resource.h"
@@ -38,6 +39,8 @@
 #include "util/thread_pool.h"
 
 namespace fedsparse::fl {
+
+class RoundRecorder;
 
 /// Weight layout for synchronized (non-FedAvg) methods.
 enum class ReplicaMode {
@@ -184,6 +187,16 @@ struct SimulationConfig {
   AggregationMode aggregation = AggregationMode::kSynchronized;
   AsyncConfig async;
 
+  /// Fault injection (fl/faults.h): upload drops, payload corruption,
+  /// mid-round crashes, flush timeouts, retry-with-backoff. The default
+  /// (trivial) config short-circuits every hook — traces stay byte-identical
+  /// to a fault-free build, pinned by tests/fault_test.cpp.
+  FaultConfig faults;
+
+  /// Server-side upload screening (sparsify/validate.h), forwarded to the
+  /// method. Disabled by default; a disabled screen is a bitwise no-op.
+  sparsify::ValidationConfig validation;
+
   std::size_t threads = 0;   // 0 = hardware concurrency
   std::uint64_t seed = 1;
 };
@@ -206,7 +219,15 @@ struct RoundRecord {
   std::size_t participants = 0;      // clients in the server round (0: all offline)
   std::int64_t slowest_client = -1;  // straggler that bound τ_m (-1: homogeneous/idle)
   double mean_staleness = 0.0;       // mean flush staleness (0 under the barrier)
+  std::size_t max_staleness = 0;     // longest wait folded by this flush
   std::size_t buffered_stale = 0;    // uploads still deferred after this round
+  // Fault & defense counters (all zero on a clean round; see fl/faults.h and
+  // sparsify/validate.h — surfaced as metrics.csv columns by bench/common.h).
+  std::size_t dropped = 0;      // uploads lost: drops + flush timeouts + crashes
+  std::size_t corrupted = 0;    // flushed uploads the corruption draw tampered
+  std::size_t rejected = 0;     // uploads emptied by the screening stage
+  std::size_t quarantined = 0;  // uploads dropped from quarantined clients
+  bool degraded = false;        // too few valid uploads: aggregation skipped
 };
 
 struct SimulationResult {
@@ -267,6 +288,18 @@ class Simulation {
   /// this to prove deferred mass is never dropped.
   std::size_t pending_uploads() const noexcept { return pending_ids_.size(); }
 
+  /// The injected fault schedule (trivial unless cfg.faults says otherwise).
+  const FaultModel& faults() const noexcept { return fault_model_; }
+
+  /// The faults injected in the last round, in injection order.
+  std::span<const FaultEvent> fault_events() const noexcept {
+    return {fault_events_.data(), fault_events_.size()};
+  }
+
+  /// Attaches a record/replay recorder (fl/replay.h): every non-empty flush
+  /// is snapshotted as a ReplayRound. Not owned; nullptr detaches.
+  void set_recorder(RoundRecorder* recorder) noexcept { recorder_ = recorder; }
+
   /// Client i's current weights — for post-run invariant checks (all clients
   /// must be identical after any GS round; Algorithm 1 Lines 13–15). Under
   /// the shared engine every client resolves to the shared store.
@@ -288,6 +321,7 @@ class Simulation {
     const std::vector<std::size_t>* flush = nullptr;
     std::span<const std::size_t> staleness;
     double mean_staleness = 0.0;
+    std::size_t max_staleness = 0;
     sparsify::RoundOutcome outcome;
     bool want_probe = false;
     sparsify::SparseVector probe_diff;
@@ -295,6 +329,8 @@ class Simulation {
     RoundTiming round_timing;
     online::RoundFeedback fb;
     double wall_time = 0.0;
+    std::size_t dropped = 0;    // uploads lost to faults this round
+    std::size_t corrupted = 0;  // corruption draws that fired on the flush
   };
 
   // --- pipeline stages (one round = one pass through all of them) ----------
@@ -390,6 +426,14 @@ class Simulation {
   std::vector<std::uint8_t> pending_;         // client deferred in the buffer
   std::vector<std::size_t> pending_round_;    // round of FIRST deferral
   std::vector<std::size_t> pending_ids_;      // sorted ids with pending_ set
+
+  // Fault-injection state (all dormant when fault_model_.trivial()).
+  FaultModel fault_model_;
+  RoundRecorder* recorder_ = nullptr;
+  std::vector<FaultEvent> fault_events_;      // this round's injected faults
+  std::vector<std::size_t> fault_strikes_;    // consecutive failed uploads per client
+  std::vector<std::size_t> retry_after_;      // round gate: sit out while m <= gate
+  std::vector<std::size_t> lost_ids_;         // dropped/timed-out uploaders this round
 };
 
 }  // namespace fedsparse::fl

@@ -37,6 +37,14 @@ struct RoundFeedback {
   /// sign is noisier and the controller should trust it less. The damping is
   /// an exact no-op at 0 (×1.0), so synchronized traces are untouched.
   double mean_staleness = 0.0;
+
+  /// Fraction of the flush that survived server-side screening
+  /// (sparsify/validate.h): 1 on a clean round, lower when uploads were
+  /// rejected as corrupt. Rejected uploads were emptied before aggregation,
+  /// so the measured loss movement understates what k could have bought —
+  /// Algorithms 2/3 scale their step by this factor. An exact no-op at 1
+  /// (×1.0), so fault-free traces are untouched.
+  double validity = 1.0;
 };
 
 class KController {

@@ -43,8 +43,9 @@ void ExtendedSignOgd::observe(const RoundFeedback& fb) {
     post_update(/*updated=*/false);  // Lines 6–7 are skipped (paper, Sec. IV-E)
     return;
   }
-  // Staleness damping — see SignOgd::observe; exact no-op at s̄ = 0.
-  const double damp = 1.0 / (1.0 + fb.mean_staleness);
+  // Staleness + screening-validity damping — see SignOgd::observe; exact
+  // no-op at s̄ = 0, validity 1.
+  const double damp = (1.0 / (1.0 + fb.mean_staleness)) * fb.validity;
   k_ = project(k_ - delta() * damp * static_cast<double>(est.sign));
   post_update(/*updated=*/true);
 }

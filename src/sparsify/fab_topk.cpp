@@ -76,6 +76,17 @@ RoundOutcome FabTopK::round(const RoundInput& in, std::size_t k) {
   // on the accumulators' chunk summaries when the caller provides them.
   const std::vector<SparseVector>& uploads = pipe_.select_uploads(in, k);
 
+  // Stage: screen the uploads before anything server-side reads them — a
+  // poisoned payload must not reach the κ search, let alone the arena.
+  ValidationStats vstats;
+  const std::span<const double> weights = pipe_.validate_uploads(in, vstats);
+  if (vstats.degraded) {
+    RoundOutcome out;
+    pipe_.finish_degraded(in, out);
+    out.validation = vstats;
+    return out;
+  }
+
   // Server side: fairness-aware selection.
   const std::size_t kappa = find_kappa_stamped(k);
 
@@ -128,8 +139,9 @@ RoundOutcome FabTopK::round(const RoundInput& in, std::size_t k) {
 
   RoundOutcome out;
   out.kind = RoundOutcome::Kind::kSparseUpdate;
+  out.validation = vstats;
   for (std::size_t i = 0; i < n; ++i) {
-    const auto w = static_cast<float>(in.data_weights[i]);
+    const auto w = static_cast<float>(weights[i]);
     for (const auto& e : uploads[i]) {
       const auto idx = static_cast<std::size_t>(e.index);
       if (stamp[idx] == in_j) agg[idx] += w * e.value;  // j ∈ J and j ∈ J_i
@@ -188,6 +200,15 @@ RoundOutcome FabTopK::round_sharded(const RoundInput& in, std::size_t k) {
   const std::size_t S = plan.shards();
 
   const std::vector<SparseVector>& uploads = pipe_.select_uploads(in, k);
+
+  ValidationStats vstats;
+  const std::span<const double> weights = pipe_.validate_uploads(in, vstats);
+  if (vstats.degraded) {
+    RoundOutcome out;
+    pipe_.finish_degraded(in, out);
+    out.validation = vstats;
+    return out;
+  }
 
   // Per-shard min prefix depth of every index the shard saw.
   std::vector<ShardArena>& arenas = pipe_.arenas(S);
@@ -291,9 +312,10 @@ RoundOutcome FabTopK::round_sharded(const RoundInput& in, std::size_t k) {
 
   RoundOutcome out;
   out.kind = RoundOutcome::Kind::kSparseUpdate;
+  out.validation = vstats;
   const BucketAggregator::Filter filter{stamp, in_j};
   pipe_.build_resets(S, pool, filter, out);
-  pipe_.aggregate(in.data_weights, S, pool, filter);
+  pipe_.aggregate(weights, S, pool, filter);
 
   // Buckets are ascending disjoint index ranges, so per-bucket index sorts
   // concatenate into the globally index-sorted update the reference emits.

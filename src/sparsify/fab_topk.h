@@ -37,6 +37,7 @@ class FabTopK final : public Method {
   /// shard count. Selection hints move from per-client workspaces into the
   /// compact per-client hint store, so switch before the first round.
   void set_sharding(std::size_t shards) override { pipe_.set_sharding(shards); }
+  void set_validation(const ValidationConfig& cfg) override { pipe_.set_validation(cfg); }
 
   float upload_threshold_hint(std::size_t client_id, std::size_t k) const override {
     return pipe_.threshold_hint(client_id, k);

@@ -24,6 +24,15 @@ RoundOutcome FubTopK::round(const RoundInput& in, std::size_t k) {
   // chunk-pruned when the caller provides accumulator summaries.
   const std::vector<SparseVector>& uploads = pipe_.select_uploads(in, k);
 
+  ValidationStats vstats;
+  const std::span<const double> weights = pipe_.validate_uploads(in, vstats);
+  if (vstats.degraded) {
+    RoundOutcome out;
+    pipe_.finish_degraded(in, out);
+    out.validation = vstats;
+    return out;
+  }
+
   // Aggregate everything uploaded, then keep the top-k by |aggregate|.
   float* agg = pipe_.agg();
   std::uint32_t* stamp = pipe_.stamp();
@@ -40,7 +49,7 @@ RoundOutcome FubTopK::round(const RoundInput& in, std::size_t k) {
     }
   }
   for (std::size_t i = 0; i < n; ++i) {
-    const auto w = static_cast<float>(in.data_weights[i]);
+    const auto w = static_cast<float>(weights[i]);
     for (const auto& e : uploads[i]) agg[static_cast<std::size_t>(e.index)] += w * e.value;
   }
 
@@ -62,6 +71,7 @@ RoundOutcome FubTopK::round(const RoundInput& in, std::size_t k) {
 
   RoundOutcome out;
   out.kind = RoundOutcome::Kind::kSparseUpdate;
+  out.validation = vstats;
   out.update = std::move(aggregated);
   sort_by_index(out.update);
   // Stage: per-client resets + contributions (an uploaded entry resets iff it
@@ -88,7 +98,16 @@ RoundOutcome FubTopK::round_sharded(const RoundInput& in, std::size_t k) {
 
   pipe_.select_uploads(in, k);
 
-  const BucketAggregator& aggregator = pipe_.aggregate(in.data_weights, S, pool, /*f=*/{});
+  ValidationStats vstats;
+  const std::span<const double> weights = pipe_.validate_uploads(in, vstats);
+  if (vstats.degraded) {
+    RoundOutcome out;
+    pipe_.finish_degraded(in, out);
+    out.validation = vstats;
+    return out;
+  }
+
+  const BucketAggregator& aggregator = pipe_.aggregate(weights, S, pool, /*f=*/{});
   float* agg = pipe_.agg();
 
   const std::size_t B = aggregator.buckets();
@@ -113,6 +132,7 @@ RoundOutcome FubTopK::round_sharded(const RoundInput& in, std::size_t k) {
   const std::uint32_t in_j = pipe_.next_token();
   RoundOutcome out;
   out.kind = RoundOutcome::Kind::kSparseUpdate;
+  out.validation = vstats;
   out.update.resize(merged.size());
   for (std::size_t p = 0; p < merged.size(); ++p) {
     const std::size_t idx = key_index(merged[p]);

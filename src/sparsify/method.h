@@ -24,6 +24,7 @@
 
 #include "sparsify/sparse_vector.h"
 #include "sparsify/topk.h"
+#include "sparsify/validate.h"
 #include "util/rng.h"
 
 namespace fedsparse::sparsify {
@@ -66,6 +67,11 @@ struct RoundInput {
   /// these to the selection, which consumes a view only when it matches the
   /// hint it would have scanned with — results are byte-identical either way.
   std::vector<PrescanView> client_prescan;
+  /// Optional wire-tamper hook (fl::FaultModel): applied to each slot's
+  /// upload after selection, before screening. nullptr = intact wire. Must be
+  /// pure in (round, client, payload) so probe rounds and replays see the
+  /// same corruption.
+  const UploadTamper* tamper = nullptr;
   std::size_t dim = 0;   // D
   std::size_t round = 1; // m, 1-based
 };
@@ -129,6 +135,13 @@ struct RoundOutcome {
   double client_uplink(std::size_t s) const {
     return client_uplink_values.empty() ? uplink_values : client_uplink_values[s];
   }
+
+  /// Upload-screening outcome (sparsify/validate.h). Default-initialized —
+  /// valid_fraction 1, degraded false — when screening is disabled or the
+  /// method has no screening stage (FedAvg-style). On a degraded round the
+  /// update is empty, reset_kind is kNone, and contributed is all-zero: the
+  /// engine holds the global weights and every client keeps its mass.
+  ValidationStats validation;
 };
 
 class Method {
@@ -156,6 +169,12 @@ class Method {
   /// path. Outcomes are byte-identical at every shard count — sharding is a
   /// scheduling decision, not a semantic one.
   virtual void set_sharding(std::size_t shards) { (void)shards; }
+
+  /// Configures the upload-screening stage (sparsify/validate.h). Methods
+  /// without a screening stage ignore it; top-k methods forward to their
+  /// RoundPipeline. Disabled-by-default, and a disabled screen is a bitwise
+  /// no-op on the round.
+  virtual void set_validation(const ValidationConfig& cfg) { (void)cfg; }
 
   /// The |value| threshold the next depth-`k` selection for `client_id`
   /// would scan with (its persisted hint), or 0 when unknown. The simulation

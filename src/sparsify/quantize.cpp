@@ -11,8 +11,19 @@ StochasticQuantizer::StochasticQuantizer(const QuantizerConfig& cfg)
 }
 
 float StochasticQuantizer::quantize(SparseVector& sv) {
+  // Non-finite entries poison the shared scale (a NaN never raises the max,
+  // so it survives rescaling untouched; an Inf drives the scale to Inf,
+  // collapsing every finite entry to 0 and turning Inf/Inf into NaN). Zero
+  // them out instead: they carry no usable magnitude, and the payload stays
+  // finite no matter what upstream fed us.
   float scale = 0.0f;
-  for (const auto& e : sv) scale = std::max(scale, std::fabs(e.value));
+  for (auto& e : sv) {
+    if (!std::isfinite(e.value)) {
+      e.value = 0.0f;
+      continue;
+    }
+    scale = std::max(scale, std::fabs(e.value));
+  }
   if (scale == 0.0f) return 0.0f;
   const auto levels = static_cast<float>(levels_);
   for (auto& e : sv) {

@@ -23,7 +23,26 @@ const std::vector<SparseVector>& RoundPipeline::select_uploads(const RoundInput&
     top_k_uploads(in.client_vectors, in.client_chunk_max, k, in.client_ids, topk_ws_, uploads_,
                   pre);
   }
+  if (in.tamper != nullptr) {
+    for (std::size_t s = 0; s < uploads_.size(); ++s) {
+      const std::size_t cid = in.client_ids.empty() ? s : in.client_ids[s];
+      in.tamper->apply(in.round, cid, uploads_[s]);
+    }
+  }
   return uploads_;
+}
+
+std::span<const double> RoundPipeline::validate_uploads(const RoundInput& in,
+                                                        ValidationStats& stats) {
+  return validator_.screen(uploads_, in.client_ids, in.data_weights, dim_, in.round, stats);
+}
+
+void RoundPipeline::finish_degraded(const RoundInput& in, RoundOutcome& out) const {
+  out.kind = RoundOutcome::Kind::kSparseUpdate;
+  out.update.clear();
+  out.reset_kind = RoundOutcome::ResetKind::kNone;
+  out.contributed.assign(in.client_vectors.size(), 0);
+  finish_payload(out);
 }
 
 float RoundPipeline::threshold_hint(std::size_t client_id, std::size_t k) const {
@@ -93,6 +112,16 @@ void RoundPipeline::emit_update_from_buckets(util::ThreadPool* pool, RoundOutcom
 
 void RoundPipeline::finish_payload(RoundOutcome& out) const {
   set_uplink_from_uploads(uploads_, out);
+  // Screening may have emptied rejected payloads after they crossed the wire;
+  // the timing model charges the transmitted sizes, not the surviving ones.
+  const auto pre = validator_.pre_screen_uplink();
+  if (!pre.empty()) {
+    out.uplink_values = 0.0;
+    for (std::size_t s = 0; s < pre.size(); ++s) {
+      out.client_uplink_values[s] = pre[s];
+      out.uplink_values = std::max(out.uplink_values, pre[s]);
+    }
+  }
   out.downlink_values = 2.0 * static_cast<double>(out.update.size());
 }
 

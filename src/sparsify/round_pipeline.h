@@ -60,6 +60,26 @@ class RoundPipeline {
   const std::vector<SparseVector>& select_uploads(const RoundInput& in, std::size_t k);
   std::vector<SparseVector>& uploads() noexcept { return uploads_; }
 
+  // --- stage: screen uploads (sparsify/validate.h) --------------------------
+
+  void set_validation(const ValidationConfig& cfg) { validator_.configure(cfg); }
+  const UploadValidator& validator() const noexcept { return validator_; }
+
+  /// Screens uploads() in place and returns the effective data weights —
+  /// in.data_weights itself (same pointer) when screening is disabled or
+  /// nothing was rejected, a renormalized internal span otherwise. Methods
+  /// must aggregate with the RETURNED span and bail to finish_degraded()
+  /// when stats.degraded is set. Runs after select_uploads (and after any
+  /// tamper hook it applied), before method-specific selection, so poisoned
+  /// entries never reach a κ search or the aggregation arena.
+  std::span<const double> validate_uploads(const RoundInput& in, ValidationStats& stats);
+
+  /// Degraded-round outcome: empty update, kNone resets, all-zero
+  /// contributed, honest uplink accounting (rejected payloads still spent
+  /// airtime), zero downlink. The engine holds weights and every client
+  /// keeps its accumulated mass.
+  void finish_degraded(const RoundInput& in, RoundOutcome& out) const;
+
   /// The |value| threshold the next depth-k selection for `client_id` would
   /// scan with, or 0 when unknown OR when the persisted hint was produced for
   /// an incompatible k (see hint_compatible in topk.h): after a churn gap the
@@ -125,6 +145,7 @@ class RoundPipeline {
   std::vector<TopKWorkspace> slot_ws_;
   std::vector<ClientHint> hints_;
   std::vector<SparseVector> uploads_;
+  UploadValidator validator_;
 
   // Sharded-stage scratch.
   std::vector<ShardArena> arenas_;

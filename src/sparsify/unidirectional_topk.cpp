@@ -21,6 +21,15 @@ RoundOutcome UnidirectionalTopK::round(const RoundInput& in, std::size_t k) {
   // chunk-pruned when the caller provides accumulator summaries.
   const std::vector<SparseVector>& uploads = pipe_.select_uploads(in, k);
 
+  ValidationStats vstats;
+  const std::span<const double> weights = pipe_.validate_uploads(in, vstats);
+  if (vstats.degraded) {
+    RoundOutcome out;
+    pipe_.finish_degraded(in, out);
+    out.validation = vstats;
+    return out;
+  }
+
   float* agg = pipe_.agg();
   std::uint32_t* stamp = pipe_.stamp();
   const std::uint32_t touched = pipe_.next_token();
@@ -36,12 +45,13 @@ RoundOutcome UnidirectionalTopK::round(const RoundInput& in, std::size_t k) {
     }
   }
   for (std::size_t i = 0; i < n; ++i) {
-    const auto w = static_cast<float>(in.data_weights[i]);
+    const auto w = static_cast<float>(weights[i]);
     for (const auto& e : uploads[i]) agg[static_cast<std::size_t>(e.index)] += w * e.value;
   }
 
   RoundOutcome out;
   out.kind = RoundOutcome::Kind::kSparseUpdate;
+  out.validation = vstats;
   out.update.reserve(union_indices_.size());
   for (const std::int32_t j : union_indices_) {
     out.update.push_back(SparseEntry{j, agg[static_cast<std::size_t>(j)]});
@@ -69,10 +79,21 @@ RoundOutcome UnidirectionalTopK::round_sharded(const RoundInput& in, std::size_t
   const std::size_t S = plan.shards();
 
   pipe_.select_uploads(in, k);
-  pipe_.aggregate(in.data_weights, S, pool, /*f=*/{});
+
+  ValidationStats vstats;
+  const std::span<const double> weights = pipe_.validate_uploads(in, vstats);
+  if (vstats.degraded) {
+    RoundOutcome out;
+    pipe_.finish_degraded(in, out);
+    out.validation = vstats;
+    return out;
+  }
+
+  pipe_.aggregate(weights, S, pool, /*f=*/{});
 
   RoundOutcome out;
   out.kind = RoundOutcome::Kind::kSparseUpdate;
+  out.validation = vstats;
   pipe_.emit_update_from_buckets(pool, out);
 
   pipe_.build_resets(S, pool, /*f=*/{}, out);

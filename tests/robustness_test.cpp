@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <memory>
 
 #include "data/synthetic.h"
@@ -129,6 +130,33 @@ TEST(ExtremeQuantization, OneLevelStillRuns) {
     const float a = std::fabs(e.value);
     EXPECT_TRUE(a == 0.0f || a == 1.0f) << a;
   }
+}
+
+TEST(ExtremeQuantization, NonFiniteEntriesAreZeroedNotPropagated) {
+  // Regression: a NaN entry never raises the shared max, so it used to ride
+  // through rescaling untouched; an Inf entry drove the scale to Inf,
+  // collapsing every finite value to 0 and turning Inf/Inf into NaN. The
+  // guard zeroes non-finite entries instead; the finite ones still quantize
+  // against a scale computed from finite entries only.
+  sparsify::StochasticQuantizer q({8, 11});
+  sparsify::SparseVector sv{{0, 1.0f},
+                            {1, std::numeric_limits<float>::quiet_NaN()},
+                            {2, -std::numeric_limits<float>::infinity()},
+                            {3, -0.5f}};
+  const float scale = q.quantize(sv);
+  EXPECT_EQ(scale, 1.0f);
+  for (const auto& e : sv) EXPECT_TRUE(std::isfinite(e.value)) << "index " << e.index;
+  EXPECT_EQ(sv[1].value, 0.0f);
+  EXPECT_EQ(sv[2].value, 0.0f);
+  EXPECT_EQ(std::fabs(sv[0].value), 1.0f);  // the finite max keeps its scale
+
+  // An all-non-finite payload has no usable magnitude at all: zero scale,
+  // zeroed payload.
+  sparsify::SparseVector bad{{0, std::numeric_limits<float>::infinity()},
+                             {1, std::numeric_limits<float>::quiet_NaN()}};
+  EXPECT_EQ(q.quantize(bad), 0.0f);
+  EXPECT_EQ(bad[0].value, 0.0f);
+  EXPECT_EQ(bad[1].value, 0.0f);
 }
 
 TEST(TimingEdge, ZeroCommunicationTimeIsPureCompute) {

@@ -437,6 +437,92 @@ TEST(Accumulator, ChunkSummariesStayConsistentUnderInterleavedAddReset) {
   EXPECT_EQ(acc.dirty_chunks(), 0u);
 }
 
+// Fuzz the fused add_scan against the non-fused reference: two accumulators
+// driven through the same randomized interleaving of adds, sparse adds,
+// partial resets and full resets — one taking the fused accumulate+scan
+// path, one taking plain add() with the reference threshold_scan_append on
+// its values and bounds. At every step the fused pass must produce the exact
+// key sequence, cap bail-out point and return value of the reference, both
+// stores must match a dense shadow model bit-for-bit, and the chunk bounds
+// must stay valid upper bounds (zero only for all-zero chunks).
+TEST(Accumulator, FuzzedAddScanMatchesReferenceScanAndShadow) {
+  util::Rng rng(47);
+  for (const std::size_t dim :
+       {std::size_t{65}, std::size_t{1000}, std::size_t{4096}}) {
+    GradientAccumulator fused(dim);
+    GradientAccumulator ref(dim);
+    std::vector<float> shadow(dim, 0.0f);
+    std::vector<float> grad(dim);
+    std::vector<std::int32_t> resets;
+    std::vector<std::uint64_t> fused_keys;
+    std::vector<std::uint64_t> ref_keys;
+    for (int step = 0; step < 60; ++step) {
+      const int op = static_cast<int>(rng.uniform_u64(8));
+      if (op < 5) {
+        // Scan-add (dense or chunk-sparse) with a random threshold drawn from
+        // the live magnitudes and a random cap, so both the pruned-scan and
+        // the bail-out paths get exercised.
+        const bool sparse = op & 1;
+        for (std::size_t i = 0; i < dim; ++i) {
+          const bool zero = sparse && (i / kAccumulatorChunk) % 3 != 0;
+          grad[i] = zero ? 0.0f : static_cast<float>(rng.normal());
+        }
+        float threshold =
+            std::fabs(shadow[rng.uniform_u64(dim)] + grad[rng.uniform_u64(dim)]);
+        if (!(threshold > 0.0f)) threshold = 0.5f;
+        const std::size_t cap = rng.uniform_u64(dim) + 1;
+        fused_keys.clear();
+        ref_keys.clear();
+        const bool fused_ok =
+            fused.add_scan({grad.data(), grad.size()}, threshold, cap, fused_keys);
+        ref.add({grad.data(), grad.size()});
+        const bool ref_ok =
+            threshold_scan_append(ref.value(), ref.chunk_max(), threshold, cap, ref_keys);
+        for (std::size_t i = 0; i < dim; ++i) shadow[i] += grad[i];
+        ASSERT_EQ(fused_ok, ref_ok) << "dim=" << dim << " step=" << step;
+        ASSERT_EQ(fused_keys, ref_keys) << "dim=" << dim << " step=" << step;
+      } else if (op < 7) {
+        resets.clear();
+        const std::size_t k = rng.uniform_u64(dim / 4) + 1;
+        for (std::size_t j = 0; j < k; ++j) {
+          resets.push_back(static_cast<std::int32_t>(rng.uniform_u64(dim)));
+        }
+        fused.reset_indices({resets.data(), resets.size()});
+        ref.reset_indices({resets.data(), resets.size()});
+        for (const std::int32_t idx : resets) shadow[static_cast<std::size_t>(idx)] = 0.0f;
+      } else {
+        fused.reset_all();
+        ref.reset_all();
+        std::fill(shadow.begin(), shadow.end(), 0.0f);
+      }
+      // Both stores track the shadow exactly, and the summaries stay valid.
+      for (std::size_t i = 0; i < dim; ++i) {
+        ASSERT_EQ(fused.value()[i], shadow[i]) << "dim=" << dim << " step=" << step;
+        ASSERT_EQ(ref.value()[i], shadow[i]) << "dim=" << dim << " step=" << step;
+      }
+      const auto cm = fused.chunk_max();
+      ASSERT_EQ(cm.size(), accumulator_chunks(dim));
+      std::size_t dirty = 0;
+      for (std::size_t c = 0; c < cm.size(); ++c) {
+        float mx = 0.0f;
+        const std::size_t end = std::min(dim, (c + 1) * kAccumulatorChunk);
+        for (std::size_t i = c * kAccumulatorChunk; i < end; ++i) {
+          mx = std::max(mx, std::fabs(shadow[i]));
+        }
+        ASSERT_GE(cm[c], mx) << "dim=" << dim << " step=" << step << " chunk " << c;
+        if (cm[c] == 0.0f) ASSERT_EQ(mx, 0.0f) << "dim=" << dim << " chunk " << c;
+        dirty += cm[c] > 0.0f ? 1 : 0;
+      }
+      ASSERT_EQ(fused.dirty_chunks(), dirty) << "dim=" << dim << " step=" << step;
+      ASSERT_EQ(fused.chunk_max().size(), ref.chunk_max().size());
+      for (std::size_t c = 0; c < cm.size(); ++c) {
+        ASSERT_EQ(cm[c], ref.chunk_max()[c])  // fused summary == plain add's
+            << "dim=" << dim << " step=" << step << " chunk " << c;
+      }
+    }
+  }
+}
+
 // A NaN gradient entry (diverged run) must not fall out of the chunk bounds:
 // max reductions silently drop NaN, so add() pins such chunks to an infinite
 // bound — always dirty, never pruned — and reset_all still clears them.
