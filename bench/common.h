@@ -72,21 +72,25 @@ inline core::TrainerConfig base_config(const CommonArgs& a) {
   return cfg;
 }
 
-/// Writes a (time, loss, accuracy) curve for one labelled run. The trailing
-/// dropped/corrupted/quarantined columns are the per-round fault and defense
-/// counters (fl/faults.h, sparsify/validate.h) — all zero unless the run's
-/// scenario or config injects faults.
+/// Writes a (time, loss, accuracy) curve for one labelled run. The
+/// uplink/downlink columns report the round's realized traffic both in
+/// timing-model values and in bytes (fl::values_to_bytes — one value is a
+/// 32-bit float), so comm columns compare directly with bytes-on-wire work.
+/// The trailing dropped/corrupted/quarantined columns are the per-round fault
+/// and defense counters (fl/faults.h, sparsify/validate.h) — all zero unless
+/// the run's scenario or config injects faults.
 inline void emit_curves(const std::string& out_dir, const std::string& figure,
                         const std::string& label, const fl::SimulationResult& res) {
   util::CsvWriter csv(out_dir + "/" + figure + "/" + label + "_curve.csv",
                       /*echo_stdout=*/true, figure + "/" + label);
-  csv.header({"round", "time", "global_loss", "accuracy", "k", "dropped", "corrupted",
-              "quarantined"});
+  csv.header({"round", "time", "global_loss", "accuracy", "k", "uplink_values", "uplink_bytes",
+              "downlink_values", "downlink_bytes", "dropped", "corrupted", "quarantined"});
   for (const auto& r : res.records) {
     if (std::isnan(r.global_loss)) continue;
     csv.row({static_cast<double>(r.round), r.time, r.global_loss, r.accuracy, r.k_continuous,
-             static_cast<double>(r.dropped), static_cast<double>(r.corrupted),
-             static_cast<double>(r.quarantined)});
+             r.uplink_values, fl::values_to_bytes(r.uplink_values), r.downlink_values,
+             fl::values_to_bytes(r.downlink_values), static_cast<double>(r.dropped),
+             static_cast<double>(r.corrupted), static_cast<double>(r.quarantined)});
   }
 }
 

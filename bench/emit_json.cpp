@@ -618,7 +618,19 @@ struct SweepRow {
   std::size_t participants;
   double ns_per_op;
   double peak_rss_mb;
+  double uplink_values = 0.0;  // realized fleet uplink of one round
+  double uplink_bytes = 0.0;   // fl::values_to_bytes of the same
 };
+
+/// Total realized uplink of one round outcome across its participants.
+double total_uplink_values(const sparsify::RoundOutcome& o, std::size_t participants) {
+  if (!o.client_uplink_values.empty()) {
+    double t = 0.0;
+    for (const double v : o.client_uplink_values) t += v;
+    return t;
+  }
+  return o.uplink_values * static_cast<double>(participants);
+}
 
 void bench_fleet_scale(std::vector<KernelResult>& out, std::vector<SweepRow>& sweep,
                        std::size_t n, std::size_t d, const std::string& label) {
@@ -645,16 +657,74 @@ void bench_fleet_scale(std::vector<KernelResult>& out, std::vector<SweepRow>& sw
         do_not_optimize(method.round(sub, k));
       }));
       out.back().peak_rss_mb = peak_rss_mb();
+      const double up = total_uplink_values(method.round(sub, k), sub.client_vectors.size());
       sweep.push_back({name, pi_on, sub.client_vectors.size(), out.back().ns_per_op,
-                       out.back().peak_rss_mb});
+                       out.back().peak_rss_mb, up, fl::values_to_bytes(up)});
     }
     out.push_back(measure(label, label + "_singleshard", static_cast<double>(n) * d, [&] {
       do_not_optimize(method.round(fleet.in, k));
     }));
     out.back().peak_rss_mb = peak_rss_mb();
+    const double telemetry_off_ns = out.back().ns_per_op;
     std::printf("    peak RSS after %-34s %8.1f MB\n", label.c_str(), peak_rss_mb());
-    sweep.push_back({label, 1.0, n, out.back().ns_per_op, out.back().peak_rss_mb});
     sharded_ref = method.round(fleet.in, k);
+    const double up_full = total_uplink_values(sharded_ref, n);
+    sweep.push_back({label, 1.0, n, telemetry_off_ns, out.back().peak_rss_mb, up_full,
+                     fl::values_to_bytes(up_full)});
+
+    if (label == "server_round_N10000_D128k") {
+      // Telemetry overhead gate: the SAME kernel with the registry + span
+      // layer live (spans recorded per shard task and drained per iteration,
+      // as the simulation does per round) must stay within 3% of telemetry
+      // off. Sequential A-then-B timing is useless here — by this point the
+      // bench has held every core busy for minutes and turbo decay alone
+      // skews a later measurement by ~4% — so the gate interleaves the two:
+      // alternating off/on iterations share whatever frequency the box is
+      // at, and the median per-pair ratio cancels the drift.
+      util::SpanSink::instance().discard();
+      std::vector<util::Span> spans;
+      std::vector<double> ratios;
+      for (int pair = 0; pair < 4; ++pair) {
+        const auto t0 = Clock::now();
+        do_not_optimize(method.round(fleet.in, k));
+        const auto t1 = Clock::now();
+        util::set_telemetry_enabled(true);
+        const auto t2 = Clock::now();
+        do_not_optimize(method.round(fleet.in, k));
+        spans.clear();
+        util::SpanSink::instance().drain(spans);
+        const auto t3 = Clock::now();
+        util::set_telemetry_enabled(false);
+        if (pair == 0) continue;  // warmup pair
+        const double off_s = std::chrono::duration<double>(t1 - t0).count();
+        const double on_s = std::chrono::duration<double>(t3 - t2).count();
+        ratios.push_back(on_s / off_s);
+      }
+      util::SpanSink::instance().discard();
+      std::sort(ratios.begin(), ratios.end());
+      const double ratio = ratios[ratios.size() / 2];
+      // The JSON entry carries the paired ratio scaled onto the off kernel's
+      // ns/op, so bench_compare's speedup-vs-baseline for this pair is
+      // exactly 1/ratio in every run — comparable across boxes.
+      KernelResult r;
+      r.name = label + "_telemetry";
+      r.baseline = label;
+      r.iterations = ratios.size();
+      r.ns_per_op = telemetry_off_ns * ratio;
+      r.items_per_s = static_cast<double>(n) * d * 1e9 / r.ns_per_op;
+      out.push_back(r);
+      std::printf("  %-28s %12.0f ns/op  %10.3e items/s  (%zu pairs)\n", r.name.c_str(),
+                  r.ns_per_op, r.items_per_s, ratios.size());
+      std::printf("    telemetry overhead on %-28s %+6.2f%% (median of %zu interleaved pairs)\n",
+                  label.c_str(), 100.0 * (ratio - 1.0), ratios.size());
+      if (ratio > 1.03) {
+        std::fprintf(stderr,
+                     "FATAL: telemetry-on %s is %.2f%% slower than telemetry-off "
+                     "(limit 3%%, median of %zu interleaved pairs)\n",
+                     label.c_str(), 100.0 * (ratio - 1.0), ratios.size());
+        std::exit(1);
+      }
+    }
     tensor::set_parallel_pool(nullptr);
   }
 
@@ -685,11 +755,12 @@ void bench_fleet_scale(std::vector<KernelResult>& out, std::vector<SweepRow>& sw
 
 void write_sweep_csv(const std::vector<SweepRow>& sweep, const std::string& path) {
   std::ofstream f(path);
-  f << "kernel,pi_on,participants,ns_per_op,ns_per_participant,peak_rss_mb\n";
+  f << "kernel,pi_on,participants,ns_per_op,ns_per_participant,peak_rss_mb,uplink_values,"
+       "uplink_bytes\n";
   for (const auto& r : sweep) {
     f << r.kernel << "," << r.pi_on << "," << r.participants << "," << r.ns_per_op << ","
       << (r.participants > 0 ? r.ns_per_op / static_cast<double>(r.participants) : 0.0) << ","
-      << r.peak_rss_mb << "\n";
+      << r.peak_rss_mb << "," << r.uplink_values << "," << r.uplink_bytes << "\n";
   }
 }
 
@@ -713,7 +784,9 @@ struct AsyncSweepRow {
   double total_sim_time;
   double time_to_target;
   double best_eval_loss;
-  double mean_staleness;  // averaged over rounds
+  double mean_staleness;    // averaged over rounds
+  double uplink_values = 0.0;  // run-total realized client uplink
+  double uplink_bytes = 0.0;
 };
 
 fl::SimulationResult run_longtail_engine(std::size_t buffer_size) {
@@ -789,6 +862,8 @@ void bench_async_engine(std::vector<KernelResult>& out, std::vector<AsyncSweepRo
     row.mean_staleness = 0.0;
     for (const auto& r : res.records) row.mean_staleness += r.mean_staleness;
     if (!res.records.empty()) row.mean_staleness /= static_cast<double>(res.records.size());
+    for (const double v : res.client_uplink_values) row.uplink_values += v;
+    row.uplink_bytes = fl::values_to_bytes(row.uplink_values);
     std::printf("  %-28s time-to-loss(%.4f) = %10.1f  (%zu rounds, mean staleness %.2f)\n",
                 row.label.c_str(), target, row.time_to_target, row.rounds_run,
                 row.mean_staleness);
@@ -821,10 +896,11 @@ void bench_async_engine(std::vector<KernelResult>& out, std::vector<AsyncSweepRo
 void write_async_csv(const std::vector<AsyncSweepRow>& sweep, const std::string& path) {
   std::ofstream f(path);
   f << "label,buffer_size,rounds_run,total_sim_time,time_to_target,best_eval_loss,"
-       "mean_staleness\n";
+       "mean_staleness,uplink_values,uplink_bytes\n";
   for (const auto& r : sweep) {
     f << r.label << "," << r.buffer_size << "," << r.rounds_run << "," << r.total_sim_time << ","
-      << r.time_to_target << "," << r.best_eval_loss << "," << r.mean_staleness << "\n";
+      << r.time_to_target << "," << r.best_eval_loss << "," << r.mean_staleness << ","
+      << r.uplink_values << "," << r.uplink_bytes << "\n";
   }
 }
 

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "util/rng.h"
+#include "util/stats.h"
 
 namespace fedsparse::fl {
 
@@ -98,6 +99,19 @@ void FaultModel::corrupt_payload(std::size_t round, std::size_t client,
     case CorruptionMode::kMagnitudeBlowup:
       entry.value *= 1.0e12f;
       break;
+  }
+}
+
+void publish_fault_event(FaultKind kind) noexcept {
+  static const util::Counter c_drop("faults.upload_drop");
+  static const util::Counter c_corrupt("faults.payload_corrupt");
+  static const util::Counter c_crash("faults.client_crash");
+  static const util::Counter c_timeout("faults.flush_timeout");
+  switch (kind) {
+    case FaultKind::kUploadDrop: c_drop.add(1); break;
+    case FaultKind::kPayloadCorrupt: c_corrupt.add(1); break;
+    case FaultKind::kClientCrash: c_crash.add(1); break;
+    case FaultKind::kFlushTimeout: c_timeout.add(1); break;
   }
 }
 

@@ -125,4 +125,9 @@ class FaultModel final : public sparsify::UploadTamper {
   std::uint64_t seed_ = 0;
 };
 
+/// Telemetry: bumps the per-kind fault counter (faults.upload_drop,
+/// faults.payload_corrupt, faults.client_crash, faults.flush_timeout).
+/// A branch-on-one-atomic no-op while telemetry is disabled.
+void publish_fault_event(FaultKind kind) noexcept;
+
 }  // namespace fedsparse::fl

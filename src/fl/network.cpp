@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/stats.h"
+
 namespace fedsparse::fl {
 
 bool NetworkConfig::trivial() const noexcept {
@@ -71,6 +73,12 @@ void NetworkModel::rebuild_availability_lists() {
 void NetworkModel::begin_round(std::size_t round) {
   (void)round;
   if (!heterogeneous_) return;
+  // Telemetry: availability before this round's transitions; churn flips are
+  // counted against it below. No-ops (and no registration cost beyond the
+  // first call) while telemetry is off.
+  static const util::Gauge g_online("net.online_clients");
+  static const util::Counter c_churn("net.churn_transitions");
+  std::size_t churn_flips = 0;
   // One sequential pass keeps the fluctuation stream independent of thread
   // count and participant order. Draw order per client: jitter (up, down),
   // then the availability transition.
@@ -89,8 +97,10 @@ void NetworkModel::begin_round(std::size_t round) {
           cfg_.profiles[i].downlink_rate * std::exp(rng_.normal(0.0, cfg_.rate_jitter_sigma));
     }
     if (churn) {
+      const std::uint8_t was = on_[i];
       on_[i] = on_[i] ? (rng_.bernoulli(cfg_.p_drop) ? 0 : 1)
                       : (rng_.bernoulli(cfg_.p_recover) ? 1 : 0);
+      if (on_[i] != was) ++churn_flips;
       // Classify in the pass that already holds the chain state: the
       // simulation's per-round scan becomes O(touched clients), not O(N).
       if (on_[i]) {
@@ -100,6 +110,8 @@ void NetworkModel::begin_round(std::size_t round) {
       }
     }
   }
+  if (churn_flips > 0) c_churn.add(churn_flips);
+  if (churn) g_online.set(static_cast<double>(online_ids_.size()));
 }
 
 bool NetworkModel::available(std::size_t i) const { return on_.empty() || on_[i] != 0; }

@@ -33,6 +33,7 @@
 #include "fl/network.h"
 #include "fl/resource.h"
 #include "fl/timing.h"
+#include "fl/trace.h"
 #include "nn/models.h"
 #include "online/controller.h"
 #include "sparsify/method.h"
@@ -197,6 +198,13 @@ struct SimulationConfig {
   /// method. Disabled by default; a disabled screen is a bitwise no-op.
   sparsify::ValidationConfig validation;
 
+  /// Telemetry (util/stats.h + fl/trace.h): per-stage spans, the metrics
+  /// registry, and the optional Chrome-trace / metrics-JSONL streams. Off by
+  /// default; an off run is byte-identical to one without telemetry compiled
+  /// in (pinned by tests/stats_test.cpp), and an on run only reads clocks and
+  /// bumps counters — it never perturbs RNG draws or float order.
+  TelemetryConfig telemetry;
+
   std::size_t threads = 0;   // 0 = hardware concurrency
   std::uint64_t seed = 1;
 };
@@ -352,6 +360,10 @@ class Simulation {
   void stage_account(RoundContext& ctx, SimulationResult& res, double& time);
   /// Record + periodic evaluation; returns true when the run should stop.
   bool stage_record(RoundContext& ctx, SimulationResult& res, double time);
+  /// Telemetry tail of a round (cfg_.telemetry.enabled only): publishes the
+  /// round's gauges/counters/staleness histogram, drains the span sinks, and
+  /// streams the Chrome-trace / JSONL files when paths were configured.
+  void emit_telemetry(const RoundContext& ctx, const SimulationResult& res, double time);
 
   void evaluate(RoundRecord& rec);
   std::span<const float> global_weights();
@@ -426,6 +438,12 @@ class Simulation {
   std::vector<std::uint8_t> pending_;         // client deferred in the buffer
   std::vector<std::size_t> pending_round_;    // round of FIRST deferral
   std::vector<std::size_t> pending_ids_;      // sorted ids with pending_ set
+
+  // Telemetry state (all dormant unless cfg_.telemetry.enabled).
+  std::unique_ptr<ChromeTraceWriter> trace_writer_;
+  std::unique_ptr<MetricsJsonlWriter> jsonl_writer_;
+  std::vector<util::Span> span_scratch_;  // per-round drain buffer
+  bool telemetry_prev_ = false;           // global flag value to restore after run()
 
   // Fault-injection state (all dormant when fault_model_.trivial()).
   FaultModel fault_model_;

@@ -1,0 +1,131 @@
+// Telemetry exporters: per-round Chrome trace-event JSON and a round-metrics
+// JSONL stream.
+//
+// The collection layer (util/stats.h: MetricRegistry + SpanSink) is
+// deliberately below fl/ so sparsify/ and online/ can publish without a
+// dependency on the simulation; this header owns everything that needs fl
+// types — the event timeline instants and the per-round record fields — and
+// the file formats:
+//
+//  * ChromeTraceWriter emits the trace-event JSON array format
+//    ({"traceEvents": [...]}): one "M" thread_name metadata event the first
+//    time a track appears, one complete "X" event per drained span (ts/dur in
+//    µs on the process steady-clock epoch), and one instant "i" event per
+//    EventTimeline entry on a dedicated "timeline" track. Tracks map to tids
+//    in first-appearance order, so the eight stage_* tracks, the pipeline_*
+//    tracks and the per-shard tracks each get their own row in
+//    chrome://tracing / Perfetto.
+//  * MetricsJsonlWriter emits one JSON object per round: the round-record
+//    scalars, per-stage span totals ("stages_us"), and the registry scrape's
+//    counters and gauges — everything scripts/trace_summary.py consumes.
+#pragma once
+
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fl/event_timeline.h"
+#include "util/stats.h"
+
+namespace fedsparse::fl {
+
+/// Telemetry knobs on SimulationConfig. Default off: the run is pinned
+/// byte-identical to a build without telemetry. When enabled, spans and
+/// metrics are collected every round; each non-empty path additionally
+/// streams the corresponding file.
+struct TelemetryConfig {
+  bool enabled = false;
+  std::string chrome_trace_path;   // per-round Chrome trace-event JSON
+  std::string metrics_jsonl_path;  // per-round metrics JSONL
+};
+
+/// Aggregated wall time per span track within one drain, in track name order.
+struct StageTotal {
+  const char* track = nullptr;
+  double total_us = 0.0;
+  std::size_t count = 0;
+};
+
+/// Groups a drained (sorted) span batch by track. Deterministic: the drain
+/// order is pinned, and totals are summed in that order.
+std::vector<StageTotal> stage_totals(std::span<const util::Span> spans);
+
+class ChromeTraceWriter {
+ public:
+  ChromeTraceWriter() = default;
+  ~ChromeTraceWriter();
+  ChromeTraceWriter(const ChromeTraceWriter&) = delete;
+  ChromeTraceWriter& operator=(const ChromeTraceWriter&) = delete;
+
+  /// Truncates `path` and writes the JSON preamble. Returns false (and logs)
+  /// when the file cannot be opened.
+  bool open(const std::string& path);
+  bool is_open() const noexcept { return f_ != nullptr; }
+
+  /// Appends one round's spans (already drained+sorted) and timeline events.
+  /// Timeline instants are placed at the round's first span timestamp plus
+  /// the event's simulated offset, and carry {round, client, kind, sim_time}
+  /// args.
+  void write_round(std::size_t round, std::span<const util::Span> spans,
+                   std::span<const Event> timeline);
+
+  /// Writes the closing brackets; the file is valid JSON afterwards.
+  void close();
+
+ private:
+  std::size_t tid_for(const std::string& track);
+
+  std::FILE* f_ = nullptr;
+  bool first_event_ = true;
+  std::vector<std::string> tracks_;  // index = tid
+};
+
+class MetricsJsonlWriter {
+ public:
+  /// The per-round scalars exported to JSONL (a flat mirror of RoundRecord
+  /// plus realized bytes; kept separate so this header does not depend on
+  /// simulation.h).
+  struct Row {
+    std::size_t round = 0;
+    double time = 0.0;
+    double k_continuous = 0.0;
+    std::size_t k_used = 0;
+    double train_loss = 0.0;
+    double global_loss = 0.0;  // NaN when the round was not evaluated
+    double uplink_values = 0.0;
+    double uplink_bytes = 0.0;
+    double downlink_values = 0.0;
+    double downlink_bytes = 0.0;
+    std::size_t participants = 0;
+    std::size_t online = 0;
+    double mean_staleness = 0.0;
+    std::size_t max_staleness = 0;
+    std::size_t dropped = 0;
+    std::size_t corrupted = 0;
+    std::size_t rejected = 0;
+    std::size_t quarantined = 0;
+    bool degraded = false;
+  };
+
+  MetricsJsonlWriter() = default;
+  ~MetricsJsonlWriter();
+  MetricsJsonlWriter(const MetricsJsonlWriter&) = delete;
+  MetricsJsonlWriter& operator=(const MetricsJsonlWriter&) = delete;
+
+  bool open(const std::string& path);
+  bool is_open() const noexcept { return f_ != nullptr; }
+
+  /// One line: the row's scalars, "stages_us" from the spans, and the
+  /// scrape's counters/gauges (histograms export their total count plus
+  /// per-bucket counts under "<name>.le_<bound>" / "<name>.overflow").
+  void write_round(const Row& row, std::span<const util::Span> spans,
+                   const std::vector<util::MetricSample>& scrape);
+
+  void close();
+
+ private:
+  std::FILE* f_ = nullptr;
+};
+
+}  // namespace fedsparse::fl

@@ -30,4 +30,12 @@ SignEstimate estimate_derivative_sign(const RoundFeedback& fb, double km, double
 /// sign(x) with sign(0) == 0 (the paper's convention).
 inline int sign_of(double x) noexcept { return (x > 0.0) - (x < 0.0); }
 
+/// Telemetry publishes shared by the Algorithm 2/3 controllers (defined in
+/// sign_ogd.cpp): the k trajectory ("ctrl.k"), the probe's sign decisions
+/// ("ctrl.probe_sign_pos"/"_neg"), the staleness/validity step damping
+/// ("ctrl.step_damp"), and invalid probes ("ctrl.probe_invalid"). No-ops
+/// while telemetry is disabled.
+void publish_controller_step(double k, int sign, double damp) noexcept;
+void publish_controller_invalid() noexcept;
+
 }  // namespace fedsparse::online

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/stats.h"
+
 namespace fedsparse::online {
 
 ExtendedSignOgd::ExtendedSignOgd(const Config& cfg)
@@ -40,6 +42,7 @@ double ExtendedSignOgd::probe_k() const {
 void ExtendedSignOgd::observe(const RoundFeedback& fb) {
   const SignEstimate est = estimate_derivative_sign(fb, k_, probe_k());
   if (!est.valid) {
+    publish_controller_invalid();
     post_update(/*updated=*/false);  // Lines 6–7 are skipped (paper, Sec. IV-E)
     return;
   }
@@ -47,6 +50,7 @@ void ExtendedSignOgd::observe(const RoundFeedback& fb) {
   // no-op at s̄ = 0, validity 1.
   const double damp = (1.0 / (1.0 + fb.mean_staleness)) * fb.validity;
   k_ = project(k_ - delta() * damp * static_cast<double>(est.sign));
+  publish_controller_step(k_, est.sign, damp);
   post_update(/*updated=*/true);
 }
 
@@ -74,6 +78,9 @@ void ExtendedSignOgd::post_update(bool updated) {
       m_prev_ = m_cur;                                                   // Line 13
       m0_ = m_;                                                          // Line 14
       ++instances_;
+      // Telemetry: Algorithm 3 restarted OGD on a shrunk [kmin, kmax].
+      static const util::Counter c_shrink("ctrl.interval_shrinks");
+      c_shrink.add(1);
       k_ = project(k_);  // k is provably inside the new interval; be safe
     }
     n_ = 0;                                                              // Line 15

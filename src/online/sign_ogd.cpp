@@ -4,7 +4,29 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/stats.h"
+
 namespace fedsparse::online {
+
+// Telemetry publishes shared by the Algorithm 2/3 controllers: the k
+// trajectory, the probe's derivative-sign decisions, and the staleness/
+// validity step damping. All no-ops while telemetry is off.
+void publish_controller_step(double k, int sign, double damp) noexcept {
+  static const util::Gauge g_k("ctrl.k");
+  static const util::Gauge g_damp("ctrl.step_damp");
+  static const util::Counter c_pos("ctrl.probe_sign_pos");
+  static const util::Counter c_neg("ctrl.probe_sign_neg");
+  g_k.set(k);
+  g_damp.set(damp);
+  if (sign > 0) c_pos.add(1);
+  if (sign < 0) c_neg.add(1);
+}
+
+void publish_controller_invalid() noexcept {
+  static const util::Counter c_invalid("ctrl.probe_invalid");
+  c_invalid.add(1);
+}
+
 
 SignOgd::SignOgd(const Config& cfg) : kmin_(cfg.kmin), kmax_(cfg.kmax) {
   if (!(kmin_ >= 1.0) || !(kmax_ > kmin_)) {
@@ -28,6 +50,7 @@ double SignOgd::probe_k() const {
 void SignOgd::observe(const RoundFeedback& fb) {
   const SignEstimate est = estimate_derivative_sign(fb, k_, probe_k());
   if (!est.valid) {
+    publish_controller_invalid();
     ++m_;  // the round still elapsed; k stays as-is
     return;
   }
@@ -39,6 +62,7 @@ void SignOgd::observe(const RoundFeedback& fb) {
   // bit-identical to the synchronized observe_sign path.
   const double damp = (1.0 / (1.0 + fb.mean_staleness)) * fb.validity;
   k_ = project(k_ - delta() * damp * static_cast<double>(est.sign));
+  publish_controller_step(k_, est.sign, damp);
   ++m_;
 }
 

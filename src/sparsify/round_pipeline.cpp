@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/stats.h"
 #include "util/thread_pool.h"
 
 namespace fedsparse::sparsify {
@@ -14,6 +15,7 @@ void RoundPipeline::set_sharding(std::size_t shards) noexcept {
 
 const std::vector<SparseVector>& RoundPipeline::select_uploads(const RoundInput& in,
                                                                std::size_t k) {
+  FEDSPARSE_SPAN("pipeline_select");
   const std::vector<PrescanView>* pre =
       in.client_prescan.empty() ? nullptr : &in.client_prescan;
   if (shards_ > 1) {
@@ -34,6 +36,7 @@ const std::vector<SparseVector>& RoundPipeline::select_uploads(const RoundInput&
 
 std::span<const double> RoundPipeline::validate_uploads(const RoundInput& in,
                                                         ValidationStats& stats) {
+  FEDSPARSE_SPAN("pipeline_screen");
   return validator_.screen(uploads_, in.client_ids, in.data_weights, dim_, in.round, stats);
 }
 
@@ -78,6 +81,7 @@ std::span<const std::uint64_t> RoundPipeline::merge_arena_keys(std::size_t count
 const BucketAggregator& RoundPipeline::aggregate(std::span<const double> weights,
                                                  std::size_t shards, util::ThreadPool* pool,
                                                  const BucketAggregator::Filter& f) {
+  FEDSPARSE_SPAN("pipeline_aggregate");
   ++stamp_token_;
   aggregator_.run(uploads_, weights, dim_, shards, pool, f, agg_.data(), stamp_.data(),
                   stamp_token_);
@@ -86,10 +90,12 @@ const BucketAggregator& RoundPipeline::aggregate(std::span<const double> weights
 
 void RoundPipeline::build_resets(std::size_t shards, util::ThreadPool* pool,
                                  const BucketAggregator::Filter& f, RoundOutcome& out) {
+  FEDSPARSE_SPAN("pipeline_resets");
   resets_.run(uploads_, shards, pool, f, out);
 }
 
 void RoundPipeline::emit_update_from_buckets(util::ThreadPool* pool, RoundOutcome& out) {
+  FEDSPARSE_SPAN("pipeline_emit");
   const std::size_t B = aggregator_.buckets();
   if (arenas_.size() < B) arenas_.resize(B);
   bucket_offsets_.resize(B + 1);

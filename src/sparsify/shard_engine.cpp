@@ -4,9 +4,25 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "util/stats.h"
 #include "util/thread_pool.h"
 
 namespace fedsparse::sparsify {
+
+namespace {
+
+// Static track names so per-shard spans need no allocation on the hot path;
+// shards are capped at 16 by the simulation's auto policy, so the overflow
+// name only appears under hand-rolled configs.
+const char* shard_track(std::size_t s) {
+  static const char* const kNames[] = {"shard0",  "shard1",  "shard2",  "shard3",
+                                       "shard4",  "shard5",  "shard6",  "shard7",
+                                       "shard8",  "shard9",  "shard10", "shard11",
+                                       "shard12", "shard13", "shard14", "shard15"};
+  return s < 16 ? kNames[s] : "shard16+";
+}
+
+}  // namespace
 
 ShardPlan make_shard_plan(std::size_t n, std::size_t shards) {
   shards = std::max<std::size_t>(1, std::min(shards, std::max<std::size_t>(1, n)));
@@ -20,6 +36,20 @@ ShardPlan make_shard_plan(std::size_t n, std::size_t shards) {
 
 void for_each_shard(util::ThreadPool* pool, std::size_t shards,
                     const std::function<void(std::size_t)>& fn) {
+  if (util::telemetry_enabled()) {
+    // One span per shard task on its own "shardN" track — the Chrome trace
+    // then shows the fan-out/imbalance of every sharded pass.
+    const auto timed = [&fn](std::size_t s) {
+      util::SpanScope span(shard_track(s));
+      fn(s);
+    };
+    if (pool != nullptr && pool->size() > 1 && shards > 1) {
+      pool->parallel_for(shards, timed, /*grain=*/1);
+    } else {
+      for (std::size_t s = 0; s < shards; ++s) timed(s);
+    }
+    return;
+  }
   if (pool != nullptr && pool->size() > 1 && shards > 1) {
     pool->parallel_for(shards, fn, /*grain=*/1);
   } else {
@@ -57,11 +87,17 @@ void merge2_desc(std::span<const std::uint64_t> a, std::span<const std::uint64_t
 
 void KeyMerger::merge(std::span<const std::span<const std::uint64_t>> runs, std::size_t k,
                       std::vector<std::uint64_t>& out) {
+  // Telemetry: how wide (runs) and deep (tree levels) the per-shard merges
+  // run — the shard engine's load-balance signal.
+  static const util::Histogram h_runs("sparsify.merge_runs", {1.0, 2.0, 4.0, 8.0, 16.0});
+  static const util::Histogram h_depth("sparsify.merge_depth", {0.0, 1.0, 2.0, 3.0, 4.0});
   out.clear();
   if (runs.empty() || k == 0) return;
+  h_runs.observe(static_cast<double>(runs.size()));
   if (runs.size() == 1) {
     const std::size_t take = std::min(k, runs[0].size());
     out.assign(runs[0].begin(), runs[0].begin() + static_cast<std::ptrdiff_t>(take));
+    h_depth.observe(0.0);
     return;
   }
   // Each level merges the surviving runs pairwise into its own buffer set;
@@ -85,6 +121,7 @@ void KeyMerger::merge(std::span<const std::span<const std::uint64_t>> runs, std:
   }
   const std::size_t take = std::min(k, cur[0].size());
   out.assign(cur[0].begin(), cur[0].begin() + static_cast<std::ptrdiff_t>(take));
+  h_depth.observe(static_cast<double>(level));
 }
 
 std::vector<std::uint64_t> merge_topk_sorted_runs(

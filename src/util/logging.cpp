@@ -2,13 +2,28 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+#include <cstdlib>
+#include <cstring>
 
 namespace fedsparse::util {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_mutex;
+
+/// The initial level honors FEDSPARSE_LOG (debug|info|warn|error|off) so
+/// benches get debug output without code changes; set_log_level still wins
+/// once called.
+int initial_level() {
+  const char* env = std::getenv("FEDSPARSE_LOG");
+  if (env == nullptr) return static_cast<int>(LogLevel::kInfo);
+  if (std::strcmp(env, "debug") == 0) return static_cast<int>(LogLevel::kDebug);
+  if (std::strcmp(env, "info") == 0) return static_cast<int>(LogLevel::kInfo);
+  if (std::strcmp(env, "warn") == 0) return static_cast<int>(LogLevel::kWarn);
+  if (std::strcmp(env, "error") == 0) return static_cast<int>(LogLevel::kError);
+  if (std::strcmp(env, "off") == 0) return static_cast<int>(LogLevel::kOff);
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+std::atomic<int> g_level{initial_level()};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -28,8 +43,17 @@ LogLevel log_level() noexcept { return static_cast<LogLevel>(g_level.load()); }
 
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  // Build the whole record first and emit it with ONE write: pool threads
+  // logging concurrently then cannot interleave fragments of a line — stdio
+  // locks each fwrite, so the record lands on stderr atomically.
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace fedsparse::util

@@ -1,7 +1,13 @@
 #include "util/stats.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
 
 namespace fedsparse::util {
 
@@ -87,6 +93,309 @@ double mean_of(const std::vector<double>& values) noexcept {
   double s = 0.0;
   for (double v : values) s += v;
   return s / static_cast<double>(values.size());
+}
+
+// ------------------------------------------------------------- telemetry ---
+
+namespace {
+std::atomic<bool> g_telemetry{false};
+}  // namespace
+
+bool telemetry_enabled() noexcept { return g_telemetry.load(std::memory_order_relaxed); }
+
+void set_telemetry_enabled(bool on) noexcept {
+  g_telemetry.store(on, std::memory_order_relaxed);
+}
+
+// Registry internals. One metric table (name, kind, slot); counters index a
+// per-shard counters array, histograms a per-shard flattened bucket array,
+// gauges a central array written only under the enable flag (the simulation
+// publishes them from its serial thread). Shards are owned by the registry
+// and never freed, so a thread_local raw pointer stays valid after the
+// owning thread exits and the counts it accumulated keep contributing.
+struct MetricRegistry::Impl {
+  struct Metric {
+    std::string name;
+    MetricKind kind;
+    std::size_t slot;        // counter slot / gauge slot / histogram bucket base
+    std::size_t buckets = 0; // histogram only: bounds.size() + 1
+    std::vector<double> bounds;
+  };
+  struct Shard {
+    std::vector<std::uint64_t> counters;
+    std::vector<std::uint64_t> hbuckets;
+  };
+
+  // Registration, shard creation/growth, scrape and reset serialize on this
+  // mutex; add/observe on existing slots touch only the caller's shard.
+  mutable std::mutex mu;
+  std::vector<Metric> metrics;
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::vector<double> gauges;      // value slots; resized under mu
+  std::size_t counter_slots = 0;
+  std::size_t bucket_slots = 0;
+
+  static thread_local Shard* tls_shard;
+
+  std::size_t find_or_add(const std::string& name, MetricKind kind,
+                          std::vector<double> bounds) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (std::size_t id = 0; id < metrics.size(); ++id) {
+      if (metrics[id].name != name) continue;
+      if (metrics[id].kind != kind) {
+        throw std::logic_error("metric '" + name + "' re-registered with a different kind");
+      }
+      return id;
+    }
+    Metric m;
+    m.name = name;
+    m.kind = kind;
+    switch (kind) {
+      case MetricKind::kCounter:
+        m.slot = counter_slots++;
+        break;
+      case MetricKind::kGauge:
+        m.slot = gauges.size();
+        gauges.push_back(0.0);
+        break;
+      case MetricKind::kHistogram: {
+        for (std::size_t i = 1; i < bounds.size(); ++i) {
+          if (!(bounds[i] > bounds[i - 1])) {
+            throw std::logic_error("histogram '" + name + "': bounds not strictly increasing");
+          }
+        }
+        m.bounds = std::move(bounds);
+        m.buckets = m.bounds.size() + 1;
+        m.slot = bucket_slots;
+        bucket_slots += m.buckets;
+        break;
+      }
+    }
+    metrics.push_back(std::move(m));
+    return metrics.size() - 1;
+  }
+
+  // The calling thread's shard, sized for every metric registered so far.
+  // Creation and growth are rare (first enabled publish per thread, or a
+  // publish after later registrations) and take the registry mutex.
+  Shard& shard() {
+    Shard* s = tls_shard;
+    if (s == nullptr) {
+      auto owned = std::make_unique<Shard>();
+      s = owned.get();
+      std::lock_guard<std::mutex> lock(mu);
+      s->counters.resize(counter_slots, 0);
+      s->hbuckets.resize(bucket_slots, 0);
+      shards.push_back(std::move(owned));
+      tls_shard = s;
+    }
+    return *s;
+  }
+
+  void ensure_capacity(Shard& s) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (s.counters.size() < counter_slots) s.counters.resize(counter_slots, 0);
+    if (s.hbuckets.size() < bucket_slots) s.hbuckets.resize(bucket_slots, 0);
+  }
+};
+
+thread_local MetricRegistry::Impl::Shard* MetricRegistry::Impl::tls_shard = nullptr;
+
+MetricRegistry::Impl& MetricRegistry::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+MetricRegistry& MetricRegistry::instance() {
+  static MetricRegistry reg;
+  return reg;
+}
+
+std::size_t MetricRegistry::counter(const std::string& name) {
+  return impl().find_or_add(name, MetricKind::kCounter, {});
+}
+
+std::size_t MetricRegistry::gauge(const std::string& name) {
+  return impl().find_or_add(name, MetricKind::kGauge, {});
+}
+
+std::size_t MetricRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  return impl().find_or_add(name, MetricKind::kHistogram, std::move(upper_bounds));
+}
+
+void MetricRegistry::add(std::size_t id, std::uint64_t n) noexcept {
+  if (!telemetry_enabled()) return;
+  Impl& im = impl();
+  Impl::Shard& s = im.shard();
+  const std::size_t slot = im.metrics[id].slot;
+  if (slot >= s.counters.size()) im.ensure_capacity(s);
+  s.counters[slot] += n;
+}
+
+void MetricRegistry::set(std::size_t id, double v) noexcept {
+  if (!telemetry_enabled()) return;
+  Impl& im = impl();
+  im.gauges[im.metrics[id].slot] = v;
+}
+
+void MetricRegistry::observe(std::size_t id, double v) noexcept {
+  if (!telemetry_enabled()) return;
+  Impl& im = impl();
+  Impl::Shard& s = im.shard();
+  const Impl::Metric& m = im.metrics[id];
+  if (m.slot + m.buckets > s.hbuckets.size()) im.ensure_capacity(s);
+  // First bucket with v <= bound; the trailing bucket catches the overflow.
+  std::size_t b = 0;
+  while (b < m.bounds.size() && v > m.bounds[b]) ++b;
+  ++s.hbuckets[m.slot + b];
+}
+
+std::vector<MetricSample> MetricRegistry::scrape() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  std::vector<MetricSample> out;
+  out.reserve(im.metrics.size());
+  for (const Impl::Metric& m : im.metrics) {
+    MetricSample s;
+    s.name = m.name;
+    s.kind = m.kind;
+    switch (m.kind) {
+      case MetricKind::kCounter: {
+        std::uint64_t total = 0;
+        for (const auto& sh : im.shards) {
+          if (m.slot < sh->counters.size()) total += sh->counters[m.slot];
+        }
+        s.value = static_cast<double>(total);
+        break;
+      }
+      case MetricKind::kGauge:
+        s.value = im.gauges[m.slot];
+        break;
+      case MetricKind::kHistogram: {
+        s.bounds = m.bounds;
+        s.buckets.assign(m.buckets, 0);
+        std::uint64_t total = 0;
+        for (const auto& sh : im.shards) {
+          if (m.slot + m.buckets > sh->hbuckets.size()) continue;
+          for (std::size_t b = 0; b < m.buckets; ++b) s.buckets[b] += sh->hbuckets[m.slot + b];
+        }
+        for (const std::uint64_t c : s.buckets) total += c;
+        s.value = static_cast<double>(total);
+        break;
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void MetricRegistry::reset() noexcept {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  for (const auto& sh : im.shards) {
+    std::fill(sh->counters.begin(), sh->counters.end(), 0);
+    std::fill(sh->hbuckets.begin(), sh->hbuckets.end(), 0);
+  }
+  std::fill(im.gauges.begin(), im.gauges.end(), 0.0);
+}
+
+std::size_t MetricRegistry::shard_count() const noexcept {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  return im.shards.size();
+}
+
+// ----------------------------------------------------------------- spans ---
+
+double telemetry_now_us() noexcept {
+  // The epoch is the first call; all spans in a process share it so Chrome
+  // trace timestamps from different threads line up.
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+struct SpanSink::Impl {
+  // Bounds each thread's buffer between drains; spans beyond it are dropped
+  // and counted, never silently lost.
+  static constexpr std::size_t kMaxSpansPerThread = 1u << 20;
+
+  struct Buffer {
+    std::vector<Span> spans;
+  };
+
+  mutable std::mutex mu;
+  std::vector<std::unique_ptr<Buffer>> buffers;
+  std::atomic<std::uint64_t> overflow{0};
+
+  static thread_local Buffer* tls_buffer;
+
+  Buffer& buffer() {
+    Buffer* b = tls_buffer;
+    if (b == nullptr) {
+      auto owned = std::make_unique<Buffer>();
+      b = owned.get();
+      std::lock_guard<std::mutex> lock(mu);
+      buffers.push_back(std::move(owned));
+      tls_buffer = b;
+    }
+    return *b;
+  }
+};
+
+thread_local SpanSink::Impl::Buffer* SpanSink::Impl::tls_buffer = nullptr;
+
+SpanSink::Impl& SpanSink::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+SpanSink& SpanSink::instance() {
+  static SpanSink sink;
+  return sink;
+}
+
+void SpanSink::record(const char* track, double start_us, double dur_us) noexcept {
+  Impl& im = impl();
+  Impl::Buffer& b = im.buffer();
+  if (b.spans.size() >= Impl::kMaxSpansPerThread) {
+    im.overflow.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  b.spans.push_back({track, start_us, dur_us});
+}
+
+std::size_t SpanSink::drain(std::vector<Span>& out) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  const std::size_t before = out.size();
+  for (const auto& b : im.buffers) {
+    out.insert(out.end(), b->spans.begin(), b->spans.end());
+    b->spans.clear();
+  }
+  // Start order is the natural trace order; ties (e.g. zero-duration spans
+  // from distinct threads) break on the track name, then duration, so the
+  // drained sequence is independent of buffer registration order.
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(before), out.end(),
+            [](const Span& a, const Span& b2) {
+              if (a.start_us != b2.start_us) return a.start_us < b2.start_us;
+              const int c = std::strcmp(a.track, b2.track);
+              if (c != 0) return c < 0;
+              return a.dur_us < b2.dur_us;
+            });
+  return out.size() - before;
+}
+
+void SpanSink::discard() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  for (const auto& b : im.buffers) b->spans.clear();
+}
+
+std::uint64_t SpanSink::overflow_count() const noexcept {
+  return impl().overflow.load(std::memory_order_relaxed);
 }
 
 }  // namespace fedsparse::util

@@ -1,7 +1,28 @@
-// Small statistics helpers: running moments, empirical CDFs, percentiles.
+// Small statistics helpers: running moments, empirical CDFs, percentiles —
+// plus the process-wide telemetry layer: a metrics registry (counters, gauges,
+// fixed-bucket histograms with lock-free per-thread shards merged
+// deterministically at scrape time) and a span-based profiler
+// (FEDSPARSE_SPAN RAII scopes feeding per-thread sinks).
+//
+// The layer lives in util/ — not fl/ — so sparsify/ and online/ can publish
+// through it without a dependency on the simulation layer; the Chrome-trace
+// and JSONL exporters that consume scrapes and drained spans are in
+// fl/trace.h.
+//
+// Determinism contract: telemetry is OFF by default and every publish call is
+// a branch-on-one-atomic no-op while it stays off — no allocation, no clock
+// read, no RNG, so disabled runs are byte-identical to a build without the
+// calls. When ON, publishes only read clocks and bump thread-local integers;
+// the simulation's round traces are unchanged either way (pinned by
+// tests/stats_test.cpp). Scrapes and drains are meant for quiescent points
+// (round boundaries): counter totals are order-independent integer sums over
+// the shards, histogram buckets are integer counts, and gauges are set from
+// the serial simulation thread, so a scrape is identical at any thread count.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -52,5 +73,164 @@ double percentile(std::vector<double> values, double q);
 
 /// Arithmetic mean; 0 for empty input.
 double mean_of(const std::vector<double>& values) noexcept;
+
+// ------------------------------------------------------------- telemetry ---
+
+/// Master switch for the whole telemetry layer (registry writes + spans).
+/// Off by default; every publish site is a relaxed-load branch while off.
+bool telemetry_enabled() noexcept;
+void set_telemetry_enabled(bool on) noexcept;
+
+enum class MetricKind : std::uint8_t { kCounter = 0, kGauge = 1, kHistogram = 2 };
+
+/// One merged metric as seen by a scrape.
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  /// Counter: total. Gauge: last set value. Histogram: total observation count.
+  double value = 0.0;
+  /// Histogram only: inclusive upper bounds, plus one overflow bucket, so
+  /// buckets.size() == bounds.size() + 1 and buckets[i] counts observations
+  /// with bounds[i-1] < x <= bounds[i] (last bucket: x > bounds.back()).
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;
+};
+
+/// Process-wide metrics registry. Registration (by name, deduplicated) takes
+/// a mutex; the hot publish path touches only the calling thread's shard —
+/// no locks, no atomics beyond the enable flag. Shards outlive their threads
+/// so totals survive pool teardown.
+class MetricRegistry {
+ public:
+  static MetricRegistry& instance();
+
+  /// Register (or look up) a metric; returns a stable id for the publish
+  /// calls below. Re-registering the same name with the same kind returns the
+  /// same id; a kind mismatch throws std::logic_error. Histogram bounds must
+  /// be strictly increasing; re-registration ignores the bounds argument.
+  std::size_t counter(const std::string& name);
+  std::size_t gauge(const std::string& name);
+  std::size_t histogram(const std::string& name, std::vector<double> upper_bounds);
+
+  /// Publish. No-ops while telemetry is disabled. `id` must come from the
+  /// matching register call above.
+  void add(std::size_t id, std::uint64_t n = 1) noexcept;
+  void set(std::size_t id, double v) noexcept;
+  void observe(std::size_t id, double v) noexcept;
+
+  /// Deterministic merged snapshot, metrics in registration order. Meant for
+  /// quiescent points (no concurrent publishers).
+  std::vector<MetricSample> scrape() const;
+
+  /// Zeroes every counter/histogram shard and gauge (names stay registered).
+  void reset() noexcept;
+
+  /// Number of thread shards ever materialized — the off-mode
+  /// zero-allocation test pins that disabled publishes never create one.
+  std::size_t shard_count() const noexcept;
+
+ private:
+  MetricRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// Typed handles over the registry: register once (cheap to copy), publish
+/// through the id. Safe to construct eagerly — registration does not depend
+/// on the enable flag.
+class Counter {
+ public:
+  explicit Counter(const std::string& name) : id_(MetricRegistry::instance().counter(name)) {}
+  void add(std::uint64_t n = 1) const noexcept { MetricRegistry::instance().add(id_, n); }
+
+ private:
+  std::size_t id_;
+};
+
+class Gauge {
+ public:
+  explicit Gauge(const std::string& name) : id_(MetricRegistry::instance().gauge(name)) {}
+  void set(double v) const noexcept { MetricRegistry::instance().set(id_, v); }
+
+ private:
+  std::size_t id_;
+};
+
+class Histogram {
+ public:
+  Histogram(const std::string& name, std::vector<double> upper_bounds)
+      : id_(MetricRegistry::instance().histogram(name, std::move(upper_bounds))) {}
+  void observe(double v) const noexcept { MetricRegistry::instance().observe(id_, v); }
+
+ private:
+  std::size_t id_;
+};
+
+// ----------------------------------------------------------------- spans ---
+
+/// One closed profiling span. `track` must be a string literal (or otherwise
+/// outlive the sink drain) — the sink stores the pointer, not a copy.
+struct Span {
+  const char* track = nullptr;
+  double start_us = 0.0;  // steady-clock µs since the process telemetry epoch
+  double dur_us = 0.0;
+};
+
+/// Microseconds since the process telemetry epoch (steady clock).
+double telemetry_now_us() noexcept;
+
+/// Collects closed spans into per-thread buffers; drain() at quiescent points
+/// merges, sorts by (start, track, duration) and clears. Buffers are capped
+/// (overflow spans are dropped and counted) so an enabled-but-undrained
+/// process cannot grow without bound.
+class SpanSink {
+ public:
+  static MetricRegistry& registry() { return MetricRegistry::instance(); }
+  static SpanSink& instance();
+
+  void record(const char* track, double start_us, double dur_us) noexcept;
+  /// Appends all buffered spans to `out` in deterministic order and clears
+  /// the buffers. Returns the number of spans drained.
+  std::size_t drain(std::vector<Span>& out);
+  /// Drops everything buffered (e.g. stale spans from a previous run).
+  void discard();
+  /// Spans dropped to the per-thread cap since process start.
+  std::uint64_t overflow_count() const noexcept;
+
+ private:
+  SpanSink() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// RAII profiling scope. Reads the clock only when telemetry is enabled at
+/// construction; a scope that started enabled records even if the flag flips
+/// mid-scope.
+class SpanScope {
+ public:
+  explicit SpanScope(const char* track) noexcept {
+    if (telemetry_enabled()) {
+      track_ = track;
+      start_ = telemetry_now_us();
+    }
+  }
+  ~SpanScope() {
+    if (track_ != nullptr) {
+      SpanSink::instance().record(track_, start_, telemetry_now_us() - start_);
+    }
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  const char* track_ = nullptr;
+  double start_ = 0.0;
+};
+
+#define FEDSPARSE_SPAN_CAT2(a, b) a##b
+#define FEDSPARSE_SPAN_CAT(a, b) FEDSPARSE_SPAN_CAT2(a, b)
+/// Profiles the enclosing scope under `track` (a string literal).
+#define FEDSPARSE_SPAN(track) \
+  ::fedsparse::util::SpanScope FEDSPARSE_SPAN_CAT(fedsparse_span_, __COUNTER__)(track)
 
 }  // namespace fedsparse::util
