@@ -904,6 +904,108 @@ void write_async_csv(const std::vector<AsyncSweepRow>& sweep, const std::string&
   }
 }
 
+// --- Byzantine attack sweep: robust aggregation must restore the ordering ---
+//
+// Three deterministic runs of the same FAB/FixedK task (identical seeds, so
+// the clean run is byte-identical to the pre-robust engine): clean, attacked
+// with the defense off, attacked with the trimmed-mean robust reduce on. The
+// gate pins the headline robustness claim: under a 20% colluding sign-flip
+// cohort the defended run's final loss stays within 10% of the clean run,
+// while the undefended mean is measurably worse than the defended one. Both
+// orderings FATAL when inverted — a regression in either the adversary model
+// (attack stopped biting) or the robust stage (defense stopped working).
+// ns_per_op holds the final evaluated loss (a deterministic simulated metric,
+// like the async-engine gate); no baseline key, so the speedup comparisons in
+// CI skip these kernels.
+
+fl::SimulationResult run_byzantine_point(bool attacked, bool defended) {
+  data::SyntheticConfig dc;
+  dc.num_classes = 4;
+  dc.channels = 1;
+  dc.height = 4;
+  dc.width = 4;
+  dc.num_clients = 50;
+  dc.samples_per_client = 4;
+  dc.test_samples = 64;
+  dc.seed = 23;
+  fl::SimulationConfig cfg;
+  cfg.batch = 2;
+  cfg.max_rounds = 60;
+  cfg.eval_every = 5;
+  cfg.eval_samples_per_client = 2;
+  cfg.eval_test_samples = 32;
+  cfg.threads = 2;
+  cfg.seed = 23;
+  if (attacked) {
+    cfg.faults.adversary.attack = fl::AttackKind::kSignFlip;
+    cfg.faults.adversary.byzantine_fraction = 0.2;
+    // Cohort seed chosen so the realized cohort is exactly 10/50 — the draw
+    // is per-client Bernoulli, so an unlucky seed can realize 30% and turn
+    // the gate into a data-mass comparison instead of a defense comparison.
+    cfg.faults.adversary.cohort_seed = 17;
+    cfg.validation.enabled = true;  // both attacked points get the screen
+    // Reputation quarantine holds for the whole run: a caught sign-flipper
+    // contributes nothing ever again (its data is unrecoverable anyway —
+    // every upload it will ever send is flipped).
+    cfg.validation.quarantine_rounds = cfg.max_rounds;
+  }
+  if (defended) {
+    cfg.robust.enabled = true;
+    cfg.robust.kind = sparsify::RobustKind::kTrimmedMean;
+    cfg.robust.trim_fraction = 0.25;
+  }
+  auto factory = nn::mlp(16, {12}, 4);
+  util::Rng probe(1);
+  const std::size_t dim = factory(probe)->dim();
+  // k = 48 of D = 256 keeps per-coordinate support around n·k/D ≈ 9 of the
+  // 50-client flush — deep enough that trimming both ends still leaves a
+  // usable honest majority per coordinate.
+  fl::Simulation sim(cfg, data::make_synthetic(dc), factory,
+                     sparsify::make_method("fab_topk", dim, 5),
+                     std::make_unique<online::FixedK>(48.0));
+  return sim.run();
+}
+
+void bench_byzantine(std::vector<KernelResult>& out) {
+  const fl::SimulationResult clean = run_byzantine_point(/*attacked=*/false, /*defended=*/false);
+  const fl::SimulationResult undefended =
+      run_byzantine_point(/*attacked=*/true, /*defended=*/false);
+  const fl::SimulationResult defended = run_byzantine_point(/*attacked=*/true, /*defended=*/true);
+
+  const double clean_loss = clean.final_loss;
+  const double undefended_loss = undefended.final_loss;
+  const double defended_loss = defended.final_loss;
+  std::printf("  %-36s final loss %.4f\n", "byzantine_clean", clean_loss);
+  std::printf("  %-36s final loss %.4f\n", "byzantine_attacked_undefended", undefended_loss);
+  std::printf("  %-36s final loss %.4f\n", "byzantine_attacked_trimmed_mean", defended_loss);
+
+  for (const auto& [name, loss] :
+       {std::pair<const char*, double>{"byzantine_clean_loss", clean_loss},
+        {"byzantine_undefended_loss", undefended_loss},
+        {"byzantine_trimmed_mean_loss", defended_loss}}) {
+    KernelResult r;
+    r.name = name;
+    r.ns_per_op = loss;  // simulated metric, see above
+    r.iterations = 1;
+    out.push_back(r);
+  }
+
+  if (!(defended_loss <= 1.10 * clean_loss)) {
+    std::fprintf(stderr,
+                 "FATAL: trimmed-mean under 20%% sign-flip cohort lost more than 10%% vs the "
+                 "clean run (%.4f vs clean %.4f)\n",
+                 defended_loss, clean_loss);
+    std::exit(1);
+  }
+  if (!(undefended_loss > defended_loss)) {
+    std::fprintf(stderr,
+                 "FATAL: undefended mean under the sign-flip cohort was not worse than the "
+                 "trimmed-mean defense (%.4f vs defended %.4f)\n",
+                 undefended_loss, defended_loss);
+    std::exit(1);
+  }
+}
+
 // --- fused accumulate + threshold prescan ------------------------------------
 //
 // add_scan folds the hinted selection scan into the accumulation sweep: one
@@ -1011,6 +1113,8 @@ int main(int argc, char** argv) {
   }
   std::printf("  buffered-async vs synchronized wall-clock (deterministic, simulated time):\n");
   bench_async_engine(results, async_sweep);
+  std::printf("  byzantine attack sweep (deterministic, final evaluated loss):\n");
+  bench_byzantine(results);
   bench_parallel_for(results);
   write_json(results, path);
   const std::size_t slash = path.find_last_of('/');

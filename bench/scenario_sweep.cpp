@@ -21,6 +21,7 @@
 //   ./bench/scenario_sweep [--rounds=250] [--target_loss=1.2] [--smoke]
 //   --smoke caps every scenario at 2 rounds (the CI tier-1 case: plumbing
 //   only, no convergence claims).
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <map>
@@ -242,6 +243,61 @@ void faulty_smoke() {
               dropped, corrupted, rejected, res.final_loss);
 }
 
+// Byzantine smoke, run under --smoke so tier-1 CI gates the robust
+// aggregation stage end to end: FAB under the byzantine_mix scenario (20%
+// colluding sign-flip cohort over long-tail links, trimmed-mean defense) must
+// complete with finite loss and weights while the attack visibly fires (tamper
+// events logged) and the robust stage visibly reacts (trust dips below 1 on at
+// least one round). Throws on any of those failing.
+void byzantine_smoke() {
+  std::printf("\n== byzantine smoke: 12 FAB rounds under byzantine_mix ==\n");
+  data::SyntheticConfig dc;
+  dc.num_classes = 4;
+  dc.channels = 1;
+  dc.height = 4;
+  dc.width = 4;
+  dc.num_clients = 50;
+  dc.samples_per_client = 4;
+  dc.test_samples = 32;
+  dc.seed = 19;
+  fl::SimulationConfig cfg;
+  cfg.batch = 2;
+  cfg.max_rounds = 12;
+  cfg.eval_every = 10;
+  cfg.eval_samples_per_client = 1;
+  cfg.eval_test_samples = 16;
+  cfg.seed = 19;
+  cfg.threads = 2;
+  fl::apply_scenario(fl::make_scenario("byzantine_mix", dc.num_clients, cfg.seed), cfg);
+  auto dataset = data::make_synthetic(dc);
+  auto factory = nn::mlp(16, {12}, 4);
+  util::Rng probe(1);
+  const std::size_t dim = factory(probe)->dim();
+  fl::Simulation sim(cfg, std::move(dataset), factory, sparsify::make_method("fab_topk", dim, 5),
+                     std::make_unique<online::FixedK>(20.0));
+  const fl::SimulationResult res = sim.run();
+  if (res.rounds_run != 12 || !std::isfinite(res.final_loss)) {
+    throw std::runtime_error("byzantine smoke: run did not complete with finite loss");
+  }
+  for (const float w : sim.client_weights(0)) {
+    if (!std::isfinite(w)) throw std::runtime_error("byzantine smoke: non-finite global weight");
+  }
+  std::size_t byzantine = 0;
+  double min_trust = 1.0;
+  for (const auto& r : res.records) {
+    byzantine += r.byzantine;
+    min_trust = std::min(min_trust, r.trust);
+  }
+  if (byzantine == 0) {
+    throw std::runtime_error("byzantine smoke: adversarial tampering never fired");
+  }
+  if (!(min_trust < 1.0)) {
+    throw std::runtime_error("byzantine smoke: robust stage never flagged the cohort");
+  }
+  std::printf("byzantine smoke: %zu tampered uploads, min round trust %.3f, final loss %.3f\n",
+              byzantine, min_trust, res.final_loss);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -285,6 +341,7 @@ int main(int argc, char** argv) {
       fleet_smoke();
       async_smoke();
       faulty_smoke();
+      byzantine_smoke();
     }
 
     if (!smoke) {

@@ -1,5 +1,6 @@
 #include "fl/faults.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <limits>
@@ -9,18 +10,27 @@
 
 namespace fedsparse::fl {
 
-FaultModel::FaultModel(const FaultConfig& cfg, std::uint64_t sim_seed) : cfg_(cfg) {
+FaultModel::FaultModel(const FaultConfig& cfg, std::uint64_t sim_seed, std::size_t dim)
+    : cfg_(cfg), dim_(dim) {
   std::uint64_t s = cfg.seed != 0 ? cfg.seed : (sim_seed ^ 0xFA017C0DEULL);
   seed_ = util::splitmix64(s);
+  std::uint64_t c = cfg.adversary.cohort_seed != 0 ? cfg.adversary.cohort_seed
+                                                   : (seed_ ^ 0xB12A57C0C0DEULL);
+  cohort_seed_ = util::splitmix64(c);
 }
 
-std::uint64_t FaultModel::mix(std::size_t round, std::size_t client, std::uint64_t salt) const {
+std::uint64_t FaultModel::mix_with(std::uint64_t seed, std::size_t round, std::size_t client,
+                                   std::uint64_t salt) {
   // Two SplitMix64 passes over the (seed, round, client, salt) tuple: cheap,
   // stateless, and well-mixed enough that per-salt streams are independent.
-  std::uint64_t s = seed_ ^ (0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(round) + 1)) ^
+  std::uint64_t s = seed ^ (0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(round) + 1)) ^
                     (0xC2B2AE3D27D4EB4FULL * (static_cast<std::uint64_t>(client) + 1)) ^ salt;
   (void)util::splitmix64(s);
   return util::splitmix64(s);
+}
+
+std::uint64_t FaultModel::mix(std::size_t round, std::size_t client, std::uint64_t salt) const {
+  return mix_with(seed_, round, client, salt);
 }
 
 double FaultModel::draw(std::size_t round, std::size_t client, std::uint64_t salt) const {
@@ -61,8 +71,77 @@ std::size_t FaultModel::backoff_rounds(std::size_t strikes) const noexcept {
 
 void FaultModel::apply(std::size_t round, std::size_t client,
                        sparsify::SparseVector& payload) const {
-  if (payload.empty() || !corrupts(round, client)) return;
-  corrupt_payload(round, client, payload);
+  if (payload.empty()) return;
+  if (!cfg_.adversary.trivial() && byzantine(client)) {
+    attack_payload(round, client, payload);
+  }
+  if (corrupts(round, client)) corrupt_payload(round, client, payload);
+}
+
+bool FaultModel::byzantine(std::size_t client) const {
+  if (cfg_.adversary.trivial()) return false;
+  // Round-independent membership over the SHARED cohort seed: colluding
+  // cohorts constructed from the same seed attack through the same clients.
+  const double u =
+      static_cast<double>(mix_with(cohort_seed_, 0, client, 0x66) >> 11) * 0x1.0p-53;
+  return u < cfg_.adversary.byzantine_fraction;
+}
+
+void FaultModel::attack_payload(std::size_t round, std::size_t client,
+                                sparsify::SparseVector& payload) const {
+  if (payload.empty()) return;
+  const AdversaryConfig& adv = cfg_.adversary;
+  switch (adv.attack) {
+    case AttackKind::kNone:
+      break;
+    case AttackKind::kSignFlip:
+      for (auto& e : payload) e.value = -e.value;
+      break;
+    case AttackKind::kScaleBlowup: {
+      const float scale = static_cast<float>(adv.scale);
+      for (auto& e : payload) e.value *= scale;
+      break;
+    }
+    case AttackKind::kTargetedPoison: {
+      // Redirect the payload's whole mass onto the cohort's shared
+      // contiguous coordinate block, at -scale × the payload's mean |value|
+      // (round-dependent magnitude, round-independent target). The rewrite
+      // keeps indices distinct and in-bounds: structurally valid by
+      // construction.
+      const std::size_t dim = dim_ > 0 ? dim_ : [&payload] {
+        std::size_t hi = 0;
+        for (const auto& e : payload) hi = std::max(hi, static_cast<std::size_t>(e.index));
+        return hi + 1;
+      }();
+      double mean_abs = 0.0;
+      for (const auto& e : payload) mean_abs += std::abs(static_cast<double>(e.value));
+      mean_abs /= static_cast<double>(payload.size());
+      const std::size_t base = mix_with(cohort_seed_, 0, 0, 0x77) % dim;
+      const std::size_t count = std::min(payload.size(), dim);
+      payload.resize(count);
+      const float v = static_cast<float>(-adv.scale * mean_abs);
+      for (std::size_t t = 0; t < count; ++t) {
+        payload[t].index = static_cast<std::int32_t>((base + t) % dim);
+        payload[t].value = v;
+      }
+      break;
+    }
+    case AttackKind::kColluding: {
+      // Shared per-coordinate sign pattern: wherever two colluders' payloads
+      // overlap they push the same way, at each client's own mean magnitude
+      // (plausible norms, coordinated direction).
+      double mean_abs = 0.0;
+      for (const auto& e : payload) mean_abs += std::abs(static_cast<double>(e.value));
+      mean_abs /= static_cast<double>(payload.size());
+      const float mag = static_cast<float>(mean_abs);
+      for (auto& e : payload) {
+        const bool neg =
+            (mix_with(cohort_seed_, 0, static_cast<std::size_t>(e.index), 0x88) & 1) != 0;
+        e.value = neg ? -mag : mag;
+      }
+      break;
+    }
+  }
 }
 
 void FaultModel::corrupt_payload(std::size_t round, std::size_t client,
@@ -107,11 +186,13 @@ void publish_fault_event(FaultKind kind) noexcept {
   static const util::Counter c_corrupt("faults.payload_corrupt");
   static const util::Counter c_crash("faults.client_crash");
   static const util::Counter c_timeout("faults.flush_timeout");
+  static const util::Counter c_adversarial("faults.adversarial_tamper");
   switch (kind) {
     case FaultKind::kUploadDrop: c_drop.add(1); break;
     case FaultKind::kPayloadCorrupt: c_corrupt.add(1); break;
     case FaultKind::kClientCrash: c_crash.add(1); break;
     case FaultKind::kFlushTimeout: c_timeout.add(1); break;
+    case FaultKind::kAdversarialTamper: c_adversarial.add(1); break;
   }
 }
 

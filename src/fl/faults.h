@@ -26,6 +26,14 @@
 // failures a client sits out min(base · 2^(s-1), max) rounds before it is
 // eligible for sampling again, then flushes everything it accumulated.
 //
+// Beyond accidental faults, the model carries a seeded Byzantine cohort
+// (AdversaryConfig): a round-independent subset of clients whose uploads are
+// adversarially transformed — sign-flipped, scaled within finiteness limits,
+// redirected onto a shared target block, or colluding on a shared sign
+// pattern — through the same UploadTamper seam. Adversarial payloads stay
+// structurally valid on purpose: they are the robust-aggregation stage's
+// problem (sparsify/robust.h), not screening's.
+//
 // Determinism contract: every draw is a pure function of
 // (seed, round, client) — no shared RNG stream — so the fault schedule is
 // identical across thread counts, shard counts, and the sync/async engines,
@@ -46,6 +54,7 @@ enum class FaultKind : std::uint8_t {
   kPayloadCorrupt = 1,
   kClientCrash = 2,
   kFlushTimeout = 3,
+  kAdversarialTamper = 4,
 };
 
 enum class CorruptionMode : std::uint8_t {
@@ -53,6 +62,46 @@ enum class CorruptionMode : std::uint8_t {
   kInf = 1,
   kBitFlip = 2,
   kMagnitudeBlowup = 3,
+};
+
+/// Adversarial (Byzantine) attack kinds. Unlike CorruptionMode these produce
+/// perfectly WELL-FORMED uploads — in-bounds, duplicate-free, finite — that
+/// pass structural screening and must be absorbed by the robust-aggregation
+/// stage (sparsify/robust.h) instead.
+enum class AttackKind : std::uint8_t {
+  kNone = 0,
+  /// Cohort negates every uploaded value: anti-aligned with the honest mean.
+  kSignFlip = 1,
+  /// Cohort inflates its values by `scale` — finite, so screening's
+  /// structural checks pass and only norm clipping / trimming can bound it.
+  kScaleBlowup = 2,
+  /// Cohort redirects its entire payload mass onto a shared contiguous
+  /// coordinate block (derived from the cohort seed), pushing those
+  /// coordinates hard in a common direction.
+  kTargetedPoison = 3,
+  /// Cohort members upload a shared pseudo-random sign pattern (derived per
+  /// coordinate from the cohort seed) at their own magnitudes: colluders
+  /// agree wherever their payloads overlap, honest clients do not.
+  kColluding = 4,
+};
+
+/// Seeded Byzantine cohort riding inside FaultConfig. Cohort membership is a
+/// pure, ROUND-INDEPENDENT draw per client (a persistent adversary, not a
+/// transient fault), and every transform is pure in
+/// (seed, round, client, payload) — attacked runs replay exactly.
+struct AdversaryConfig {
+  AttackKind attack = AttackKind::kNone;
+  /// Per-client probability of belonging to the Byzantine cohort.
+  double byzantine_fraction = 0.0;
+  /// Value multiplier for kScaleBlowup / magnitude for kTargetedPoison.
+  double scale = 20.0;
+  /// Colluders share this seed for membership, target blocks, and sign
+  /// patterns; 0 derives one from the fault-stream seed.
+  std::uint64_t cohort_seed = 0;
+
+  bool trivial() const noexcept {
+    return attack == AttackKind::kNone || byzantine_fraction <= 0.0;
+  }
 };
 
 struct FaultConfig {
@@ -69,9 +118,12 @@ struct FaultConfig {
   std::size_t retry_backoff_max = 8;   // exponential backoff cap, in rounds
   /// Fault-stream seed; 0 derives one from the simulation seed.
   std::uint64_t seed = 0;
+  /// Byzantine cohort (adversarial, well-formed tampering).
+  AdversaryConfig adversary;
 
   bool trivial() const noexcept {
-    return drop_prob == 0.0 && corrupt_prob == 0.0 && crash_prob == 0.0 && flush_timeout == 0.0;
+    return drop_prob == 0.0 && corrupt_prob == 0.0 && crash_prob == 0.0 &&
+           flush_timeout == 0.0 && adversary.trivial();
   }
 };
 
@@ -88,7 +140,9 @@ struct FaultEvent {
 class FaultModel final : public sparsify::UploadTamper {
  public:
   FaultModel() = default;
-  FaultModel(const FaultConfig& cfg, std::uint64_t sim_seed);
+  /// `dim` bounds the coordinate space for targeted-poisoning attacks; 0
+  /// (unknown) derives a bound from the payload being attacked.
+  FaultModel(const FaultConfig& cfg, std::uint64_t sim_seed, std::size_t dim = 0);
 
   const FaultConfig& config() const noexcept { return cfg_; }
   bool trivial() const noexcept { return cfg_.trivial(); }
@@ -117,17 +171,33 @@ class FaultModel final : public sparsify::UploadTamper {
   void corrupt_payload(std::size_t round, std::size_t client,
                        sparsify::SparseVector& payload) const;
 
+  /// Persistent cohort membership: a pure, round-independent draw per client
+  /// against adversary.byzantine_fraction (false when the adversary config
+  /// is trivial).
+  bool byzantine(std::size_t client) const;
+
+  /// The attack transform itself, unconditionally applied (exposed for
+  /// tests). Pure in (round, client, payload); always leaves the payload
+  /// structurally valid and finite.
+  void attack_payload(std::size_t round, std::size_t client,
+                      sparsify::SparseVector& payload) const;
+
  private:
+  static std::uint64_t mix_with(std::uint64_t seed, std::size_t round, std::size_t client,
+                                std::uint64_t salt);
   std::uint64_t mix(std::size_t round, std::size_t client, std::uint64_t salt) const;
   double draw(std::size_t round, std::size_t client, std::uint64_t salt) const;
 
   FaultConfig cfg_;
   std::uint64_t seed_ = 0;
+  std::uint64_t cohort_seed_ = 0;  // shared colluder stream (derived when 0)
+  std::size_t dim_ = 0;
 };
 
 /// Telemetry: bumps the per-kind fault counter (faults.upload_drop,
-/// faults.payload_corrupt, faults.client_crash, faults.flush_timeout).
-/// A branch-on-one-atomic no-op while telemetry is disabled.
+/// faults.payload_corrupt, faults.client_crash, faults.flush_timeout,
+/// faults.adversarial_tamper). A branch-on-one-atomic no-op while telemetry
+/// is disabled.
 void publish_fault_event(FaultKind kind) noexcept;
 
 }  // namespace fedsparse::fl

@@ -207,8 +207,8 @@ double NetworkModel::max_compute_multiplier(std::span<const std::size_t> ids) co
 // ---------------------------------------------------------------- scenarios
 
 std::vector<std::string> scenario_names() {
-  return {"uniform",     "bimodal",     "longtail_mobile",
-          "metered_wan", "churn_heavy", "faulty_wan"};
+  return {"uniform",     "bimodal",    "longtail_mobile", "metered_wan",
+          "churn_heavy", "faulty_wan", "byzantine_mix"};
 }
 
 Scenario make_scenario(const std::string& name, std::size_t n, std::uint64_t seed) {
@@ -275,10 +275,30 @@ Scenario make_scenario(const std::string& name, std::size_t n, std::uint64_t see
     s.weight_money = 1.0;
     s.faults.drop_prob = 0.05;
     s.faults.corrupt_prob = 0.01;
+  } else if (name == "byzantine_mix") {
+    // Long-tail mobile links carrying a colluding Byzantine cohort: ~20% of
+    // clients sign-flip their sparsified uploads every round (finite values,
+    // so norm screening alone cannot catch them). The scenario pairs the
+    // attack with the trimmed-mean robust reduce; apply_scenario carries the
+    // robust config into the SimulationConfig alongside the screen.
+    s.description = "long-tail mobile links with a 20% sign-flip cohort and trimmed-mean defense";
+    s.network.profiles.resize(n);
+    for (auto& p : s.network.profiles) {
+      p.uplink_rate = 0.5 * std::exp(rng.normal(0.0, 0.8));
+      p.downlink_rate = 0.7 * std::exp(rng.normal(0.0, 0.5));
+      p.compute_multiplier = std::exp(rng.normal(0.0, 0.4));
+    }
+    s.network.rate_jitter_sigma = 0.3;
+    s.faults.adversary.attack = AttackKind::kSignFlip;
+    s.faults.adversary.byzantine_fraction = 0.2;
+    s.faults.adversary.cohort_seed = 77;
+    s.robust.enabled = true;
+    s.robust.kind = sparsify::RobustKind::kTrimmedMean;
+    s.robust.trim_fraction = 0.25;
   } else {
-    throw std::invalid_argument(
-        "make_scenario: unknown scenario '" + name +
-        "' (expected uniform|bimodal|longtail_mobile|metered_wan|churn_heavy|faulty_wan)");
+    throw std::invalid_argument("make_scenario: unknown scenario '" + name +
+                                "' (expected uniform|bimodal|longtail_mobile|metered_wan|"
+                                "churn_heavy|faulty_wan|byzantine_mix)");
   }
   return s;
 }

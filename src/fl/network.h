@@ -36,6 +36,7 @@
 
 #include "fl/faults.h"
 #include "fl/timing.h"
+#include "sparsify/robust.h"
 #include "util/rng.h"
 
 namespace fedsparse::fl {
@@ -185,13 +186,18 @@ struct Scenario {
   /// Fault injection (fl/faults.h); trivial by default. apply_scenario also
   /// enables server-side upload screening when this is non-trivial.
   FaultConfig faults;
+  /// Robust aggregation (sparsify/robust.h); disabled by default. A scenario
+  /// that ships Byzantine adversaries pairs them with a robust reduce here.
+  sparsify::RobustConfig robust;
 };
 
 /// Registry names: "uniform", "bimodal", "longtail_mobile", "metered_wan",
 /// "churn_heavy" (long-tail links, aggressive Markov off-rate — most clients
 /// offline per round, the regime the tiered accumulators' dirty-chunk
 /// pruning targets), "faulty_wan" (metered WAN links plus upload drops and
-/// payload corruption — the fault-injection + screening regime).
+/// payload corruption — the fault-injection + screening regime),
+/// "byzantine_mix" (long-tail mobile links with a 20% colluding sign-flip
+/// cohort, defended by trimmed-mean robust aggregation).
 std::vector<std::string> scenario_names();
 
 /// Builds the preset for an n-client population. `seed` shapes the sampled

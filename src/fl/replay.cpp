@@ -28,7 +28,9 @@ void fnv_vec(std::uint64_t& h, const std::vector<T>& v) {
 
 // --- binary io ------------------------------------------------------------
 
-constexpr std::uint32_t kMagic = 0x46524C31;  // "FRL1"
+// "FRL2": v2 appended AdversaryConfig to FaultConfig and RobustConfig to the
+// header — both POD-serialized, so the struct layouts are part of the format.
+constexpr std::uint32_t kMagic = 0x46524C32;
 
 struct Writer {
   std::FILE* f;
@@ -93,12 +95,14 @@ std::uint64_t outcome_digest(const sparsify::RoundOutcome& out) {
 
 RoundRecorder::RoundRecorder(std::size_t dim, std::string method, std::uint64_t seed,
                              const FaultConfig& faults,
-                             const sparsify::ValidationConfig& validation) {
+                             const sparsify::ValidationConfig& validation,
+                             const sparsify::RobustConfig& robust) {
   log_.dim = dim;
   log_.seed = seed;
   log_.method = std::move(method);
   log_.fault_config = faults;
   log_.validation = validation;
+  log_.robust = robust;
 }
 
 void RoundRecorder::record(const sparsify::RoundInput& in, std::size_t k,
@@ -143,6 +147,7 @@ void ReplayLog::save(const std::string& path) const {
     w.str(method);
     w.pod(fault_config);
     w.pod(validation);
+    w.pod(robust);
     w.pod(static_cast<std::uint64_t>(rounds.size()));
     for (const ReplayRound& r : rounds) {
       w.pod(r.round);
@@ -177,6 +182,7 @@ ReplayLog ReplayLog::load(const std::string& path) {
     rd.str(log.method);
     rd.pod(log.fault_config);
     rd.pod(log.validation);
+    rd.pod(log.robust);
     std::uint64_t n = 0;
     rd.pod(n);
     log.rounds.resize(n);
@@ -204,7 +210,10 @@ ReplayResult replay(const ReplayLog& log, std::size_t shards) {
   auto method = sparsify::make_method(log.method, log.dim, log.seed);
   method->set_sharding(shards);
   method->set_validation(log.validation);
-  const FaultModel faults(log.fault_config, log.seed);
+  method->set_robust(log.robust);
+  // dim flows into the FaultModel so targeted-coordinate poisoning lands on
+  // the same coordinates it hit during recording.
+  const FaultModel faults(log.fault_config, log.seed, log.dim);
 
   ReplayResult res;
   std::vector<float> dense;                       // slot-major dense vectors

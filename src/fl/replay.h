@@ -54,8 +54,9 @@ struct ReplayLog {
   std::uint64_t dim = 0;
   std::uint64_t seed = 0;  // simulation seed (reconstructs the FaultModel)
   std::string method;
-  FaultConfig fault_config;
+  FaultConfig fault_config;  // includes AdversaryConfig (Byzantine cohorts)
   sparsify::ValidationConfig validation;
+  sparsify::RobustConfig robust;
   std::vector<ReplayRound> rounds;
 
   /// Compact binary round-trip (magic + version header; throws on mismatch).
@@ -71,7 +72,8 @@ std::uint64_t outcome_digest(const sparsify::RoundOutcome& out);
 class RoundRecorder {
  public:
   RoundRecorder(std::size_t dim, std::string method, std::uint64_t seed,
-                const FaultConfig& faults, const sparsify::ValidationConfig& validation);
+                const FaultConfig& faults, const sparsify::ValidationConfig& validation,
+                const sparsify::RobustConfig& robust = {});
 
   void record(const sparsify::RoundInput& in, std::size_t k, std::span<const FaultEvent> faults,
               std::span<const Event> timeline, const sparsify::RoundOutcome& out);

@@ -128,8 +128,9 @@ Simulation::Simulation(SimulationConfig cfg, data::FederatedDataset dataset,
   // trivial fault model short-circuits every hook and a disabled validator
   // returns uploads untouched, so the zero-fault configuration stays
   // byte-identical to a build without either (tests/fault_test.cpp).
-  fault_model_ = FaultModel(cfg_.faults, cfg.seed);
+  fault_model_ = FaultModel(cfg_.faults, cfg.seed, dim_);
   method_->set_validation(cfg_.validation);
+  method_->set_robust(cfg_.robust);
   fault_strikes_.assign(clients_.size(), 0);
   retry_after_.assign(clients_.size(), 0);
 
@@ -614,6 +615,17 @@ void Simulation::stage_server_round(RoundContext& ctx) {
         ++ctx.corrupted;
       }
     }
+    // Byzantine cohort membership mirrors the same way: round-independent and
+    // pure per client, so the event log matches the adversarial tampers the
+    // pipeline's UploadTamper seam applies.
+    if (!fault_model_.config().adversary.trivial()) {
+      for (const std::size_t i : flush) {
+        if (!fault_model_.byzantine(i)) continue;
+        fault_events_.push_back({static_cast<std::uint32_t>(ctx.m), static_cast<std::uint32_t>(i),
+                                 FaultKind::kAdversarialTamper, CorruptionMode::kNaN});
+        ++ctx.byzantine;
+      }
+    }
     ctx.outcome = method_->round(make_round_input(ctx.m, flush, ctx.staleness), ctx.k_int);
     if (recorder_ != nullptr) {
       // round_input_ still holds this round's (pre-tamper) method input.
@@ -806,6 +818,7 @@ void Simulation::stage_account(RoundContext& ctx, SimulationResult& res, double&
                                                            fleet_downlink);
   fb.mean_staleness = ctx.mean_staleness;
   fb.validity = ctx.outcome.validation.valid_fraction;
+  fb.trust = ctx.outcome.robust.mean_trust;
   ctx.wall_time = fb.round_time;
   if (!fedavg_style_ && !flush.empty()) {
     probe_prev_.resize(flush.size());
@@ -906,9 +919,12 @@ bool Simulation::stage_record(RoundContext& ctx, SimulationResult& res, double t
   rec.buffered_stale = pending_ids_.size();
   rec.dropped = ctx.dropped;
   rec.corrupted = ctx.corrupted;
+  rec.byzantine = ctx.byzantine;
   rec.rejected = ctx.outcome.validation.rejected;
   rec.quarantined = ctx.outcome.validation.quarantined;
   rec.degraded = ctx.outcome.validation.degraded;
+  rec.suspects = ctx.outcome.robust.suspects;
+  rec.trust = ctx.outcome.robust.mean_trust;
   if (flush.empty()) {
     rec.train_loss = std::numeric_limits<double>::quiet_NaN();  // no server round
   } else {
@@ -960,9 +976,12 @@ void Simulation::emit_telemetry(const RoundContext& ctx, const SimulationResult&
   static const util::Counter c_downlink("fl.downlink_values");
   static const util::Counter c_dropped("fl.faults.dropped");
   static const util::Counter c_corrupted("fl.faults.corrupted");
+  static const util::Counter c_byzantine("fl.faults.byzantine");
   static const util::Counter c_rejected("fl.validation.rejected");
   static const util::Counter c_quarantined("fl.validation.quarantined");
   static const util::Counter c_degraded("fl.validation.degraded_rounds");
+  static const util::Counter c_suspects("fl.robust.suspects");
+  static const util::Gauge g_trust("fl.robust.mean_trust");
   static const util::Histogram h_staleness("fl.staleness",
                                            {0.0, 1.0, 2.0, 4.0, 8.0, 16.0});
 
@@ -982,9 +1001,12 @@ void Simulation::emit_telemetry(const RoundContext& ctx, const SimulationResult&
   c_downlink.add(static_cast<std::uint64_t>(std::llround(std::max(0.0, rec.downlink_values))));
   if (rec.dropped > 0) c_dropped.add(rec.dropped);
   if (rec.corrupted > 0) c_corrupted.add(rec.corrupted);
+  if (rec.byzantine > 0) c_byzantine.add(rec.byzantine);
   if (rec.rejected > 0) c_rejected.add(rec.rejected);
   if (rec.quarantined > 0) c_quarantined.add(rec.quarantined);
   if (rec.degraded) c_degraded.add(1);
+  if (rec.suspects > 0) c_suspects.add(rec.suspects);
+  g_trust.set(rec.trust);
   for (const FaultEvent& e : fault_events_) publish_fault_event(e.kind);
   for (std::size_t s = 0; s < rec.participants; ++s) {
     h_staleness.observe(
@@ -1015,9 +1037,12 @@ void Simulation::emit_telemetry(const RoundContext& ctx, const SimulationResult&
     row.max_staleness = rec.max_staleness;
     row.dropped = rec.dropped;
     row.corrupted = rec.corrupted;
+    row.byzantine = rec.byzantine;
     row.rejected = rec.rejected;
     row.quarantined = rec.quarantined;
     row.degraded = rec.degraded;
+    row.suspects = rec.suspects;
+    row.trust = rec.trust;
     jsonl_writer_->write_round(row, {span_scratch_.data(), span_scratch_.size()},
                                util::MetricRegistry::instance().scrape());
   }
@@ -1126,6 +1151,9 @@ void apply_scenario(const Scenario& s, SimulationConfig& cfg) {
   // A faulty scenario without the screen would feed corrupted payloads
   // straight into the aggregation arena; turn the defense on with it.
   if (!s.faults.trivial()) cfg.validation.enabled = true;
+  // Scenarios that ship a robust-aggregation config carry it through; a
+  // disabled (trivial) scenario config leaves whatever the caller set.
+  if (s.robust.enabled) cfg.robust = s.robust;
 }
 
 std::vector<std::pair<double, double>> SimulationResult::loss_curve() const {

@@ -198,6 +198,12 @@ struct SimulationConfig {
   /// method. Disabled by default; a disabled screen is a bitwise no-op.
   sparsify::ValidationConfig validation;
 
+  /// Byzantine-resilient aggregation (sparsify/robust.h), forwarded to the
+  /// method: coordinate-wise trimmed-mean/median over transmitted
+  /// coordinates plus cosine reputation feeding the quarantine machinery.
+  /// Disabled by default; the disabled stage is a bitwise no-op.
+  sparsify::RobustConfig robust;
+
   /// Telemetry (util/stats.h + fl/trace.h): per-stage spans, the metrics
   /// registry, and the optional Chrome-trace / metrics-JSONL streams. Off by
   /// default; an off run is byte-identical to one without telemetry compiled
@@ -233,8 +239,11 @@ struct RoundRecord {
   // sparsify/validate.h — surfaced as metrics.csv columns by bench/common.h).
   std::size_t dropped = 0;      // uploads lost: drops + flush timeouts + crashes
   std::size_t corrupted = 0;    // flushed uploads the corruption draw tampered
+  std::size_t byzantine = 0;    // flushed uploads from the adversarial cohort
   std::size_t rejected = 0;     // uploads emptied by the screening stage
   std::size_t quarantined = 0;  // uploads dropped from quarantined clients
+  std::size_t suspects = 0;     // contributors flagged by the robust stage
+  double trust = 1.0;           // robust-stage round trust (damps feedback)
   bool degraded = false;        // too few valid uploads: aggregation skipped
 };
 
@@ -339,6 +348,7 @@ class Simulation {
     double wall_time = 0.0;
     std::size_t dropped = 0;    // uploads lost to faults this round
     std::size_t corrupted = 0;  // corruption draws that fired on the flush
+    std::size_t byzantine = 0;  // flushed uploads from the adversarial cohort
   };
 
   // --- pipeline stages (one round = one pass through all of them) ----------

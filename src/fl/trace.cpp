@@ -194,9 +194,12 @@ void MetricsJsonlWriter::write_round(const Row& row, std::span<const util::Span>
   field("max_staleness", std::to_string(row.max_staleness));
   field("dropped", std::to_string(row.dropped));
   field("corrupted", std::to_string(row.corrupted));
+  field("byzantine", std::to_string(row.byzantine));
   field("rejected", std::to_string(row.rejected));
   field("quarantined", std::to_string(row.quarantined));
   field("degraded", row.degraded ? "true" : "false");
+  field("suspects", std::to_string(row.suspects));
+  field("trust", json_number(row.trust));
 
   std::string stages = "{";
   for (const StageTotal& t : stage_totals(spans)) {

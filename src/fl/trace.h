@@ -103,9 +103,12 @@ class MetricsJsonlWriter {
     std::size_t max_staleness = 0;
     std::size_t dropped = 0;
     std::size_t corrupted = 0;
+    std::size_t byzantine = 0;
     std::size_t rejected = 0;
     std::size_t quarantined = 0;
     bool degraded = false;
+    std::size_t suspects = 0;
+    double trust = 1.0;
   };
 
   MetricsJsonlWriter() = default;

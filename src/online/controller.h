@@ -45,6 +45,14 @@ struct RoundFeedback {
   /// Algorithms 2/3 scale their step by this factor. An exact no-op at 1
   /// (×1.0), so fault-free traces are untouched.
   double validity = 1.0;
+
+  /// Weighted fraction of contributors the robust aggregation stage
+  /// (sparsify/robust.h) did NOT flag as anti-aligned with the robust
+  /// aggregate: 1 on clean rounds and whenever the stage is disabled.
+  /// A low-trust round's probe losses were measured against an update the
+  /// robust statistic had to fight for, so Algorithms 2/3 damp their step by
+  /// this factor rather than chase poisoned probes. An exact no-op at 1.
+  double trust = 1.0;
 };
 
 class KController {

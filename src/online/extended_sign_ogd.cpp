@@ -46,9 +46,9 @@ void ExtendedSignOgd::observe(const RoundFeedback& fb) {
     post_update(/*updated=*/false);  // Lines 6–7 are skipped (paper, Sec. IV-E)
     return;
   }
-  // Staleness + screening-validity damping — see SignOgd::observe; exact
-  // no-op at s̄ = 0, validity 1.
-  const double damp = (1.0 / (1.0 + fb.mean_staleness)) * fb.validity;
+  // Staleness + screening-validity + robust-trust damping — see
+  // SignOgd::observe; exact no-op at s̄ = 0, validity 1, trust 1.
+  const double damp = (1.0 / (1.0 + fb.mean_staleness)) * fb.validity * fb.trust;
   k_ = project(k_ - delta() * damp * static_cast<double>(est.sign));
   publish_controller_step(k_, est.sign, damp);
   post_update(/*updated=*/true);

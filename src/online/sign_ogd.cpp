@@ -57,10 +57,12 @@ void SignOgd::observe(const RoundFeedback& fb) {
   // Staleness damping (buffered-async engine): a flush mixing stale uploads
   // yields a noisier derivative sign, so scale the step by 1/(1 + s̄). The
   // validity factor damps further when server-side screening rejected part
-  // of the flush (the loss movement no longer reflects k alone). At s̄ = 0
-  // and validity 1 both factors are exactly 1.0 and the update below is
-  // bit-identical to the synchronized observe_sign path.
-  const double damp = (1.0 / (1.0 + fb.mean_staleness)) * fb.validity;
+  // of the flush, and the trust factor when the robust aggregation stage
+  // flagged anti-aligned contributors (the loss movement no longer reflects
+  // k alone). At s̄ = 0, validity 1 and trust 1 all factors are exactly 1.0
+  // and the update below is bit-identical to the synchronized observe_sign
+  // path.
+  const double damp = (1.0 / (1.0 + fb.mean_staleness)) * fb.validity * fb.trust;
   k_ = project(k_ - delta() * damp * static_cast<double>(est.sign));
   publish_controller_step(k_, est.sign, damp);
   ++m_;

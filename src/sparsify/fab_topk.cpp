@@ -68,8 +68,10 @@ RoundOutcome FabTopK::round(const RoundInput& in, std::size_t k) {
   k = std::clamp<std::size_t>(k, 1, pipe_.dim());
   // Dispatch on the pipeline's shard count alone (not n): the hint store must
   // not flip between the per-client workspaces and the fleet store across
-  // rounds.
-  if (pipe_.sharded()) return round_sharded(in, k);
+  // rounds. The robust path also routes through the sharded engine (at S = 1
+  // it is the reference round with the robust reduce swapped in) — the
+  // defense-off reference loop below stays bitwise untouched.
+  if (pipe_.sharded() || pipe_.robust_enabled()) return round_sharded(in, k);
 
   // Stage: client-side top-k of the accumulated gradient, strongest first —
   // the N independent selections thread across the registered pool, pruning
@@ -315,7 +317,12 @@ RoundOutcome FabTopK::round_sharded(const RoundInput& in, std::size_t k) {
   out.validation = vstats;
   const BucketAggregator::Filter filter{stamp, in_j};
   pipe_.build_resets(S, pool, filter, out);
-  pipe_.aggregate(weights, S, pool, filter);
+  if (pipe_.robust_enabled()) {
+    pipe_.aggregate_robust(in, weights, S, pool, filter);
+    out.robust = pipe_.robust_stats();
+  } else {
+    pipe_.aggregate(weights, S, pool, filter);
+  }
 
   // Buckets are ascending disjoint index ranges, so per-bucket index sorts
   // concatenate into the globally index-sorted update the reference emits.

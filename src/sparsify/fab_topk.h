@@ -38,6 +38,7 @@ class FabTopK final : public Method {
   /// compact per-client hint store, so switch before the first round.
   void set_sharding(std::size_t shards) override { pipe_.set_sharding(shards); }
   void set_validation(const ValidationConfig& cfg) override { pipe_.set_validation(cfg); }
+  void set_robust(const RobustConfig& cfg) override { pipe_.set_robust(cfg); }
 
   float upload_threshold_hint(std::size_t client_id, std::size_t k) const override {
     return pipe_.threshold_hint(client_id, k);

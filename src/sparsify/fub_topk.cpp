@@ -17,7 +17,10 @@ RoundOutcome FubTopK::round(const RoundInput& in, std::size_t k) {
   validate_round_input(in);
   const std::size_t n = in.client_vectors.size();
   k = std::clamp<std::size_t>(k, 1, pipe_.dim());
-  if (pipe_.sharded()) return round_sharded(in, k);
+  // The robust path routes through the sharded engine (at S = 1 it is the
+  // reference round with the robust reduce swapped in); the defense-off
+  // reference loop below stays bitwise untouched.
+  if (pipe_.sharded() || pipe_.robust_enabled()) return round_sharded(in, k);
 
   // Stage: per-client selections threaded across the registered pool
   // (deterministic: each client owns its workspace and output slot),
@@ -107,7 +110,11 @@ RoundOutcome FubTopK::round_sharded(const RoundInput& in, std::size_t k) {
     return out;
   }
 
-  const BucketAggregator& aggregator = pipe_.aggregate(weights, S, pool, /*f=*/{});
+  RoundOutcome out;
+  const BucketAggregator& aggregator =
+      pipe_.robust_enabled() ? pipe_.aggregate_robust(in, weights, S, pool, /*f=*/{})
+                             : pipe_.aggregate(weights, S, pool, /*f=*/{});
+  if (pipe_.robust_enabled()) out.robust = pipe_.robust_stats();
   float* agg = pipe_.agg();
 
   const std::size_t B = aggregator.buckets();
@@ -130,7 +137,6 @@ RoundOutcome FubTopK::round_sharded(const RoundInput& in, std::size_t k) {
 
   std::uint32_t* stamp = pipe_.stamp();
   const std::uint32_t in_j = pipe_.next_token();
-  RoundOutcome out;
   out.kind = RoundOutcome::Kind::kSparseUpdate;
   out.validation = vstats;
   out.update.resize(merged.size());

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "sparsify/robust.h"
 #include "sparsify/sparse_vector.h"
 #include "sparsify/topk.h"
 #include "sparsify/validate.h"
@@ -142,6 +143,11 @@ struct RoundOutcome {
   /// update is empty, reset_kind is kNone, and contributed is all-zero: the
   /// engine holds the global weights and every client keeps its mass.
   ValidationStats validation;
+
+  /// Robust-aggregation outcome (sparsify/robust.h). Default-initialized —
+  /// mean_trust 1, zero counters — when the robust stage is disabled or the
+  /// method has none.
+  RobustStats robust;
 };
 
 class Method {
@@ -175,6 +181,12 @@ class Method {
   /// RoundPipeline. Disabled-by-default, and a disabled screen is a bitwise
   /// no-op on the round.
   virtual void set_validation(const ValidationConfig& cfg) { (void)cfg; }
+
+  /// Configures the robust-aggregation stage (sparsify/robust.h). Methods
+  /// without an aggregation stage ignore it; top-k methods forward to their
+  /// RoundPipeline. Disabled-by-default, and the disabled stage is a bitwise
+  /// no-op: the defense-off round never reaches the robust code path.
+  virtual void set_robust(const RobustConfig& cfg) { (void)cfg; }
 
   /// The |value| threshold the next depth-`k` selection for `client_id`
   /// would scan with (its persisted hint), or 0 when unknown. The simulation

@@ -1,0 +1,83 @@
+// Byzantine-resilient aggregation: the robust statistic behind the
+// weighted-sum aggregate.
+//
+// Screening (validate.h) removes uploads that are malformed — wrong indices,
+// non-finite values, absurd norms. It cannot remove uploads that are
+// perfectly well-formed but adversarial: a colluding cohort that sign-flips
+// its gradients, inflates them within finiteness limits, or redirects its
+// payload mass onto a shared coordinate block steers the plain weighted mean
+// (and, through it, the online k-controller that reads the aggregated loss
+// signal) while passing every structural check.
+//
+// The robust stage replaces the per-coordinate weighted sum with a robust
+// statistic over the clients that actually transmitted that coordinate:
+//
+//   * trimmed mean — sort the per-client contributions by value, drop
+//     floor(trim_fraction · m) from each end, take the weighted mean of the
+//     survivors, and rescale by the group's total transmitted weight so an
+//     attack-free coordinate keeps the plain aggregate's magnitude;
+//   * median — the weighted-support analogue: total weight × the median
+//     contribution value;
+//   * clipped-mean fallback — a coordinate transmitted by fewer than
+//     `min_support` clients has too little overlap to trim, so its plain
+//     weighted sum is kept with each contribution clamped to
+//     `clip_mult` × the round's median |value| over ALL transmitted entries.
+//
+// After aggregation, each contributing client is scored by the cosine
+// similarity between its upload and the robust aggregate restricted to the
+// client's own coordinates. Anti-aligned clients (cosine below
+// `suspect_cosine`) take a reputation strike through the validator's
+// quarantine machinery, and the round's trust — the weighted fraction of
+// contributors that are NOT anti-aligned — damps RoundFeedback so
+// Algorithms 2/3 do not chase poisoned probes.
+//
+// Determinism contract: the statistic is a pure function of each
+// coordinate's contribution group taken in client-major order (plus one
+// round-global clip scalar), and that order is independent of the bucket
+// partition — so robust aggregation is byte-identical across shard counts,
+// exactly like the plain reduce. Disabled (the default) it is a complete
+// no-op: the defense-off path never reaches this code.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fedsparse::sparsify {
+
+enum class RobustKind : std::uint8_t {
+  kTrimmedMean = 0,
+  kMedian = 1,
+};
+
+struct RobustConfig {
+  bool enabled = false;
+  RobustKind kind = RobustKind::kTrimmedMean;
+  /// Fraction of a coordinate's contributions trimmed from EACH end
+  /// (trimmed-mean kind). floor(trim_fraction · m) per end, capped so at
+  /// least one contribution survives.
+  double trim_fraction = 0.25;
+  /// Coordinates transmitted by fewer clients than this fall back to the
+  /// clipped weighted sum instead of trimming.
+  std::size_t min_support = 4;
+  /// Thin-support clamp: |value| is clamped to this multiple of the round's
+  /// median |value| over all transmitted entries; <= 0 disables the clamp.
+  double clip_mult = 8.0;
+  /// Contributors whose cosine against the robust aggregate (restricted to
+  /// their own coordinates) falls below this take a reputation strike.
+  double suspect_cosine = -0.1;
+
+  /// True when the stage is a no-op and the plain aggregate runs unchanged.
+  bool trivial() const noexcept { return !enabled; }
+};
+
+/// Per-round robust-aggregation outcome, carried on RoundOutcome next to
+/// ValidationStats so the engine can surface it in RoundRecord / metrics.
+struct RobustStats {
+  std::size_t coords_robust = 0;    // coordinates reduced with the robust statistic
+  std::size_t coords_thin = 0;      // thin-support coordinates (clipped mean)
+  std::size_t values_trimmed = 0;   // individual contributions discarded by trimming
+  std::size_t suspects = 0;         // contributors anti-aligned with the aggregate
+  double mean_trust = 1.0;          // weighted fraction of aligned contributors
+};
+
+}  // namespace fedsparse::sparsify

@@ -1,11 +1,48 @@
 #include "sparsify/round_pipeline.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "sparsify/accumulator.h"
+#include "util/contracts.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
 
 namespace fedsparse::sparsify {
+
+#ifdef FEDSPARSE_CONTRACTS
+namespace {
+
+// Selection-layer invariants, checked on every emitted upload before the
+// tamper seam can legitimately break them: indices in [0, D) with no
+// duplicates, and — when the caller provided accumulator chunk summaries —
+// every uploaded |value| within its chunk's max-|a| bound (the bound the
+// chunk-pruned scans rely on for exactness).
+void check_selected_uploads(const RoundInput& in, const std::vector<SparseVector>& uploads,
+                            std::size_t dim) {
+  std::vector<std::int32_t> sorted;
+  for (std::size_t s = 0; s < uploads.size(); ++s) {
+    sorted.clear();
+    const std::span<const float> chunk_max =
+        in.client_chunk_max.empty() ? std::span<const float>{} : in.client_chunk_max[s];
+    for (const auto& e : uploads[s]) {
+      FEDSPARSE_CONTRACT(e.index >= 0 && static_cast<std::size_t>(e.index) < dim,
+                         "selection emitted an out-of-bounds index");
+      if (!chunk_max.empty()) {
+        const std::size_t c = static_cast<std::size_t>(e.index) / kAccumulatorChunk;
+        FEDSPARSE_CONTRACT(c < chunk_max.size() && std::abs(e.value) <= chunk_max[c],
+                           "chunk max-|a| summary does not bound an uploaded value");
+      }
+      sorted.push_back(e.index);
+    }
+    std::sort(sorted.begin(), sorted.end());
+    FEDSPARSE_CONTRACT(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+                       "selection emitted a duplicate index");
+  }
+}
+
+}  // namespace
+#endif
 
 RoundPipeline::RoundPipeline(std::size_t dim) : dim_(dim), agg_(dim, 0.0f), stamp_(dim, 0) {}
 
@@ -25,6 +62,9 @@ const std::vector<SparseVector>& RoundPipeline::select_uploads(const RoundInput&
     top_k_uploads(in.client_vectors, in.client_chunk_max, k, in.client_ids, topk_ws_, uploads_,
                   pre);
   }
+#ifdef FEDSPARSE_CONTRACTS
+  check_selected_uploads(in, uploads_, dim_);
+#endif
   if (in.tamper != nullptr) {
     for (std::size_t s = 0; s < uploads_.size(); ++s) {
       const std::size_t cid = in.client_ids.empty() ? s : in.client_ids[s];
@@ -37,7 +77,20 @@ const std::vector<SparseVector>& RoundPipeline::select_uploads(const RoundInput&
 std::span<const double> RoundPipeline::validate_uploads(const RoundInput& in,
                                                         ValidationStats& stats) {
   FEDSPARSE_SPAN("pipeline_screen");
-  return validator_.screen(uploads_, in.client_ids, in.data_weights, dim_, in.round, stats);
+  const std::span<const double> eff =
+      validator_.screen(uploads_, in.client_ids, in.data_weights, dim_, in.round, stats);
+#ifdef FEDSPARSE_CONTRACTS
+  // Mass conservation across the screen: outside degraded rounds the
+  // effective weights must remain a convex combination (sum 1), whether they
+  // are the passthrough span or the renormalized internal buffer.
+  if (!stats.degraded && !eff.empty()) {
+    double total = 0.0;
+    for (const double w : eff) total += w;
+    FEDSPARSE_CONTRACT(std::abs(total - 1.0) < 1e-6,
+                       "screening broke weight mass conservation");
+  }
+#endif
+  return eff;
 }
 
 void RoundPipeline::finish_degraded(const RoundInput& in, RoundOutcome& out) const {
@@ -75,6 +128,14 @@ std::span<const std::uint64_t> RoundPipeline::merge_arena_keys(std::size_t count
     runs_.push_back({arenas_[s].keys.data(), arenas_[s].keys.size()});
   }
   merger_.merge({runs_.data(), runs_.size()}, bound, merged_keys_);
+#ifdef FEDSPARSE_CONTRACTS
+  // The 64-bit selection keys are a total order; a merge of descending runs
+  // must itself be descending or the top-k cut is wrong.
+  for (std::size_t p = 1; p < merged_keys_.size(); ++p) {
+    FEDSPARSE_CONTRACT(merged_keys_[p - 1] >= merged_keys_[p],
+                       "key merge produced a non-descending run");
+  }
+#endif
   return {merged_keys_.data(), merged_keys_.size()};
 }
 
@@ -85,6 +146,61 @@ const BucketAggregator& RoundPipeline::aggregate(std::span<const double> weights
   ++stamp_token_;
   aggregator_.run(uploads_, weights, dim_, shards, pool, f, agg_.data(), stamp_.data(),
                   stamp_token_);
+  return aggregator_;
+}
+
+const BucketAggregator& RoundPipeline::aggregate_robust(const RoundInput& in,
+                                                        std::span<const double> weights,
+                                                        std::size_t shards,
+                                                        util::ThreadPool* pool,
+                                                        const BucketAggregator::Filter& f) {
+  FEDSPARSE_SPAN("pipeline_robust_aggregate");
+  ++stamp_token_;
+  aggregator_.run_robust(uploads_, weights, dim_, shards, pool, f, robust_cfg_, agg_.data(),
+                         stamp_.data(), stamp_token_, robust_stats_);
+
+  // Reputation pass: every contributing client scored by the cosine between
+  // its upload and the robust aggregate restricted to the client's own
+  // coordinates (membership = the indices the reduce just stamped, which is
+  // exactly the filter the scatter applied). Serial in slot order — pure and
+  // shard-count invariant. Trust is the weighted fraction of contributors
+  // that are NOT anti-aligned. An honest client with a divergent gradient can
+  // dip below the threshold on a noisy round, so clean-run trust is high but
+  // not pinned at 1.0; the strike/clear pair below keeps such false positives
+  // from ever reaching quarantine (that takes consecutive suspect rounds).
+  double contributing_w = 0.0;
+  double aligned_w = 0.0;
+  for (std::size_t s = 0; s < uploads_.size(); ++s) {
+    double dot = 0.0;
+    double norm_up = 0.0;
+    double norm_agg = 0.0;
+    bool contributed = false;
+    for (const auto& e : uploads_[s]) {
+      const auto idx = static_cast<std::size_t>(e.index);
+      if (stamp_[idx] != stamp_token_) continue;
+      contributed = true;
+      const double v = static_cast<double>(e.value);
+      const double a = static_cast<double>(agg_[idx]);
+      dot += v * a;
+      norm_up += v * v;
+      norm_agg += a * a;
+    }
+    if (!contributed) continue;
+    const double w = weights[s];
+    contributing_w += w;
+    const bool anti_aligned =
+        norm_up > 0.0 && norm_agg > 0.0 &&
+        dot < robust_cfg_.suspect_cosine * std::sqrt(norm_up) * std::sqrt(norm_agg);
+    const std::size_t cid = in.client_ids.empty() ? s : in.client_ids[s];
+    if (anti_aligned) {
+      ++robust_stats_.suspects;
+      validator_.note_suspect(cid, in.round);
+    } else {
+      aligned_w += w;
+      validator_.note_aligned(cid, in.round);
+    }
+  }
+  robust_stats_.mean_trust = contributing_w > 0.0 ? aligned_w / contributing_w : 1.0;
   return aggregator_;
 }
 
@@ -117,6 +233,20 @@ void RoundPipeline::emit_update_from_buckets(util::ThreadPool* pool, RoundOutcom
 }
 
 void RoundPipeline::finish_payload(RoundOutcome& out) const {
+#ifdef FEDSPARSE_CONTRACTS
+  // Every emitting path (reference sort, bucket concatenation) must deliver
+  // the update strictly index-ascending and in-bounds — appliers and the
+  // probe's sparse_subtract rely on it.
+  for (std::size_t p = 0; p < out.update.size(); ++p) {
+    FEDSPARSE_CONTRACT(out.update[p].index >= 0 &&
+                           static_cast<std::size_t>(out.update[p].index) < dim_,
+                       "emitted update index out of bounds");
+    if (p > 0) {
+      FEDSPARSE_CONTRACT(out.update[p - 1].index < out.update[p].index,
+                         "emitted update not strictly index-sorted");
+    }
+  }
+#endif
   set_uplink_from_uploads(uploads_, out);
   // Screening may have emptied rejected payloads after they crossed the wire;
   // the timing model charges the transmitted sizes, not the surviving ones.

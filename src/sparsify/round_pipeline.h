@@ -113,6 +113,31 @@ class RoundPipeline {
   const BucketAggregator& aggregate(std::span<const double> weights, std::size_t shards,
                                     util::ThreadPool* pool, const BucketAggregator::Filter& f);
 
+  // --- stage: robust aggregation (sparsify/robust.h) ------------------------
+
+  void set_robust(const RobustConfig& cfg) noexcept { robust_cfg_ = cfg; }
+  const RobustConfig& robust() const noexcept { return robust_cfg_; }
+  bool robust_enabled() const noexcept { return !robust_cfg_.trivial(); }
+  /// Robust outcome of the last aggregate_robust() call (incl. reputation).
+  const RobustStats& robust_stats() const noexcept { return robust_stats_; }
+
+  /// Drop-in replacement for aggregate() on the robust path: reduces each
+  /// touched coordinate with the configured robust statistic instead of the
+  /// weighted sum, then scores every contributing client by cosine alignment
+  /// against the robust aggregate restricted to its own coordinates —
+  /// anti-aligned clients take a reputation strike through the validator's
+  /// quarantine bookkeeping, and robust_stats().mean_trust carries the
+  /// round's trust for RoundFeedback damping. Leaves agg()/stamp()/touched
+  /// buckets exactly as aggregate() would, so emit/reset stages compose
+  /// unchanged. Like build_resets, callers must snapshot any stamp-based
+  /// filter membership BEFORE this stage re-stamps with a fresh token (the
+  /// scatter reads the filter before the reduce writes stamps, so passing a
+  /// filter over the previous token is safe — same discipline as aggregate).
+  const BucketAggregator& aggregate_robust(const RoundInput& in,
+                                           std::span<const double> weights, std::size_t shards,
+                                           util::ThreadPool* pool,
+                                           const BucketAggregator::Filter& f);
+
   /// Stage: client-major CSR reset lists + contributed counts from uploads()
   /// under the same optional filter. Must run BEFORE a later stage re-stamps
   /// the filter's membership tokens.
@@ -146,6 +171,8 @@ class RoundPipeline {
   std::vector<ClientHint> hints_;
   std::vector<SparseVector> uploads_;
   UploadValidator validator_;
+  RobustConfig robust_cfg_;
+  RobustStats robust_stats_;
 
   // Sharded-stage scratch.
   std::vector<ShardArena> arenas_;

@@ -1,6 +1,7 @@
 #include "sparsify/shard_engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
 
@@ -141,14 +142,14 @@ std::size_t BucketAggregator::total_touched() const noexcept {
   return total;
 }
 
-void BucketAggregator::run(const std::vector<SparseVector>& uploads,
-                           std::span<const double> weights, std::size_t dim,
-                           std::size_t shards, util::ThreadPool* pool, const Filter& filter,
-                           float* agg, std::uint32_t* touch_stamp,
-                           std::uint32_t touch_token) {
+std::size_t BucketAggregator::scatter(const std::vector<SparseVector>& uploads,
+                                      std::span<const double> weights, std::size_t dim,
+                                      std::size_t shards, util::ThreadPool* pool,
+                                      const Filter& filter) {
   const std::size_t n = uploads.size();
   const ShardPlan plan = make_shard_plan(n, shards);
   const std::size_t S = plan.shards();
+  scatter_shards_ = S;
   // One bucket per shard keeps both parallel phases at the same width; the
   // bucket map must be monotone in the index so buckets are contiguous
   // disjoint index ranges (the bucket walks then never share an agg entry).
@@ -195,17 +196,23 @@ void BucketAggregator::run(const std::vector<SparseVector>& uploads,
       }
     }
   });
+  return B;
+}
 
-  // Phase 4: per-bucket reduce. Bucket b's entries now occupy
-  // [start_b, start_b+1) where start_b is shard 0's original base — after
-  // phase 3 every cursor sits at its segment end, so bucket b spans from
-  // (b == 0 ? 0 : cursors_[0 * B + b - 1]... ) — recover bounds from the
-  // final cursor of the previous bucket's last shard instead: bucket b ends
-  // at cursors_[(S-1) * B + b], and starts where bucket b-1 ended.
+void BucketAggregator::run(const std::vector<SparseVector>& uploads,
+                           std::span<const double> weights, std::size_t dim,
+                           std::size_t shards, util::ThreadPool* pool, const Filter& filter,
+                           float* agg, std::uint32_t* touch_stamp,
+                           std::uint32_t touch_token) {
+  const std::size_t B = scatter(uploads, weights, dim, shards, pool, filter);
+
+  // Phase 4: per-bucket reduce. After phase 3 every cursor sits at its
+  // segment end, so bucket b ends at cursors_[(S-1) * B + b] and starts
+  // where bucket b-1 ended (bucket_begin/bucket_end).
   bucket_touched_.resize(B);
   for_each_shard(pool, B, [&](std::size_t b) {
-    const std::size_t begin = b == 0 ? 0 : cursors_[(S - 1) * B + b - 1];
-    const std::size_t end = cursors_[(S - 1) * B + b];
+    const std::size_t begin = bucket_begin(b, B);
+    const std::size_t end = bucket_end(b, B);
     auto& touched = bucket_touched_[b];
     touched.clear();
     for (std::size_t p = begin; p < end; ++p) {
@@ -219,6 +226,118 @@ void BucketAggregator::run(const std::vector<SparseVector>& uploads,
       agg[idx] += e.w * e.v;
     }
   });
+}
+
+void BucketAggregator::run_robust(const std::vector<SparseVector>& uploads,
+                                  std::span<const double> weights, std::size_t dim,
+                                  std::size_t shards, util::ThreadPool* pool,
+                                  const Filter& filter, const RobustConfig& cfg, float* agg,
+                                  std::uint32_t* touch_stamp, std::uint32_t touch_token,
+                                  RobustStats& stats) {
+  const std::size_t B = scatter(uploads, weights, dim, shards, pool, filter);
+  stats = RobustStats{};
+
+  // Round-global thin-support clamp: clip_mult × the median |value| over ALL
+  // transmitted (filter-passing) entries. The median VALUE of a multiset is
+  // partition-invariant, so the bound is identical at every shard count.
+  double clip_bound = 0.0;
+  if (cfg.clip_mult > 0.0 && !entries_.empty()) {
+    abs_scratch_.resize(entries_.size());
+    for (std::size_t p = 0; p < entries_.size(); ++p) {
+      abs_scratch_[p] = std::abs(entries_[p].v);
+    }
+    auto mid = abs_scratch_.begin() + static_cast<std::ptrdiff_t>(abs_scratch_.size() / 2);
+    std::nth_element(abs_scratch_.begin(), mid, abs_scratch_.end());
+    clip_bound = cfg.clip_mult * static_cast<double>(*mid);
+  }
+
+  // Phase 4 (robust): regroup each bucket by index — stable, so a group
+  // keeps the scatter's client-major order — then reduce every group with
+  // the robust statistic. All group arithmetic runs in double in a
+  // partition-invariant order, so agg is byte-identical across shard counts.
+  bucket_touched_.resize(B);
+  bucket_stats_.assign(B, RobustStats{});
+  for_each_shard(pool, B, [&](std::size_t b) {
+    const std::size_t begin = bucket_begin(b, B);
+    const std::size_t end = bucket_end(b, B);
+    auto& touched = bucket_touched_[b];
+    auto& bs = bucket_stats_[b];
+    touched.clear();
+    std::stable_sort(entries_.begin() + static_cast<std::ptrdiff_t>(begin),
+                     entries_.begin() + static_cast<std::ptrdiff_t>(end),
+                     [](const Entry& a, const Entry& c) { return a.index < c.index; });
+    std::size_t g0 = begin;
+    while (g0 < end) {
+      std::size_t g1 = g0 + 1;
+      while (g1 < end && entries_[g1].index == entries_[g0].index) ++g1;
+      const std::size_t m = g1 - g0;
+      const auto idx = static_cast<std::size_t>(entries_[g0].index);
+      // Total transmitted weight of the group, in client order: the robust
+      // statistics rescale by it so an attack-free coordinate keeps the
+      // plain aggregate's magnitude.
+      double total_w = 0.0;
+      for (std::size_t p = g0; p < g1; ++p) total_w += static_cast<double>(entries_[p].w);
+      double value = 0.0;
+      if (m < cfg.min_support) {
+        // Thin support: clipped weighted sum in client order.
+        ++bs.coords_thin;
+        for (std::size_t p = g0; p < g1; ++p) {
+          double v = static_cast<double>(entries_[p].v);
+          if (clip_bound > 0.0) v = std::clamp(v, -clip_bound, clip_bound);
+          value += static_cast<double>(entries_[p].w) * v;
+        }
+      } else if (cfg.kind == RobustKind::kMedian) {
+        ++bs.coords_robust;
+        std::stable_sort(entries_.begin() + static_cast<std::ptrdiff_t>(g0),
+                         entries_.begin() + static_cast<std::ptrdiff_t>(g1),
+                         [](const Entry& a, const Entry& c) { return a.v < c.v; });
+        const std::size_t mid = g0 + m / 2;
+        const double med = (m % 2 != 0)
+                               ? static_cast<double>(entries_[mid].v)
+                               : 0.5 * (static_cast<double>(entries_[mid - 1].v) +
+                                        static_cast<double>(entries_[mid].v));
+        value = total_w * med;
+      } else {
+        std::size_t t = static_cast<std::size_t>(cfg.trim_fraction * static_cast<double>(m));
+        if (2 * t >= m) t = (m - 1) / 2;
+        if (t == 0) {
+          // Nothing to trim at this support: plain weighted sum.
+          for (std::size_t p = g0; p < g1; ++p) {
+            value += static_cast<double>(entries_[p].w) * static_cast<double>(entries_[p].v);
+          }
+        } else {
+          ++bs.coords_robust;
+          bs.values_trimmed += 2 * t;
+          std::stable_sort(entries_.begin() + static_cast<std::ptrdiff_t>(g0),
+                           entries_.begin() + static_cast<std::ptrdiff_t>(g1),
+                           [](const Entry& a, const Entry& c) { return a.v < c.v; });
+          double num = 0.0;
+          double den = 0.0;
+          for (std::size_t p = g0 + t; p < g1 - t; ++p) {
+            num += static_cast<double>(entries_[p].w) * static_cast<double>(entries_[p].v);
+            den += static_cast<double>(entries_[p].w);
+          }
+          if (den > 0.0) {
+            value = total_w * (num / den);
+          } else {
+            for (std::size_t p = g0; p < g1; ++p) {
+              value +=
+                  static_cast<double>(entries_[p].w) * static_cast<double>(entries_[p].v);
+            }
+          }
+        }
+      }
+      touch_stamp[idx] = touch_token;
+      agg[idx] = static_cast<float>(value);
+      touched.push_back(entries_[g0].index);
+      g0 = g1;
+    }
+  });
+  for (const RobustStats& bs : bucket_stats_) {
+    stats.coords_robust += bs.coords_robust;
+    stats.coords_thin += bs.coords_thin;
+    stats.values_trimmed += bs.values_trimmed;
+  }
 }
 
 void CsrResetBuilder::run(const std::vector<SparseVector>& uploads, std::size_t shards,

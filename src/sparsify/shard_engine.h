@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "sparsify/method.h"
+#include "sparsify/robust.h"
 #include "sparsify/sparse_vector.h"
 
 namespace fedsparse::util {
@@ -133,6 +134,19 @@ class BucketAggregator {
            std::size_t dim, std::size_t shards, util::ThreadPool* pool, const Filter& filter,
            float* agg, std::uint32_t* touch_stamp, std::uint32_t touch_token);
 
+  /// Robust-reduce mode: same scatter (phases 1–3) as run(), but each
+  /// bucket's entries are regrouped by index — materializing every
+  /// coordinate's per-client contributions in client-major order — and
+  /// reduced with the robust statistic from `cfg` (robust.h) instead of the
+  /// weighted sum. touched()/stamps end up exactly as run() leaves them, so
+  /// downstream emit/reset stages work unchanged. Because each index group's
+  /// content and order are independent of the bucket partition, the result
+  /// is byte-identical across shard counts.
+  void run_robust(const std::vector<SparseVector>& uploads, std::span<const double> weights,
+                  std::size_t dim, std::size_t shards, util::ThreadPool* pool,
+                  const Filter& filter, const RobustConfig& cfg, float* agg,
+                  std::uint32_t* touch_stamp, std::uint32_t touch_token, RobustStats& stats);
+
   std::size_t buckets() const noexcept { return bucket_touched_.size(); }
   std::span<const std::int32_t> touched(std::size_t b) const noexcept {
     return {bucket_touched_[b].data(), bucket_touched_[b].size()};
@@ -146,9 +160,26 @@ class BucketAggregator {
     float w;
     float v;
   };
+
+  /// Phases 1–3 (count / prefix / scatter); returns the bucket count B and
+  /// leaves entries_/cursors_ describing the bucket-major layout. Bucket b
+  /// spans [bucket_begin(b, B), bucket_end(b, B)) of entries_.
+  std::size_t scatter(const std::vector<SparseVector>& uploads, std::span<const double> weights,
+                      std::size_t dim, std::size_t shards, util::ThreadPool* pool,
+                      const Filter& filter);
+  std::size_t bucket_begin(std::size_t b, std::size_t B) const noexcept {
+    return b == 0 ? 0 : cursors_[(scatter_shards_ - 1) * B + b - 1];
+  }
+  std::size_t bucket_end(std::size_t b, std::size_t B) const noexcept {
+    return cursors_[(scatter_shards_ - 1) * B + b];
+  }
+
   std::vector<Entry> entries_;                         // bucket-major scatter buffer
   std::vector<std::size_t> cursors_;                   // shards × buckets bases
+  std::size_t scatter_shards_ = 0;                     // S of the last scatter()
   std::vector<std::vector<std::int32_t>> bucket_touched_;
+  std::vector<float> abs_scratch_;                     // robust mode: round |v| median
+  std::vector<RobustStats> bucket_stats_;              // robust mode: per-bucket partials
 };
 
 /// Client-major CSR reset lists + contributed counts over uploads, with the

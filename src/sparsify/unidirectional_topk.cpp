@@ -14,7 +14,10 @@ RoundOutcome UnidirectionalTopK::round(const RoundInput& in, std::size_t k) {
   validate_round_input(in);
   const std::size_t n = in.client_vectors.size();
   k = std::clamp<std::size_t>(k, 1, pipe_.dim());
-  if (pipe_.sharded()) return round_sharded(in, k);
+  // The robust path routes through the sharded engine (at S = 1 it is the
+  // reference round with the robust reduce swapped in); the defense-off
+  // reference loop below stays bitwise untouched.
+  if (pipe_.sharded() || pipe_.robust_enabled()) return round_sharded(in, k);
 
   // Stage: per-client selections threaded across the registered pool
   // (deterministic: each client owns its workspace and output slot),
@@ -89,9 +92,14 @@ RoundOutcome UnidirectionalTopK::round_sharded(const RoundInput& in, std::size_t
     return out;
   }
 
-  pipe_.aggregate(weights, S, pool, /*f=*/{});
-
   RoundOutcome out;
+  if (pipe_.robust_enabled()) {
+    pipe_.aggregate_robust(in, weights, S, pool, /*f=*/{});
+    out.robust = pipe_.robust_stats();
+  } else {
+    pipe_.aggregate(weights, S, pool, /*f=*/{});
+  }
+
   out.kind = RoundOutcome::Kind::kSparseUpdate;
   out.validation = vstats;
   pipe_.emit_update_from_buckets(pool, out);

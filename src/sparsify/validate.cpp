@@ -40,6 +40,28 @@ bool UploadValidator::quarantined(std::size_t client_id, std::size_t round) cons
   return it != offenders_.end() && it->second.quarantined_until >= round;
 }
 
+void UploadValidator::note_suspect(std::size_t client_id, std::size_t round) {
+  if (cfg_.quarantine_after == 0) return;
+  Offender& off = offenders_[client_id];
+  if (off.last_suspect_round == round) return;
+  static const util::Counter c_suspects("validate.robust_suspects");
+  c_suspects.add(1);
+  ++off.suspect_strikes;
+  off.last_suspect_round = round;
+  if (off.suspect_strikes >= cfg_.quarantine_after && off.quarantined_until < round) {
+    off.quarantined_until = round + cfg_.quarantine_rounds;
+    off.suspect_strikes = 0;
+  }
+}
+
+void UploadValidator::note_aligned(std::size_t client_id, std::size_t round) {
+  const auto it = offenders_.find(client_id);
+  if (it == offenders_.end()) return;
+  Offender& off = it->second;
+  if (off.quarantined_until >= round || off.last_suspect_round == round) return;
+  off.suspect_strikes = 0;
+}
+
 std::span<const double> UploadValidator::screen(std::vector<SparseVector>& uploads,
                                                 std::span<const std::size_t> client_ids,
                                                 std::span<const double> weights, std::size_t dim,

@@ -103,13 +103,29 @@ class UploadValidator {
   /// True when client `id` is quarantined as of `round`.
   bool quarantined(std::size_t client_id, std::size_t round) const;
 
+  /// Reputation strike from the robust-aggregation stage: client `id`'s
+  /// upload passed structural screening but was anti-aligned with the robust
+  /// aggregate. Tracked separately from rejection strikes — screening cannot
+  /// judge these payloads (they are structurally valid), so its clean-round
+  /// strike clearing must not erase them; only note_aligned does. Quarantine
+  /// triggers after `quarantine_after` distinct suspect rounds, with the same
+  /// per-round idempotency as screening (probe re-runs never double-count).
+  void note_suspect(std::size_t client_id, std::size_t round);
+
+  /// Counterpart: client `id` contributed and was NOT anti-aligned this
+  /// round. Clears accumulated suspect strikes ("repeat offender" means
+  /// consecutive suspect rounds, mirroring the rejection-strike semantics).
+  void note_aligned(std::size_t client_id, std::size_t round);
+
  private:
   bool structurally_valid(const SparseVector& sv, std::size_t dim);
 
   struct Offender {
-    std::size_t strikes = 0;            // distinct rounds with a rejection
-    std::size_t last_strike_round = 0;  // idempotency guard for probe re-runs
-    std::size_t quarantined_until = 0;  // inclusive round bound; 0 = not quarantined
+    std::size_t strikes = 0;             // distinct rounds with a rejection
+    std::size_t last_strike_round = 0;   // idempotency guard for probe re-runs
+    std::size_t suspect_strikes = 0;     // distinct anti-aligned rounds (robust stage)
+    std::size_t last_suspect_round = 0;  // idempotency guard for probe re-runs
+    std::size_t quarantined_until = 0;   // inclusive round bound; 0 = not quarantined
   };
 
   ValidationConfig cfg_;

@@ -1,0 +1,36 @@
+#pragma once
+
+// Invariant contracts on the selection/aggregation layers.
+//
+// FEDSPARSE_CONTRACT(cond, msg) is compiled away entirely unless the build
+// defines FEDSPARSE_CONTRACTS (CMake option of the same name, on in the
+// sanitizer CI job). Contract sites guard invariants the optimized kernels
+// rely on but cannot express in types: 64-bit selection keys are totally
+// ordered descending after a merge, emitted uploads stay in-bounds and
+// duplicate-free, chunk max-|a| summaries upper-bound every element they
+// cover, and screening conserves aggregation mass. A violation aborts with
+// the site's message — these are programmer errors, never data errors.
+
+#ifdef FEDSPARSE_CONTRACTS
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fedsparse::util {
+
+[[noreturn]] inline void contract_failed(const char* cond, const char* msg, const char* file,
+                                         int line) {
+  std::fprintf(stderr, "fedsparse contract violated: %s [%s] at %s:%d\n", msg, cond, file, line);
+  std::abort();
+}
+
+}  // namespace fedsparse::util
+
+#define FEDSPARSE_CONTRACT(cond, msg) \
+  ((cond) ? (void)0 : ::fedsparse::util::contract_failed(#cond, (msg), __FILE__, __LINE__))
+
+#else
+
+#define FEDSPARSE_CONTRACT(cond, msg) ((void)0)
+
+#endif

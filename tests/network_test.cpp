@@ -169,7 +169,7 @@ TEST(NetworkModel, ValidatesConfiguration) {
 
 TEST(Scenarios, RegistryBuildsEveryPreset) {
   const auto names = scenario_names();
-  ASSERT_EQ(names.size(), 6u);
+  ASSERT_EQ(names.size(), 7u);
   for (const auto& name : names) {
     const Scenario s = make_scenario(name, 12, 5);
     EXPECT_EQ(s.name, name);
